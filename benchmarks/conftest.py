@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure/table of the paper (or one ablation
+from DESIGN.md): it runs the experiment once under ``benchmark.pedantic``
+(discrete-event simulations are deterministic, so repetition adds nothing),
+prints the rows/series the paper reports, and attaches them to
+``benchmark.extra_info`` so they are preserved in pytest-benchmark's output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Render a small fixed-width table to stdout."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+
+
+def percentiles(values: List[float], points: Sequence[int] = (10, 25, 50, 75, 90, 99)) -> dict:
+    """Simple percentile summary (nearest-rank) for latency CDFs."""
+    if not values:
+        return {point: None for point in points}
+    ordered = sorted(values)
+    summary = {}
+    for point in points:
+        rank = min(len(ordered) - 1, max(0, int(round(point / 100.0 * (len(ordered) - 1)))))
+        summary[point] = ordered[rank]
+    return summary

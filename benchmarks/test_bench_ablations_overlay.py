@@ -1,0 +1,141 @@
+"""Overlay-level ablations A1 (routing scalability), A5 (PHT range index),
+and A6 (soft-state availability under churn) from DESIGN.md."""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_table
+
+from repro.overlay.identifiers import ID_SPACE
+from repro.pht import PrefixHashTree
+from repro.runtime.churn import ChurnProcess
+from repro.simnet import build_overlay
+
+
+# --------------------------------------------------------------------------- #
+# A1: DHT routing cost grows logarithmically with the network size (§3.2.2)   #
+# --------------------------------------------------------------------------- #
+def _run_routing_scaling() -> dict:
+    rng = random.Random(11)
+    results = {}
+    for node_count in (16, 64, 192):
+        deployment = build_overlay(node_count, seed=11)
+        lookups = 40
+        hops = []
+        for index in range(lookups):
+            origin = deployment.node(rng.randrange(node_count))
+            origin.lookup(rng.randrange(ID_SPACE), lambda owner, h: hops.append(h))
+        deployment.run(30.0)
+        results[node_count] = sum(hops) / max(1, len(hops))
+    return results
+
+
+def test_a1_routing_hops_scale_logarithmically(benchmark):
+    results = benchmark.pedantic(_run_routing_scaling, rounds=1, iterations=1)
+    print_table(
+        "A1 — mean DHT lookup hops vs network size",
+        ["nodes", "mean hops"],
+        [[n, f"{results[n]:.2f}"] for n in sorted(results)],
+    )
+    benchmark.extra_info.update({f"hops_{n}": results[n] for n in results})
+    # 16x more nodes should cost only a few extra hops, far less than 16x.
+    assert results[192] < results[16] * 4
+    assert results[192] <= 10
+
+
+# --------------------------------------------------------------------------- #
+# A5: PHT range queries touch work proportional to the range, not the table   #
+# --------------------------------------------------------------------------- #
+def _run_pht_ranges() -> dict:
+    deployment = build_overlay(20, seed=12)
+    pht = PrefixHashTree(deployment.node(0), "bench", key_bits=10, leaf_capacity=4)
+    keys = list(range(0, 1024, 16))  # 64 keys spread over the domain
+    for key in keys:
+        pht.insert(key, key)
+        # Let each insert's lookup/put (and any leaf split) complete before
+        # the next one so read-modify-write cycles do not interleave.
+        deployment.run(1.5)
+    deployment.run(3.0)
+    results = {}
+    for width in (16, 128, 1024):
+        gets_before = pht.dht_gets
+        rows = {}
+        pht.range_query(0, width - 1, lambda items: rows.setdefault("items", items))
+        deployment.run(5.0)
+        results[width] = {
+            "matches": len(rows.get("items", [])),
+            "dht_gets": pht.dht_gets - gets_before,
+        }
+    return results
+
+
+def test_a5_pht_range_query_cost(benchmark):
+    results = benchmark.pedantic(_run_pht_ranges, rounds=1, iterations=1)
+    print_table(
+        "A5 — PHT range query cost vs range width (64 keys, 10-bit domain)",
+        ["range width", "matches", "DHT gets"],
+        [[w, results[w]["matches"], results[w]["dht_gets"]] for w in sorted(results)],
+    )
+    benchmark.extra_info.update({f"gets_width_{w}": results[w]["dht_gets"] for w in results})
+    assert results[16]["dht_gets"] < results[1024]["dht_gets"]
+    assert results[1024]["matches"] == 64
+
+
+# --------------------------------------------------------------------------- #
+# A6: soft-state availability vs renewal period under churn (§3.2.3)          #
+# --------------------------------------------------------------------------- #
+def _run_soft_state_churn() -> dict:
+    results = {}
+    object_count = 40
+    lifetime = 200.0
+    for label, renew_period in (("no renewal", None), ("renew every 5 s", 5.0)):
+        deployment = build_overlay(30, seed=13)
+        publisher = deployment.node(0)
+
+        def republish(_data=None, period=renew_period):
+            for index in range(object_count):
+                publisher.renew(
+                    "soft", index, "s", lifetime,
+                    callback=lambda ok, i=index: (
+                        None if ok else publisher.put("soft", i, "s", {"i": i}, lifetime)
+                    ),
+                )
+            publisher.runtime.schedule_event(period, None, republish)
+
+        for index in range(object_count):
+            publisher.put("soft", index, "s", {"i": index}, lifetime)
+        deployment.run(3.0)
+        if renew_period is not None:
+            publisher.runtime.schedule_event(renew_period, None, republish)
+        churn = ChurnProcess(
+            deployment.environment, interval=12.0, session_time=1000.0, protected=[0],
+            seed=13, recover=False,
+        )
+        churn.start()
+        deployment.run(120.0)
+        churn.stop()
+        # Availability: how many of the published objects still live on a
+        # node that is up (objects on failed nodes are lost until the
+        # publisher's renewal cycle re-publishes them elsewhere).
+        alive_keys = set()
+        for node in deployment.nodes:
+            if deployment.environment.is_alive(node.address):
+                for stored in node.object_manager.local_scan("soft"):
+                    alive_keys.add(stored.name.partitioning_key)
+        results[label] = len(alive_keys) / object_count
+    return results
+
+
+def test_a6_soft_state_availability_under_churn(benchmark):
+    results = benchmark.pedantic(_run_soft_state_churn, rounds=1, iterations=1)
+    print_table(
+        "A6 — soft-state availability after 120 s of churn (30 nodes, no recovery)",
+        ["publisher behaviour", "objects still reachable"],
+        [[label, f"{value * 100:.0f}%"] for label, value in results.items()],
+    )
+    benchmark.extra_info.update(results)
+    # The publisher's periodic renew/re-put repairs objects lost to failed
+    # nodes; without it availability decays as nodes die.
+    assert results["renew every 5 s"] > results["no renewal"]
+    assert results["renew every 5 s"] >= 0.7

@@ -1,0 +1,46 @@
+"""Quickstart: bring up a simulated PIER deployment and run two queries.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import PIERNetwork
+from repro.qp.plans import broadcast_scan_plan, equality_lookup_plan, flat_aggregation_plan
+from repro.qp.tuples import Tuple
+
+
+def main() -> None:
+    # 1. A 30-node PIER deployment under the discrete-event simulator.
+    network = PIERNetwork(30, seed=1)
+
+    # 2. Publish a table into the DHT, partitioned on "keyword" (this builds
+    #    the table's primary index, so equality lookups touch one node).
+    postings = [
+        Tuple.make("inverted", keyword=keyword, file_id=index, filename=f"{keyword}_{index}.mp3")
+        for index, keyword in enumerate(["jazz", "rock", "jazz", "ambient", "rock", "jazz"])
+    ]
+    network.publish("inverted", ["keyword"], postings)
+    network.run(3.0)
+
+    # 3. Equality lookup: disseminated only to the node owning keyword='jazz'.
+    result = network.execute(equality_lookup_plan("inverted", "jazz", timeout=8.0), proxy=5)
+    print(f"jazz files: {sorted(row['filename'] for row in result.rows())}")
+    print(f"first result after {result.first_result_latency:.3f}s of virtual time")
+
+    # 4. Every node also has a local table (e.g. its own log); a broadcast
+    #    query scans all of them, and an aggregation counts rows per group.
+    for address in range(len(network)):
+        network.register_local_table(
+            address, "events",
+            [Tuple.make("events", level="warn" if address % 3 else "error", node=address)],
+        )
+    scan = network.execute(broadcast_scan_plan("events", timeout=10.0))
+    print(f"broadcast scan returned {len(scan)} rows from {len(network)} nodes")
+
+    aggregate = network.execute(
+        flat_aggregation_plan("events", ["level"], [("count", None, "n")], timeout=12.0)
+    )
+    print("events per level:", {row["level"]: row["n"] for row in aggregate.rows()})
+
+
+if __name__ == "__main__":
+    main()

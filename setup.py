@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The build metadata lives in ``pyproject.toml``; this file exists so that
+environments with an older setuptools/pip (without the ``wheel`` package)
+can still perform a legacy editable install via ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Reproduction of PIER: an Internet-Scale Query Processor (CIDR 2005).
+
+The package is organised the way the paper presents the system:
+
+* :mod:`repro.runtime`  -- the Virtual Runtime Interface, the event-driven
+  Main Scheduler, and its two bindings (discrete-event simulation and a
+  localhost physical environment).
+* :mod:`repro.overlay`  -- the DHT overlay: naming, routing, soft-state
+  object management, the wrapper API of Table 2, and distribution trees.
+* :mod:`repro.pht`      -- the Prefix Hash Tree range-index substrate.
+* :mod:`repro.qp`       -- the query processor: self-describing tuples,
+  UFL opgraphs, relational operators, dissemination, hierarchical
+  aggregation/joins, and the per-node executor.
+* :mod:`repro.sql`      -- the SQL-like frontend and naive optimizer.
+* :mod:`repro.apps`     -- the two applications evaluated in the paper
+  (filesharing search, endpoint network monitoring).
+* :mod:`repro.baselines`-- Gnutella flooding and Napster-style central
+  directory baselines.
+* :mod:`repro.workloads`-- synthetic workload generators standing in for
+  the PlanetLab / Gnutella traces.
+* :mod:`repro.security` -- rate limiting, redundancy, and spot-check
+  prototypes from Section 4.1.
+
+The most convenient entry point is :class:`repro.api.PIERNetwork`, which
+builds a simulated PIER deployment and exposes publish/query helpers.
+"""
+
+from repro.api import PIERNetwork, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = ["PIERNetwork", "QueryResult", "__version__"]

@@ -1,0 +1,199 @@
+"""High-level facade: build a simulated PIER deployment and run queries.
+
+:class:`PIERNetwork` wires the full stack together — simulation
+environment, DHT overlay, distribution trees, executors, and proxies — so
+applications, examples, tests, and benchmarks can publish data and execute
+UFL plans with a few calls.  It corresponds to operating a PIER deployment
+under the paper's "native simulation" harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.overlay.router import BootstrapDirectory, ChordRouter, NodeContact, Router
+from repro.overlay.bamboo import BambooRouter
+from repro.qp.node import PIERNode
+from repro.qp.opgraph import QueryPlan
+from repro.qp.proxy import QueryHandle
+from repro.qp.tuples import Tuple
+from repro.runtime.congestion import CongestionModel
+from repro.runtime.simulation import SimulationEnvironment
+from repro.runtime.topology import Topology
+
+ROUTER_FACTORIES: Dict[str, Callable[[NodeContact], Router]] = {
+    "chord": ChordRouter,
+    "bamboo": BambooRouter,
+}
+
+
+@dataclass
+class QueryResult:
+    """What a client gets back from :meth:`PIERNetwork.execute`."""
+
+    query_id: str
+    tuples: List[Tuple] = field(default_factory=list)
+    first_result_latency: Optional[float] = None
+    completed: bool = False
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Results as plain dictionaries, convenient for assertions/printing."""
+        return [tup.as_mapping() for tup in self.tuples]
+
+    def column(self, name: str) -> List[Any]:
+        return [tup.get(name) for tup in self.tuples]
+
+
+class PIERNetwork:
+    """A simulated PIER deployment of ``node_count`` nodes.
+
+    Parameters
+    ----------
+    node_count:
+        Number of simulated PIER nodes.
+    topology, congestion_model:
+        Network model for the simulator (defaults: star topology, no
+        congestion), see :mod:`repro.runtime.topology` and
+        :mod:`repro.runtime.congestion`.
+    router:
+        ``"chord"`` (default) or ``"bamboo"`` — PIER is agnostic to the DHT
+        routing algorithm.
+    settle_time:
+        Virtual seconds to run after start-up so distribution-tree
+        advertisements propagate before the first query.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        topology: Optional[Topology] = None,
+        congestion_model: Optional[CongestionModel] = None,
+        router: str = "chord",
+        seed: int = 0,
+        settle_time: float = 2.0,
+        auto_start: bool = True,
+    ) -> None:
+        if router not in ROUTER_FACTORIES:
+            raise ValueError(f"unknown router {router!r}; options: {sorted(ROUTER_FACTORIES)}")
+        self.environment = SimulationEnvironment(
+            node_count, topology=topology, congestion_model=congestion_model, seed=seed
+        )
+        self.directory = BootstrapDirectory()
+        router_factory = ROUTER_FACTORIES[router]
+        self.nodes: List[PIERNode] = [
+            PIERNode(self.environment.runtime(address), self.directory, router_factory)
+            for address in range(node_count)
+        ]
+        self.settle_time = settle_time
+        self._started = False
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------------- #
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        # Join every node's overlay first and refresh routing tables once the
+        # whole membership is known (what stabilization would converge to),
+        # so that the distribution-tree advertisements sent by node.start()
+        # route consistently toward the tree root.
+        for node in self.nodes:
+            node.overlay.join()
+        for node in self.nodes:
+            node.overlay.router.refresh(self.directory.members())
+        for node in self.nodes:
+            node.start()
+        # Let tree advertisements and initial maintenance traffic settle.
+        self.run(self.settle_time)
+
+    # -- access ----------------------------------------------------------------- #
+    def node(self, address: int) -> PIERNode:
+        return self.nodes[address]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def now(self) -> float:
+        return self.environment.now
+
+    def run(self, duration: float) -> int:
+        """Advance the simulation by ``duration`` virtual seconds."""
+        return self.environment.run(duration)
+
+    # -- data placement -------------------------------------------------------------#
+    def publish(
+        self,
+        namespace: str,
+        partitioning_columns: List[str],
+        rows: Iterable[Tuple],
+        publisher: int = 0,
+        lifetime: float = 600.0,
+        spread: bool = True,
+    ) -> int:
+        """Publish tuples into the DHT (the table's primary index).
+
+        With ``spread=True`` rows are published round-robin from every node,
+        modelling data that originates all over the network.
+        """
+        rows = list(rows)
+        for index, tup in enumerate(rows):
+            origin = self.nodes[(publisher + index) % len(self.nodes)] if spread else self.nodes[publisher]
+            origin.publish(namespace, partitioning_columns, tup, lifetime=lifetime)
+        return len(rows)
+
+    def register_local_table(self, address: int, name: str, rows: Iterable[Tuple]) -> None:
+        """Attach node-local rows (e.g. this node's firewall log)."""
+        self.nodes[address].register_local_table(name, list(rows))
+
+    def distribute_local_table(self, name: str, rows_by_node: Sequence[Iterable[Tuple]]) -> None:
+        """Attach per-node rows for every node at once."""
+        if len(rows_by_node) != len(self.nodes):
+            raise ValueError("rows_by_node must provide one row list per node")
+        for address, rows in enumerate(rows_by_node):
+            self.register_local_table(address, name, rows)
+
+    # -- query execution ----------------------------------------------------------------#
+    def submit(
+        self,
+        plan: QueryPlan,
+        proxy: int = 0,
+        result_callback: Optional[Callable[[Tuple], None]] = None,
+        done_callback: Optional[Callable[[QueryHandle], None]] = None,
+    ) -> QueryHandle:
+        """Submit a plan at the given proxy node without advancing time."""
+        return self.nodes[proxy].submit(plan, result_callback, done_callback)
+
+    def execute(self, plan: QueryPlan, proxy: int = 0, extra_time: float = 3.0) -> QueryResult:
+        """Submit a plan and run the simulation until it completes."""
+        handle = self.submit(plan, proxy=proxy)
+        self.run(plan.timeout + extra_time)
+        return QueryResult(
+            query_id=handle.query_id,
+            tuples=list(handle.results),
+            first_result_latency=handle.first_result_latency,
+            completed=handle.finished,
+            submitted_at=handle.submitted_at,
+            finished_at=handle.finished_at,
+        )
+
+    # -- fault injection --------------------------------------------------------------------#
+    def fail_node(self, address: int) -> None:
+        self.environment.fail_node(address)
+
+    def recover_node(self, address: int) -> None:
+        self.environment.recover_node(address)
+
+    # -- telemetry ---------------------------------------------------------------------------#
+    def network_stats(self):
+        return self.environment.stats
+
+    def dht_stats(self):
+        return [node.overlay.stats for node in self.nodes]

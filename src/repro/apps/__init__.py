@@ -1,0 +1,13 @@
+"""The two applications the paper grounds PIER in (Section 2.2).
+
+* :mod:`repro.apps.filesharing` — a keyword search engine for P2P
+  filesharing, built on a published inverted index (the Figure 1 system).
+* :mod:`repro.apps.network_monitor` — endpoint network monitoring over
+  per-node firewall logs, reporting heavy-hitter sources via distributed
+  aggregation (the Figure 2 system).
+"""
+
+from repro.apps.filesharing import FilesharingSearchApp, SearchOutcome
+from repro.apps.network_monitor import NetworkMonitorApp
+
+__all__ = ["FilesharingSearchApp", "SearchOutcome", "NetworkMonitorApp"]

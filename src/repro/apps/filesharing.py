@@ -1,0 +1,151 @@
+"""P2P filesharing search over PIER (paper Section 2.2, Figure 1).
+
+The application publishes an inverted index — one tuple per (keyword,
+file) pair — into the DHT partitioned on the keyword, so a keyword query is
+an equality-predicate lookup disseminated to exactly one node.  Multi-
+keyword (conjunctive) queries join the per-keyword postings with a Fetch
+Matches join, which is the "each keyword becomes a table instance to be
+joined" workload the paper mentions in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.api import PIERNetwork, QueryResult
+from repro.qp.plans import equality_lookup_plan, fetch_matches_join_plan
+from repro.qp.tuples import Tuple
+from repro.workloads.filesharing import FilesharingWorkload
+
+INVERTED_INDEX = "fs_inverted"
+# The same postings, partitioned on file_id instead of keyword: the
+# secondary index that conjunctive (multi-keyword) queries probe with a
+# Fetch Matches join.
+POSTINGS_BY_FILE = "fs_postings_by_file"
+FILES_TABLE = "fs_files"
+
+
+@dataclass
+class SearchOutcome:
+    """What the searching client observed."""
+
+    keyword: str
+    file_ids: List[int]
+    first_result_latency: Optional[float]
+    result_count: int
+
+    @property
+    def found(self) -> bool:
+        return self.result_count > 0
+
+
+class FilesharingSearchApp:
+    """Publish a filesharing corpus into PIER and run keyword searches."""
+
+    def __init__(self, network: PIERNetwork, query_timeout: float = 10.0) -> None:
+        self.network = network
+        self.query_timeout = query_timeout
+        self.published = 0
+
+    # -- publishing --------------------------------------------------------- #
+    def publish_workload(self, workload: FilesharingWorkload, settle: float = 3.0) -> int:
+        """Publish the inverted index and the base file table.
+
+        Each (keyword, file) posting is published by one of the nodes that
+        actually hosts the file, matching how a real deployment works.
+        """
+        published = 0
+        for descriptor in workload.files:
+            publisher = self.network.node(descriptor.hosts[0] % len(self.network))
+            publisher.publish(
+                FILES_TABLE,
+                ["file_id"],
+                Tuple.make(
+                    FILES_TABLE,
+                    file_id=descriptor.file_id,
+                    filename=descriptor.filename,
+                    size_kb=descriptor.size_kb,
+                ),
+            )
+            published += 1
+            for keyword in descriptor.keywords:
+                posting = Tuple.make(
+                    INVERTED_INDEX,
+                    keyword=keyword,
+                    file_id=descriptor.file_id,
+                    filename=descriptor.filename,
+                    host=descriptor.hosts[0],
+                    size_kb=descriptor.size_kb,
+                )
+                publisher.publish(INVERTED_INDEX, ["keyword"], posting)
+                publisher.publish(POSTINGS_BY_FILE, ["file_id"], posting)
+                published += 2
+        self.published += published
+        self.network.run(settle)
+        return published
+
+    # -- searching ------------------------------------------------------------ #
+    def search(self, keyword: str, proxy: int = 0, timeout: Optional[float] = None) -> SearchOutcome:
+        """Single-keyword search: an equality lookup on the inverted index."""
+        plan = equality_lookup_plan(
+            INVERTED_INDEX,
+            keyword,
+            timeout=timeout or self.query_timeout,
+            predicate=["eq", ["col", "keyword"], ["lit", keyword]],
+        )
+        result = self.network.execute(plan, proxy=proxy)
+        return self._outcome(keyword, result)
+
+    def search_conjunction(
+        self, keywords: List[str], proxy: int = 0, timeout: Optional[float] = None
+    ) -> SearchOutcome:
+        """Multi-keyword AND search.
+
+        The first keyword's postings are fetched by equality dissemination;
+        each posting is then joined (Fetch Matches) against the inverted
+        index for the remaining keywords, keeping files matching them all.
+        """
+        if not keywords:
+            raise ValueError("at least one keyword required")
+        if len(keywords) == 1:
+            return self.search(keywords[0], proxy=proxy, timeout=timeout)
+        plan = fetch_matches_join_plan(
+            outer_table=INVERTED_INDEX,
+            inner_namespace=POSTINGS_BY_FILE,
+            outer_columns=["file_id"],
+            source="dht_scan",
+            outer_predicate=["eq", ["col", "keyword"], ["lit", keywords[0]]],
+            timeout=timeout or self.query_timeout,
+        )
+        # The probing opgraph only needs to run where the first keyword's
+        # postings live: equality dissemination on that keyword.
+        plan.opgraphs[0].dissemination = type(plan.opgraphs[0].dissemination)(
+            strategy="equality", namespace=INVERTED_INDEX, key=keywords[0]
+        )
+        result = self.network.execute(plan, proxy=proxy)
+        required = set(keywords)
+        matches: dict = {}
+        for row in result.rows():
+            file_id = row.get("file_id")
+            keyword = row.get(f"{INVERTED_INDEX}.keyword", row.get("keyword"))
+            matches.setdefault(file_id, set()).add(keyword)
+            matches[file_id].add(row.get("keyword"))
+        file_ids = [
+            file_id for file_id, seen in matches.items() if required.issubset(seen)
+        ]
+        return SearchOutcome(
+            keyword=" ".join(keywords),
+            file_ids=sorted(file_ids),
+            first_result_latency=result.first_result_latency,
+            result_count=len(file_ids),
+        )
+
+    def _outcome(self, keyword: str, result: QueryResult) -> SearchOutcome:
+        file_ids = sorted({row["file_id"] for row in result.rows() if "file_id" in row})
+        return SearchOutcome(
+            keyword=keyword,
+            file_ids=file_ids,
+            first_result_latency=result.first_result_latency,
+            result_count=len(file_ids),
+        )

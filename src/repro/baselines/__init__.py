@@ -1,0 +1,13 @@
+"""Baseline systems PIER is compared against.
+
+* :mod:`repro.baselines.gnutella` — the flooding search of the Gnutella
+  network, the comparison system in Figure 1.
+* :mod:`repro.baselines.central_directory` — a Napster-style central
+  directory server, the architecture the paper explicitly rejects in
+  Section 3.2 (single point of control/liability).
+"""
+
+from repro.baselines.gnutella import GnutellaNetwork, GnutellaQueryOutcome
+from repro.baselines.central_directory import CentralDirectory
+
+__all__ = ["GnutellaNetwork", "GnutellaQueryOutcome", "CentralDirectory"]

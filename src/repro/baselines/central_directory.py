@@ -1,0 +1,124 @@
+"""Napster-style central directory baseline (paper Section 3.2).
+
+The paper contrasts the DHT approach with "the original Napster model": a
+single well-administered central server that maintains a directory of all
+participants and their content.  Lookups are a single round trip to the
+server, which is fast but concentrates all index traffic, storage, and
+liability on one node — the property the experiments quantify.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
+
+from repro.runtime.simulation import SimulationEnvironment
+
+DIRECTORY_PORT = 8800
+
+
+@dataclass
+class DirectoryStats:
+    registrations: int = 0
+    lookups: int = 0
+    entries: int = 0
+
+
+class CentralDirectory:
+    """A central index server plus thin clients on every other node."""
+
+    def __init__(self, environment: SimulationEnvironment, server_address: int = 0) -> None:
+        self.environment = environment
+        self.server_address = server_address
+        self.stats = DirectoryStats()
+        self._index: DefaultDict[Any, List[Dict[str, Any]]] = defaultdict(list)
+        self._pending: Dict[int, Callable[[List[Dict[str, Any]]], None]] = {}
+        self._request_counter = 0
+        environment.runtime(server_address).listen(DIRECTORY_PORT, _ServerEndpoint(self))
+        self._client_ports: Dict[int, _ClientEndpoint] = {}
+
+    # -- client API --------------------------------------------------------- #
+    def register(self, client_address: int, key: Any, value: Dict[str, Any]) -> None:
+        """Publish (key, value) into the central index from a client node."""
+        endpoint = self._client_endpoint(client_address)
+        endpoint.send({"kind": "register", "key": key, "value": value})
+
+    def lookup(
+        self,
+        client_address: int,
+        key: Any,
+        callback: Callable[[List[Dict[str, Any]]], None],
+    ) -> None:
+        """Ask the server for all values registered under ``key``."""
+        self._request_counter += 1
+        request_id = self._request_counter
+        self._pending[request_id] = callback
+        endpoint = self._client_endpoint(client_address)
+        endpoint.send({"kind": "lookup", "key": key, "request_id": request_id,
+                       "reply_to": client_address})
+
+    # -- internals ------------------------------------------------------------- #
+    def _client_endpoint(self, address: int) -> "_ClientEndpoint":
+        endpoint = self._client_ports.get(address)
+        if endpoint is None:
+            endpoint = _ClientEndpoint(self, address)
+            self._client_ports[address] = endpoint
+        return endpoint
+
+    def _handle_server_message(self, source: Tuple[int, int], payload: Dict[str, Any]) -> None:
+        kind = payload.get("kind")
+        if kind == "register":
+            self.stats.registrations += 1
+            self._index[payload["key"]].append(payload["value"])
+            self.stats.entries += 1
+        elif kind == "lookup":
+            self.stats.lookups += 1
+            matches = list(self._index.get(payload["key"], []))
+            runtime = self.environment.runtime(self.server_address)
+            runtime.send(
+                DIRECTORY_PORT,
+                (payload["reply_to"], DIRECTORY_PORT + 1),
+                {"kind": "lookup_reply", "request_id": payload["request_id"], "matches": matches},
+            )
+
+    def _handle_client_message(self, payload: Dict[str, Any]) -> None:
+        if payload.get("kind") != "lookup_reply":
+            return
+        callback = self._pending.pop(payload["request_id"], None)
+        if callback is not None:
+            callback(payload["matches"])
+
+
+class _ServerEndpoint:
+    def __init__(self, directory: CentralDirectory) -> None:
+        self.directory = directory
+
+    def handle_udp(self, source, payload) -> None:  # noqa: ANN001 - VRI callback
+        if isinstance(payload, dict):
+            self.directory._handle_server_message(source, payload)
+
+    def handle_udp_ack(self, callback_data, success) -> None:  # noqa: ANN001
+        pass
+
+
+class _ClientEndpoint:
+    def __init__(self, directory: CentralDirectory, address: int) -> None:
+        self.directory = directory
+        self.address = address
+        self.runtime = directory.environment.runtime(address)
+        self.runtime.listen(DIRECTORY_PORT + 1, self)
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        self.runtime.send(
+            DIRECTORY_PORT + 1,
+            (self.directory.server_address, DIRECTORY_PORT),
+            payload,
+        )
+
+    def handle_udp(self, source, payload) -> None:  # noqa: ANN001 - VRI callback
+        if isinstance(payload, dict):
+            self.directory._handle_client_message(payload)
+
+    def handle_udp_ack(self, callback_data, success) -> None:  # noqa: ANN001
+        pass

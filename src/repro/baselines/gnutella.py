@@ -1,0 +1,183 @@
+"""Gnutella-style flooding search: the Figure 1 baseline.
+
+Gnutella nodes form an unstructured random overlay; a query floods from the
+originator to its neighbours with a bounded TTL, and any node holding a
+matching file answers back along the reverse path.  Flooding finds widely
+replicated files quickly, but rare items — hosted by one or two nodes —
+are frequently outside the flood's reach, so queries either return late or
+not at all.  That is exactly the regime where the paper's hybrid
+Gnutella+PIER infrastructure wins.
+
+The simulation runs over the same :class:`SimulationEnvironment`, topology
+and latency model as PIER, so latency comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.runtime.simulation import SimulationEnvironment
+from repro.workloads.filesharing import FileDescriptor
+
+GNUTELLA_PORT = 6346
+
+
+@dataclass
+class GnutellaQueryOutcome:
+    """What the originator observed for one flooded query."""
+
+    keyword: str
+    issued_at: float
+    first_result_latency: Optional[float] = None
+    results: int = 0
+    messages_sent: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.results > 0
+
+
+class _GnutellaPeer:
+    """One Gnutella servent: neighbour list, local files, flood handling."""
+
+    def __init__(self, network: "GnutellaNetwork", address: int) -> None:
+        self.network = network
+        self.address = address
+        self.runtime = network.environment.runtime(address)
+        self.neighbors: List[int] = []
+        self.files: List[FileDescriptor] = []
+        self._seen_queries: Set[str] = set()
+        self.runtime.listen(GNUTELLA_PORT, self)
+
+    # -- message handling ----------------------------------------------------- #
+    def handle_udp(self, source, payload) -> None:  # noqa: ANN001 - VRI callback
+        if not isinstance(payload, dict):
+            return
+        if payload.get("kind") == "query":
+            self._handle_query(source[0], payload)
+        elif payload.get("kind") == "query_hit":
+            self.network._record_hit(payload)
+
+    def handle_udp_ack(self, callback_data, success) -> None:  # noqa: ANN001
+        """Flooding is fire-and-forget; delivery failures are ignored."""
+
+    def _handle_query(self, from_address: int, payload: Dict) -> None:
+        query_id = payload["query_id"]
+        if query_id in self._seen_queries:
+            return
+        self._seen_queries.add(query_id)
+        keyword = payload["keyword"]
+        matches = [f for f in self.files if keyword in f.keywords]
+        if matches:
+            self._send(
+                payload["origin"],
+                {
+                    "kind": "query_hit",
+                    "query_id": query_id,
+                    "keyword": keyword,
+                    "responder": self.address,
+                    "file_ids": [f.file_id for f in matches],
+                },
+            )
+        ttl = payload["ttl"] - 1
+        if ttl <= 0:
+            return
+        forwarded = dict(payload)
+        forwarded["ttl"] = ttl
+        for neighbor in self.neighbors:
+            if neighbor != from_address:
+                self._send(neighbor, forwarded)
+
+    def _send(self, destination: int, payload: Dict) -> None:
+        self.network.messages_sent += 1
+        self.runtime.send(GNUTELLA_PORT, (destination, GNUTELLA_PORT), payload)
+
+    def start_query(self, query_id: str, keyword: str, ttl: int) -> None:
+        self._seen_queries.add(query_id)
+        matches = [f for f in self.files if keyword in f.keywords]
+        if matches:
+            self.network._record_hit(
+                {
+                    "query_id": query_id,
+                    "keyword": keyword,
+                    "responder": self.address,
+                    "file_ids": [f.file_id for f in matches],
+                }
+            )
+        payload = {
+            "kind": "query",
+            "query_id": query_id,
+            "keyword": keyword,
+            "origin": self.address,
+            "ttl": ttl,
+        }
+        for neighbor in self.neighbors:
+            self._send(neighbor, payload)
+
+
+class GnutellaNetwork:
+    """A flooding-search overlay over a shared simulation environment."""
+
+    def __init__(
+        self,
+        environment: SimulationEnvironment,
+        degree: int = 4,
+        default_ttl: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.environment = environment
+        self.default_ttl = default_ttl
+        self.messages_sent = 0
+        self._rng = random.Random(seed)
+        self.peers: List[_GnutellaPeer] = [
+            _GnutellaPeer(self, address) for address in range(environment.node_count)
+        ]
+        self._outcomes: Dict[str, GnutellaQueryOutcome] = {}
+        self._query_counter = 0
+        self._build_random_graph(degree)
+
+    def _build_random_graph(self, degree: int) -> None:
+        """A connected random graph: a ring plus random chords, the usual
+        abstraction of Gnutella's unstructured topology."""
+        count = len(self.peers)
+        for address in range(count):
+            self.peers[address].neighbors.append((address + 1) % count)
+            self.peers[(address + 1) % count].neighbors.append(address)
+        for address in range(count):
+            while len(self.peers[address].neighbors) < degree:
+                other = self._rng.randrange(count)
+                if other != address and other not in self.peers[address].neighbors:
+                    self.peers[address].neighbors.append(other)
+                    self.peers[other].neighbors.append(address)
+
+    # -- content placement ---------------------------------------------------- #
+    def load_replicas(self, replicas_by_node: Sequence[Sequence[FileDescriptor]]) -> None:
+        for address, files in enumerate(replicas_by_node):
+            self.peers[address].files = list(files)
+
+    # -- querying --------------------------------------------------------------- #
+    def query(self, keyword: str, origin: int, ttl: Optional[int] = None) -> GnutellaQueryOutcome:
+        """Flood a keyword query; the outcome object fills in as the
+        simulation advances (run the environment afterwards)."""
+        self._query_counter += 1
+        query_id = f"gq{self._query_counter:06d}"
+        outcome = GnutellaQueryOutcome(
+            keyword=keyword, issued_at=self.environment.now
+        )
+        self._outcomes[query_id] = outcome
+        before = self.messages_sent
+        self.peers[origin].start_query(query_id, keyword, ttl or self.default_ttl)
+        outcome.messages_sent = self.messages_sent - before
+        return outcome
+
+    def _record_hit(self, payload: Dict) -> None:
+        outcome = self._outcomes.get(payload.get("query_id"))
+        if outcome is None:
+            return
+        if outcome.first_result_latency is None:
+            outcome.first_result_latency = self.environment.now - outcome.issued_at
+        outcome.results += len(payload.get("file_ids", []))

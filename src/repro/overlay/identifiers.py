@@ -1,0 +1,97 @@
+"""The abstract DHT identifier space (paper Section 3.2).
+
+Every node and object is assigned an identifier in a circular space of
+``2**ID_BITS`` values.  Node identifiers are derived from the node address;
+object routing identifiers are derived from (namespace, partitioning key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence
+
+ID_BITS = 64
+ID_SPACE = 1 << ID_BITS
+
+
+def _digest(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big") % ID_SPACE
+
+
+def node_identifier(address: object, salt: str = "node") -> int:
+    """Deterministically hash a node address into the identifier space."""
+    return _digest(f"{salt}:{address!r}".encode())
+
+
+def object_identifier(namespace: str, partitioning_key: object) -> int:
+    """Routing identifier of an object: hash of namespace and partitioning key.
+
+    The suffix is deliberately *not* part of the routing identifier — it
+    only differentiates objects that share one (Section 3.2.1).
+    """
+    return _digest(f"{namespace}\x00{partitioning_key!r}".encode())
+
+
+class IdentifierSpace:
+    """Arithmetic helpers on the circular identifier space."""
+
+    bits = ID_BITS
+    size = ID_SPACE
+
+    @staticmethod
+    def distance(start: int, end: int) -> int:
+        """Clockwise distance from ``start`` to ``end``."""
+        return (end - start) % ID_SPACE
+
+    @staticmethod
+    def in_interval(value: int, start: int, end: int, inclusive_end: bool = True) -> bool:
+        """Is ``value`` in the clockwise-open interval (start, end]?
+
+        With ``inclusive_end=False`` the interval is (start, end).  Handles
+        wrap-around; an empty interval (start == end) contains everything
+        except ``start`` (the whole ring), matching Chord's conventions.
+        """
+        value %= ID_SPACE
+        start %= ID_SPACE
+        end %= ID_SPACE
+        if start == end:
+            return value != start or inclusive_end
+        if start < end:
+            upper = value <= end if inclusive_end else value < end
+            return start < value and upper
+        upper = value <= end if inclusive_end else value < end
+        return value > start or upper
+
+    @staticmethod
+    def successor_of(identifier: int, candidates: Sequence[int]) -> int:
+        """The candidate identifier that most immediately succeeds ``identifier``."""
+        if not candidates:
+            raise ValueError("no candidates")
+        return min(candidates, key=lambda c: IdentifierSpace.distance(identifier, c))
+
+    @staticmethod
+    def shared_prefix_bits(a: int, b: int) -> int:
+        """Number of leading bits shared by two identifiers (for prefix routing)."""
+        difference = a ^ b
+        if difference == 0:
+            return ID_BITS
+        return ID_BITS - difference.bit_length()
+
+    @staticmethod
+    def digit(identifier: int, index: int, bits_per_digit: int = 4) -> int:
+        """The ``index``-th most-significant digit of the identifier."""
+        digits = ID_BITS // bits_per_digit
+        if not 0 <= index < digits:
+            raise ValueError(f"digit index {index} out of range")
+        shift = ID_BITS - bits_per_digit * (index + 1)
+        return (identifier >> shift) & ((1 << bits_per_digit) - 1)
+
+
+def responsible_node(
+    identifier: int, node_identifiers: Iterable[int]
+) -> Optional[int]:
+    """Which live node identifier owns ``identifier`` (its successor on the ring)."""
+    nodes: List[int] = list(node_identifiers)
+    if not nodes:
+        return None
+    return IdentifierSpace.successor_of(identifier, nodes)

@@ -1,0 +1,55 @@
+"""Object naming: namespace, partitioning key, and suffix (Section 3.2.1).
+
+The query processor uses the *namespace* to represent a table name (or the
+name of a partial result set), the *partitioning key* to index the tuple in
+the DHT, and the *suffix* as a tuple "uniquifier" chosen at random to avoid
+spurious collisions within a table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.overlay.identifiers import object_identifier
+
+_suffix_rng = random.Random(0xF1E7)
+
+
+def random_suffix() -> str:
+    """A random 12-hex-digit uniquifier."""
+    return f"{_suffix_rng.getrandbits(48):012x}"
+
+
+def reseed_suffixes(seed: int) -> None:
+    """Make suffix generation deterministic for a test or experiment."""
+    global _suffix_rng
+    _suffix_rng = random.Random(seed)
+
+
+@dataclass(frozen=True)
+class ObjectName:
+    """The three-part name of every PIER object in the DHT."""
+
+    namespace: str
+    partitioning_key: object
+    suffix: str = field(default_factory=random_suffix)
+
+    def routing_identifier(self) -> int:
+        """The DHT routing identifier: hash of namespace and partitioning key."""
+        return object_identifier(self.namespace, self.partitioning_key)
+
+    def with_suffix(self, suffix: str) -> "ObjectName":
+        return ObjectName(self.namespace, self.partitioning_key, suffix)
+
+    @staticmethod
+    def make(
+        namespace: str, partitioning_key: object, suffix: Optional[str] = None
+    ) -> "ObjectName":
+        if suffix is None:
+            suffix = random_suffix()
+        return ObjectName(namespace, partitioning_key, suffix)
+
+    def __str__(self) -> str:
+        return f"{self.namespace}[{self.partitioning_key!r}]#{self.suffix}"

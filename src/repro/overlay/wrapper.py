@@ -1,0 +1,545 @@
+"""The overlay wrapper: PIER's DHT interface (paper Section 3.2.4, Table 2).
+
+The wrapper choreographs the router and the object manager to provide the
+inter-node operations (``get``, ``put``, ``send``, ``renew``) and the
+intra-node operations (``localScan``, ``newData``, ``upcall``) that the
+query processor uses.  ``put``/``get``/``renew`` are two-phase: a multi-hop
+*lookup* resolves the identifier-to-address mapping, then a direct
+point-to-point exchange performs the operation (Figure 6).  ``send`` routes
+the object itself hop-by-hop toward the destination, invoking upcalls at
+every node along the path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.overlay.naming import ObjectName
+from repro.overlay.object_manager import ObjectManager, StoredObject
+from repro.overlay.router import (
+    BootstrapDirectory,
+    ChordRouter,
+    NodeContact,
+    Router,
+    make_contact,
+)
+from repro.runtime.vri import VirtualRuntime
+
+DHT_PORT = 5100
+
+GetCallback = Callable[[str, object, List[object]], None]
+LookupCallback = Callable[[Optional[NodeContact], int], None]
+AckCallback = Callable[[bool], None]
+NewDataCallback = Callable[[str, object, object], None]
+LScanCallback = Callable[[str, object, object], None]
+# Upcall handlers return True to continue routing, False to stop the message.
+UpcallHandler = Callable[[str, object, object], bool]
+
+
+@dataclass
+class DHTStats:
+    """Counters the wrapper keeps for experiments and benchmarks."""
+
+    lookups_issued: int = 0
+    lookups_completed: int = 0
+    lookup_hops_total: int = 0
+    puts: int = 0
+    gets: int = 0
+    sends: int = 0
+    renews: int = 0
+    renew_failures: int = 0
+    messages_routed: int = 0
+    messages_received: int = 0
+    upcalls_delivered: int = 0
+
+    @property
+    def mean_lookup_hops(self) -> float:
+        if self.lookups_completed == 0:
+            return 0.0
+        return self.lookup_hops_total / self.lookups_completed
+
+
+@dataclass
+class _PendingRequest:
+    callback: Callable[..., None]
+    kind: str
+    issued_at: float
+    timer: Any = None
+
+
+@dataclass
+class _RouteAttempt:
+    message: Dict[str, Any]
+    excluded: Set[int] = field(default_factory=set)
+
+
+class OverlayNode:
+    """One node's overlay network stack: router + object manager + wrapper."""
+
+    def __init__(
+        self,
+        runtime: VirtualRuntime,
+        directory: BootstrapDirectory,
+        router_factory: Callable[[NodeContact], Router] = ChordRouter,
+        port: int = DHT_PORT,
+        stabilization_interval: float = 10.0,
+        max_lifetime: float = 7200.0,
+        request_timeout: float = 8.0,
+    ) -> None:
+        self.runtime = runtime
+        self.directory = directory
+        self.port = port
+        self.contact = make_contact(runtime.address)
+        self.router: Router = router_factory(self.contact)
+        self.object_manager = ObjectManager(
+            clock=runtime.get_current_time, max_lifetime=max_lifetime
+        )
+        self.stats = DHTStats()
+        self.stabilization_interval = stabilization_interval
+        self.request_timeout = request_timeout
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._new_data_handlers: Dict[str, List[NewDataCallback]] = {}
+        self._upcall_handlers: Dict[str, List[UpcallHandler]] = {}
+        self._joined = False
+
+    # ------------------------------------------------------------------ #
+    # Membership                                                          #
+    # ------------------------------------------------------------------ #
+    def join(self) -> None:
+        """Join the overlay: register, build neighbor tables, start timers."""
+        if self._joined:
+            return
+        self.runtime.listen(self.port, self)
+        self.directory.register(self.contact)
+        self.router.refresh(self.directory.members())
+        self._joined = True
+        self._schedule_stabilization()
+
+    def leave(self) -> None:
+        """Gracefully leave the overlay."""
+        if not self._joined:
+            return
+        self.directory.deregister(self.contact.identifier)
+        self.runtime.release(self.port)
+        self._joined = False
+
+    @property
+    def identifier(self) -> int:
+        return self.contact.identifier
+
+    @property
+    def address(self) -> Any:
+        return self.runtime.address
+
+    def _schedule_stabilization(self) -> None:
+        self.runtime.schedule_event(self.stabilization_interval, None, self._stabilize)
+
+    def _stabilize(self, _data: Any) -> None:
+        if not self._joined:
+            return
+        self.router.refresh(self.directory.members())
+        self.object_manager.sweep()
+        self._schedule_stabilization()
+
+    # ------------------------------------------------------------------ #
+    # Inter-node operations (Table 2)                                     #
+    # ------------------------------------------------------------------ #
+    def get(self, namespace: str, key: object, callback_client: GetCallback) -> None:
+        """Two-phase get: lookup the owner, then fetch all objects for the key."""
+        self.stats.gets += 1
+        routing_id = ObjectName(namespace, key, "").routing_identifier()
+
+        def after_lookup(owner: Optional[NodeContact], _hops: int) -> None:
+            if owner is None:
+                callback_client(namespace, key, [])
+                return
+            if owner.identifier == self.identifier:
+                objects = [obj.value for obj in self.object_manager.get(namespace, key)]
+                callback_client(namespace, key, objects)
+                return
+            request_id = self._register_request(
+                lambda objects: callback_client(namespace, key, objects),
+                kind="get",
+                on_timeout=lambda: callback_client(namespace, key, []),
+            )
+            self._send_direct(
+                owner.address,
+                {
+                    "kind": "get_request",
+                    "namespace": namespace,
+                    "key": key,
+                    "request_id": request_id,
+                    "origin": self.address,
+                },
+            )
+
+        self._lookup(routing_id, after_lookup)
+
+    def put(
+        self,
+        namespace: str,
+        key: object,
+        suffix: str,
+        value: object,
+        lifetime: float,
+        callback: Optional[AckCallback] = None,
+    ) -> ObjectName:
+        """Two-phase put: lookup the owner, then ship the object directly."""
+        self.stats.puts += 1
+        name = ObjectName(namespace, key, suffix)
+        routing_id = name.routing_identifier()
+
+        def after_lookup(owner: Optional[NodeContact], _hops: int) -> None:
+            if owner is None:
+                if callback is not None:
+                    callback(False)
+                return
+            if owner.identifier == self.identifier:
+                self._store_locally(name, value, lifetime)
+                if callback is not None:
+                    callback(True)
+                return
+            request_id = None
+            if callback is not None:
+                request_id = self._register_request(
+                    callback, kind="put", on_timeout=lambda: callback(False)
+                )
+            self._send_direct(
+                owner.address,
+                {
+                    "kind": "put",
+                    "namespace": namespace,
+                    "key": key,
+                    "suffix": suffix,
+                    "value": value,
+                    "lifetime": lifetime,
+                    "request_id": request_id,
+                    "origin": self.address,
+                },
+            )
+
+        self._lookup(routing_id, after_lookup)
+        return name
+
+    def renew(
+        self,
+        namespace: str,
+        key: object,
+        suffix: str,
+        lifetime: float,
+        callback: Optional[AckCallback] = None,
+    ) -> None:
+        """Lightweight put variant: extend an existing object's lifetime.
+
+        Fails (callback(False)) if the object is not already stored at the
+        destination — the publisher must then re-``put`` it.
+        """
+        self.stats.renews += 1
+        name = ObjectName(namespace, key, suffix)
+        routing_id = name.routing_identifier()
+
+        def after_lookup(owner: Optional[NodeContact], _hops: int) -> None:
+            if owner is None:
+                self.stats.renew_failures += 1
+                if callback is not None:
+                    callback(False)
+                return
+            if owner.identifier == self.identifier:
+                success = self.object_manager.renew(name, lifetime)
+                if not success:
+                    self.stats.renew_failures += 1
+                if callback is not None:
+                    callback(success)
+                return
+
+            def on_result(success: bool) -> None:
+                if not success:
+                    self.stats.renew_failures += 1
+                if callback is not None:
+                    callback(success)
+
+            request_id = self._register_request(
+                on_result, kind="renew", on_timeout=lambda: on_result(False)
+            )
+            self._send_direct(
+                owner.address,
+                {
+                    "kind": "renew",
+                    "namespace": namespace,
+                    "key": key,
+                    "suffix": suffix,
+                    "lifetime": lifetime,
+                    "request_id": request_id,
+                    "origin": self.address,
+                },
+            )
+
+        self._lookup(routing_id, after_lookup)
+
+    def send(
+        self,
+        namespace: str,
+        key: object,
+        suffix: str,
+        value: object,
+        lifetime: float = 60.0,
+        target: Optional[int] = None,
+    ) -> None:
+        """Route the object itself toward the responsible node, with upcalls
+        at every node along the path (Figure 6).
+
+        ``target`` overrides the routing identifier; by default it is
+        derived from (namespace, key).  Components such as distribution
+        trees use the override so that several namespaces (advertisements,
+        broadcasts, partial aggregates) all terminate at the same root.
+        """
+        self.stats.sends += 1
+        name = ObjectName(namespace, key, suffix)
+        message = {
+            "kind": "send",
+            "namespace": namespace,
+            "key": key,
+            "suffix": suffix,
+            "value": value,
+            "lifetime": lifetime,
+            "target": name.routing_identifier() if target is None else target,
+            "hops": 0,
+            "origin": self.address,
+        }
+        self._handle_send(message, arrived_over_network=False)
+
+    # ------------------------------------------------------------------ #
+    # Intra-node operations (Table 2)                                     #
+    # ------------------------------------------------------------------ #
+    def local_scan(self, namespace: str, callback_client: LScanCallback) -> int:
+        """Invoke ``callback(namespace, key, value)`` for every local object."""
+        count = 0
+        for stored in self.object_manager.local_scan(namespace):
+            callback_client(namespace, stored.name.partitioning_key, stored.value)
+            count += 1
+        return count
+
+    def new_data(self, namespace: str, callback_client: NewDataCallback) -> None:
+        """Register for notification when an object in ``namespace`` arrives here."""
+        self._new_data_handlers.setdefault(namespace, []).append(callback_client)
+
+    def upcall(self, namespace: str, callback_client: UpcallHandler) -> None:
+        """Register an interceptor for ``send`` messages passing through this node."""
+        self._upcall_handlers.setdefault(namespace, []).append(callback_client)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / routing                                                    #
+    # ------------------------------------------------------------------ #
+    def lookup(self, identifier: int, callback: LookupCallback) -> None:
+        """Public lookup: resolve which node owns ``identifier``."""
+        self._lookup(identifier, callback)
+
+    def _lookup(self, identifier: int, callback: LookupCallback) -> None:
+        self.stats.lookups_issued += 1
+        if self.router.is_responsible(identifier):
+            self.stats.lookups_completed += 1
+            callback(self.contact, 0)
+            return
+
+        def complete(result: Tuple[Optional[NodeContact], int]) -> None:
+            owner, hops = result
+            self.stats.lookups_completed += 1
+            self.stats.lookup_hops_total += hops
+            callback(owner, hops)
+
+        request_id = self._register_request(
+            complete, kind="lookup", on_timeout=lambda: callback(None, 0)
+        )
+        message = {
+            "kind": "lookup",
+            "target": identifier,
+            "request_id": request_id,
+            "origin": self.address,
+            "hops": 0,
+        }
+        self._route(message)
+
+    def _route(self, message: Dict[str, Any], excluded: Optional[Set[int]] = None) -> None:
+        """Forward ``message`` one hop toward ``message['target']``."""
+        attempt = _RouteAttempt(message=message, excluded=excluded or set())
+        next_hop, final = self.router.route_choice(message["target"], exclude=attempt.excluded)
+        if next_hop is None:
+            # We believe we are responsible: deliver locally.
+            self._deliver_routed(message)
+            return
+        # "final" marks that, in this node's view, the next hop owns the
+        # target; the receiver delivers even if its own (stale) predecessor
+        # pointer says otherwise.  This is Chord's find_successor semantics
+        # and is what keeps lookups terminating under churn.
+        message["final"] = final
+        self.stats.messages_routed += 1
+        self.runtime.send(
+            self.port,
+            (next_hop.address, self.port),
+            message,
+            callback_data=(attempt, next_hop),
+            callback_client=self,
+        )
+
+    def handle_udp_ack(self, callback_data: Any, success: bool) -> None:
+        """Delivery acknowledgement from the transport (VRI/UdpCC semantics)."""
+        if success or callback_data is None:
+            return
+        attempt, failed_hop = callback_data
+        # The neighbor is unreachable: remember that, drop it from the
+        # routing tables, and retry the message around it.
+        self.router.mark_dead(failed_hop.identifier)
+        if hasattr(self.router, "remove_contact"):
+            self.router.remove_contact(failed_hop.identifier)
+        attempt.excluded.add(failed_hop.identifier)
+        self._route(attempt.message, excluded=attempt.excluded)
+
+    # ------------------------------------------------------------------ #
+    # Message handling                                                    #
+    # ------------------------------------------------------------------ #
+    def handle_udp(self, source: Any, payload: Any) -> None:
+        if not isinstance(payload, dict) or "kind" not in payload:
+            return
+        self.stats.messages_received += 1
+        kind = payload["kind"]
+        if kind == "lookup":
+            payload["hops"] = payload.get("hops", 0) + 1
+            if payload.get("final") or self.router.is_responsible(payload["target"]):
+                self._deliver_routed(payload)
+            else:
+                self._route(payload)
+        elif kind == "send":
+            payload["hops"] = payload.get("hops", 0) + 1
+            self._handle_send(payload, arrived_over_network=True)
+        elif kind == "lookup_response":
+            self._complete_request(
+                payload["request_id"],
+                (NodeContact(payload["owner_id"], payload["owner_address"]), payload["hops"]),
+            )
+        elif kind == "get_request":
+            objects = [
+                stored.value
+                for stored in self.object_manager.get(payload["namespace"], payload["key"])
+            ]
+            self._send_direct(
+                payload["origin"],
+                {
+                    "kind": "get_response",
+                    "request_id": payload["request_id"],
+                    "objects": objects,
+                },
+            )
+        elif kind == "get_response":
+            self._complete_request(payload["request_id"], payload["objects"])
+        elif kind == "put":
+            name = ObjectName(payload["namespace"], payload["key"], payload["suffix"])
+            self._store_locally(name, payload["value"], payload["lifetime"])
+            if payload.get("request_id") is not None:
+                self._send_direct(
+                    payload["origin"],
+                    {"kind": "ack", "request_id": payload["request_id"], "success": True},
+                )
+        elif kind == "renew":
+            name = ObjectName(payload["namespace"], payload["key"], payload["suffix"])
+            success = self.object_manager.renew(name, payload["lifetime"])
+            self._send_direct(
+                payload["origin"],
+                {"kind": "ack", "request_id": payload["request_id"], "success": success},
+            )
+        elif kind == "ack":
+            self._complete_request(payload["request_id"], payload["success"])
+        elif kind == "direct":
+            # Application-level point-to-point message (used by distribution
+            # trees and hierarchical operators); treated like arriving data.
+            self._notify_new_data(payload["namespace"], payload["key"], payload["value"])
+
+    def _handle_send(self, message: Dict[str, Any], arrived_over_network: bool) -> None:
+        namespace = message["namespace"]
+        # Upcalls fire at every node the message *arrives at* along the path
+        # (including the final destination), but not at the originator.
+        if arrived_over_network:
+            for handler in self._upcall_handlers.get(namespace, []):
+                self.stats.upcalls_delivered += 1
+                if not handler(namespace, message["key"], message["value"]):
+                    return
+        arrived_as_final = arrived_over_network and message.get("final")
+        if arrived_as_final or self.router.is_responsible(message["target"]):
+            name = ObjectName(namespace, message["key"], message["suffix"])
+            self._store_locally(name, message["value"], message["lifetime"])
+            return
+        self._route(message)
+
+    def _deliver_routed(self, message: Dict[str, Any]) -> None:
+        kind = message["kind"]
+        if kind == "lookup":
+            self._send_direct(
+                message["origin"],
+                {
+                    "kind": "lookup_response",
+                    "request_id": message["request_id"],
+                    "owner_id": self.identifier,
+                    "owner_address": self.address,
+                    "hops": message.get("hops", 0),
+                },
+            )
+        elif kind == "send":
+            self._handle_send(message, arrived_over_network=False)
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                             #
+    # ------------------------------------------------------------------ #
+    def direct_message(self, destination: Any, namespace: str, key: object, value: object) -> None:
+        """Point-to-point application message delivered via newData handlers."""
+        self._send_direct(
+            destination,
+            {"kind": "direct", "namespace": namespace, "key": key, "value": value},
+        )
+
+    def _send_direct(self, destination_address: Any, payload: Dict[str, Any]) -> None:
+        if destination_address == self.address:
+            self.handle_udp((self.address, self.port), payload)
+            return
+        self.runtime.send(self.port, (destination_address, self.port), payload)
+
+    def _store_locally(self, name: ObjectName, value: object, lifetime: float) -> StoredObject:
+        stored = self.object_manager.put(name, value, lifetime)
+        self._notify_new_data(name.namespace, name.partitioning_key, value)
+        return stored
+
+    def _notify_new_data(self, namespace: str, key: object, value: object) -> None:
+        for handler in self._new_data_handlers.get(namespace, []):
+            handler(namespace, key, value)
+
+    def _register_request(
+        self,
+        callback: Callable[..., None],
+        kind: str,
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> int:
+        request_id = next(self._request_ids)
+        pending = _PendingRequest(
+            callback=callback, kind=kind, issued_at=self.runtime.get_current_time()
+        )
+        self._pending[request_id] = pending
+        if on_timeout is not None:
+            def expire(_data: Any) -> None:
+                if self._pending.pop(request_id, None) is not None:
+                    on_timeout()
+
+            pending.timer = self.runtime.schedule_event(self.request_timeout, None, expire)
+        return request_id
+
+    def _complete_request(self, request_id: int, result: Any) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        if pending.timer is not None and hasattr(pending.timer, "cancel"):
+            pending.timer.cancel()
+        pending.callback(result)
+
+
+# Backwards-compatible alias: the paper calls this component the "wrapper".
+DHTWrapper = OverlayNode

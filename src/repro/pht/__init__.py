@@ -1,0 +1,5 @@
+"""Prefix Hash Tree: range indexing over the DHT (paper Section 3.3.3)."""
+
+from repro.pht.prefix_hash_tree import PrefixHashTree, encode_key, decode_key
+
+__all__ = ["PrefixHashTree", "encode_key", "decode_key"]

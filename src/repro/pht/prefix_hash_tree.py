@@ -1,0 +1,263 @@
+"""The Prefix Hash Tree (PHT): a resilient distributed trie over the DHT.
+
+PIER supports range predicates through the PHT technique of Ratnasamy,
+Hellerstein and Shenker: the nodes of a binary trie over the key's bit
+representation are mapped onto the DHT by hashing their prefix label, so
+the DHT provides both addressing and storage, and no separate distributed
+data structure has to be maintained (Section 3.3.3 and 3.3.6, "Range Index
+Substrate").
+
+Keys are fixed-width bit strings (this implementation encodes integers into
+``key_bits`` bits, most-significant bit first).  Each trie leaf stores up
+to ``leaf_capacity`` items under the DHT name ``(namespace, prefix)``.
+When a leaf overflows it *splits*: its items are pushed down to its two
+children and the leaf becomes an internal node.  Lookups walk prefixes from
+the root; range queries descend only into subtrees whose prefix interval
+intersects the query range.
+
+The implementation is asynchronous in the same callback style as the rest
+of PIER: operations take a completion callback and issue DHT ``get``/
+``put`` traffic under the hood, so PHT cost is measured in real DHT
+operations (which is what the range-index ablation benchmark reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.overlay.naming import random_suffix
+from repro.overlay.wrapper import OverlayNode
+
+
+def encode_key(value: int, key_bits: int) -> str:
+    """Encode an integer as a fixed-width bit string (the PHT key)."""
+    if value < 0 or value >= (1 << key_bits):
+        raise ValueError(f"value {value} does not fit in {key_bits} bits")
+    return format(value, f"0{key_bits}b")
+
+
+def decode_key(bits: str) -> int:
+    return int(bits, 2)
+
+
+def _prefix_interval(prefix: str, key_bits: int) -> Tuple[int, int]:
+    """The [low, high] integer interval covered by a trie prefix."""
+    low = int(prefix + "0" * (key_bits - len(prefix)), 2) if prefix else 0
+    high = int(prefix + "1" * (key_bits - len(prefix)), 2) if prefix else (1 << key_bits) - 1
+    return low, high
+
+
+@dataclass
+class _LeafBucket:
+    """Wire format of a PHT node stored in the DHT."""
+
+    prefix: str
+    is_leaf: bool
+    items: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"prefix": self.prefix, "is_leaf": self.is_leaf, "items": list(self.items)}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "_LeafBucket":
+        return _LeafBucket(
+            prefix=payload.get("prefix", ""),
+            is_leaf=bool(payload.get("is_leaf", True)),
+            items=list(payload.get("items", [])),
+        )
+
+
+class PrefixHashTree:
+    """A PHT index bound to one overlay node (any node can host one).
+
+    The index lives entirely in the DHT under ``namespace``; several nodes
+    can operate on the same index concurrently because all state transits
+    through DHT objects.  This implementation serialises each structural
+    operation through the invoking node, which is sufficient for the query
+    processor's use (publishing a table's range index and resolving range
+    predicates during dissemination).
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayNode,
+        namespace: str,
+        key_bits: int = 16,
+        leaf_capacity: int = 8,
+        lifetime: float = 3600.0,
+    ) -> None:
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        self.overlay = overlay
+        self.namespace = f"__pht__:{namespace}"
+        self.key_bits = key_bits
+        self.leaf_capacity = leaf_capacity
+        self.lifetime = lifetime
+        self.dht_gets = 0
+        self.dht_puts = 0
+
+    # ------------------------------------------------------------------ #
+    # DHT plumbing                                                        #
+    # ------------------------------------------------------------------ #
+    def _read_node(self, prefix: str, callback: Callable[[Optional[_LeafBucket]], None]) -> None:
+        self.dht_gets += 1
+
+        def on_get(_namespace: str, _key: object, objects: List[object]) -> None:
+            bucket: Optional[_LeafBucket] = None
+            for payload in objects:
+                if isinstance(payload, dict) and "is_leaf" in payload:
+                    candidate = _LeafBucket.from_dict(payload)
+                    # Multiple writers may race; prefer the most populated view.
+                    if bucket is None or len(candidate.items) >= len(bucket.items):
+                        bucket = candidate
+            callback(bucket)
+
+        self.overlay.get(self.namespace, prefix, on_get)
+
+    def _write_node(self, bucket: _LeafBucket) -> None:
+        self.dht_puts += 1
+        self.overlay.put(
+            self.namespace,
+            key=bucket.prefix,
+            suffix="pht-node",
+            value=bucket.to_dict(),
+            lifetime=self.lifetime,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Insert                                                              #
+    # ------------------------------------------------------------------ #
+    def insert(self, key: int, value: Any, callback: Optional[Callable[[str], None]] = None) -> None:
+        """Insert ``(key, value)``; ``callback`` receives the leaf prefix."""
+        bits = encode_key(key, self.key_bits)
+        self._descend_for_insert("", bits, {"key": key, "value": value}, callback)
+
+    def _descend_for_insert(
+        self,
+        prefix: str,
+        bits: str,
+        item: Dict[str, Any],
+        callback: Optional[Callable[[str], None]],
+    ) -> None:
+        def on_node(bucket: Optional[_LeafBucket]) -> None:
+            if bucket is None:
+                bucket = _LeafBucket(prefix=prefix, is_leaf=True, items=[])
+            if not bucket.is_leaf:
+                next_prefix = bits[: len(prefix) + 1]
+                self._descend_for_insert(next_prefix, bits, item, callback)
+                return
+            bucket.items.append(item)
+            if len(bucket.items) > self.leaf_capacity and len(prefix) < self.key_bits:
+                self._split(bucket)
+            else:
+                self._write_node(bucket)
+            if callback is not None:
+                callback(bucket.prefix)
+
+        self._read_node(prefix, on_node)
+
+    def _split(self, bucket: _LeafBucket) -> None:
+        """Convert an overflowing leaf into an internal node with two leaves."""
+        children: Dict[str, _LeafBucket] = {
+            bucket.prefix + "0": _LeafBucket(prefix=bucket.prefix + "0", is_leaf=True),
+            bucket.prefix + "1": _LeafBucket(prefix=bucket.prefix + "1", is_leaf=True),
+        }
+        for item in bucket.items:
+            bits = encode_key(int(item["key"]), self.key_bits)
+            child_prefix = bits[: len(bucket.prefix) + 1]
+            children[child_prefix].items.append(item)
+        internal = _LeafBucket(prefix=bucket.prefix, is_leaf=False, items=[])
+        self._write_node(internal)
+        for child in children.values():
+            # A pathological split (all items share the next bit) may itself
+            # overflow; recurse until capacity holds or bits are exhausted.
+            if len(child.items) > self.leaf_capacity and len(child.prefix) < self.key_bits:
+                self._split(child)
+            else:
+                self._write_node(child)
+
+    # ------------------------------------------------------------------ #
+    # Point and range lookup                                              #
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: int, callback: Callable[[List[Any]], None]) -> None:
+        """All values stored under exactly ``key``."""
+        low_high = (key, key)
+        self.range_query(low_high[0], low_high[1], lambda items: callback([i["value"] for i in items]))
+
+    def range_query(
+        self, low: int, high: int, callback: Callable[[List[Dict[str, Any]]], None]
+    ) -> None:
+        """All items with ``low <= key <= high`` (inclusive)."""
+        if low > high:
+            callback([])
+            return
+        results: List[Dict[str, Any]] = []
+        outstanding = {"count": 0, "done": False}
+
+        def finish_if_idle() -> None:
+            if outstanding["count"] == 0 and not outstanding["done"]:
+                outstanding["done"] = True
+                callback(sorted(results, key=lambda item: item["key"]))
+
+        def visit(prefix: str) -> None:
+            p_low, p_high = _prefix_interval(prefix, self.key_bits)
+            if p_high < low or p_low > high:
+                return
+            outstanding["count"] += 1
+
+            def on_node(bucket: Optional[_LeafBucket]) -> None:
+                outstanding["count"] -= 1
+                if bucket is not None:
+                    if bucket.is_leaf:
+                        results.extend(
+                            item for item in bucket.items if low <= int(item["key"]) <= high
+                        )
+                    elif len(prefix) < self.key_bits:
+                        visit(prefix + "0")
+                        visit(prefix + "1")
+                finish_if_idle()
+
+            self._read_node(prefix, on_node)
+
+        visit("")
+        finish_if_idle()
+
+    # ------------------------------------------------------------------ #
+    # Dissemination helper                                                #
+    # ------------------------------------------------------------------ #
+    def covering_prefixes(
+        self, low: int, high: int, callback: Callable[[List[str]], None]
+    ) -> None:
+        """The leaf prefixes whose intervals intersect [low, high].
+
+        Query dissemination uses these as the DHT keys to which a range
+        opgraph must be shipped (the "range-predicate index").
+        """
+        prefixes: List[str] = []
+        outstanding = {"count": 0, "done": False}
+
+        def finish_if_idle() -> None:
+            if outstanding["count"] == 0 and not outstanding["done"]:
+                outstanding["done"] = True
+                callback(sorted(prefixes))
+
+        def visit(prefix: str) -> None:
+            p_low, p_high = _prefix_interval(prefix, self.key_bits)
+            if p_high < low or p_low > high:
+                return
+            outstanding["count"] += 1
+
+            def on_node(bucket: Optional[_LeafBucket]) -> None:
+                outstanding["count"] -= 1
+                if bucket is None or bucket.is_leaf:
+                    prefixes.append(prefix)
+                elif len(prefix) < self.key_bits:
+                    visit(prefix + "0")
+                    visit(prefix + "1")
+                finish_if_idle()
+
+            self._read_node(prefix, on_node)
+
+        visit("")
+        finish_if_idle()

@@ -1,0 +1,22 @@
+"""The PIER query processor (paper Section 3.3).
+
+Data is represented as self-describing tuples; queries are UFL opgraphs —
+dataflow graphs of physical operators — disseminated to the nodes that need
+to run them, executed against the DHT, and streamed back to the client's
+proxy node until the query's timeout expires.
+"""
+
+from repro.qp.tuples import Tuple, malformed_guard
+from repro.qp.opgraph import OpGraph, OperatorSpec, QueryPlan
+from repro.qp.executor import QueryExecutor
+from repro.qp.proxy import ProxyService
+
+__all__ = [
+    "Tuple",
+    "malformed_guard",
+    "OpGraph",
+    "OperatorSpec",
+    "QueryPlan",
+    "QueryExecutor",
+    "ProxyService",
+]

@@ -1,0 +1,226 @@
+"""Aggregate functions with mergeable partial state.
+
+The paper distinguishes *distributive* and *algebraic* aggregates — which
+need only constant state per group and therefore benefit from hierarchical
+in-network computation — from *holistic* aggregates, which do not
+(Section 3.3.4).  Every aggregate here exposes the same small interface:
+
+* ``initial()``      -- the empty partial state,
+* ``add(state, v)``  -- fold one input value into a partial state,
+* ``merge(a, b)``    -- combine two partial states (used by hierarchy),
+* ``result(state)``  -- produce the final answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class AggregateFunction:
+    """Base class; ``distributive_or_algebraic`` governs hierarchical use."""
+
+    name = "aggregate"
+    distributive_or_algebraic = True
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def add(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def result(self, state: Any) -> Any:
+        raise NotImplementedError
+
+
+class Count(AggregateFunction):
+    name = "count"
+
+    def initial(self) -> int:
+        return 0
+
+    def add(self, state: int, value: Any) -> int:
+        return state + 1
+
+    def merge(self, left: int, right: int) -> int:
+        return left + right
+
+    def result(self, state: int) -> int:
+        return state
+
+
+class Sum(AggregateFunction):
+    name = "sum"
+
+    def initial(self) -> float:
+        return 0
+
+    def add(self, state: float, value: Any) -> float:
+        return state + value
+
+    def merge(self, left: float, right: float) -> float:
+        return left + right
+
+    def result(self, state: float) -> float:
+        return state
+
+
+class Min(AggregateFunction):
+    name = "min"
+
+    def initial(self) -> Optional[Any]:
+        return None
+
+    def add(self, state: Optional[Any], value: Any) -> Any:
+        return value if state is None else min(state, value)
+
+    def merge(self, left: Optional[Any], right: Optional[Any]) -> Optional[Any]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right)
+
+    def result(self, state: Optional[Any]) -> Optional[Any]:
+        return state
+
+
+class Max(AggregateFunction):
+    name = "max"
+
+    def initial(self) -> Optional[Any]:
+        return None
+
+    def add(self, state: Optional[Any], value: Any) -> Any:
+        return value if state is None else max(state, value)
+
+    def merge(self, left: Optional[Any], right: Optional[Any]) -> Optional[Any]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+    def result(self, state: Optional[Any]) -> Optional[Any]:
+        return state
+
+
+class Average(AggregateFunction):
+    """Algebraic: partial state is (sum, count)."""
+
+    name = "avg"
+
+    def initial(self) -> Tuple[float, int]:
+        return (0.0, 0)
+
+    def add(self, state: Tuple[float, int], value: Any) -> Tuple[float, int]:
+        total, count = state
+        return (total + value, count + 1)
+
+    def merge(self, left: Tuple[float, int], right: Tuple[float, int]) -> Tuple[float, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def result(self, state: Tuple[float, int]) -> Optional[float]:
+        total, count = state
+        if count == 0:
+            return None
+        return total / count
+
+
+class CountDistinct(AggregateFunction):
+    """Holistic: the partial state is the full set of observed values, so it
+    gains nothing from hierarchical computation (the paper's caveat)."""
+
+    name = "count_distinct"
+    distributive_or_algebraic = False
+
+    def initial(self) -> set:
+        return set()
+
+    def add(self, state: set, value: Any) -> set:
+        state = set(state)
+        state.add(value)
+        return state
+
+    def merge(self, left: set, right: set) -> set:
+        return set(left) | set(right)
+
+    def result(self, state: set) -> int:
+        return len(state)
+
+
+class TopK(AggregateFunction):
+    """Top-k heavy hitters by per-key count (the Figure 2 query).
+
+    Partial state is a ``{key: count}`` mapping; partials from different
+    nodes merge by summing counts, and the final result is the k keys with
+    the largest totals.  Exact computation requires keeping all keys in the
+    partial state; a ``capacity`` bound turns it into the usual lossy
+    approximation used for in-network heavy-hitter queries.
+    """
+
+    name = "topk"
+
+    def __init__(self, k: int = 10, capacity: Optional[int] = None) -> None:
+        self.k = k
+        self.capacity = capacity
+
+    def initial(self) -> Dict[Any, int]:
+        return {}
+
+    def add(self, state: Dict[Any, int], value: Any) -> Dict[Any, int]:
+        state = dict(state)
+        state[value] = state.get(value, 0) + 1
+        return self._truncate(state)
+
+    def merge(self, left: Dict[Any, int], right: Dict[Any, int]) -> Dict[Any, int]:
+        merged = dict(left)
+        for key, count in right.items():
+            merged[key] = merged.get(key, 0) + count
+        return self._truncate(merged)
+
+    def result(self, state: Dict[Any, int]) -> List[Tuple[Any, int]]:
+        ranked = sorted(state.items(), key=lambda item: (-item[1], str(item[0])))
+        return ranked[: self.k]
+
+    def _truncate(self, state: Dict[Any, int]) -> Dict[Any, int]:
+        if self.capacity is None or len(state) <= self.capacity:
+            return state
+        ranked = sorted(state.items(), key=lambda item: (-item[1], str(item[0])))
+        return dict(ranked[: self.capacity])
+
+
+_REGISTRY: Dict[str, Callable[..., AggregateFunction]] = {
+    "count": Count,
+    "sum": Sum,
+    "min": Min,
+    "max": Max,
+    "avg": Average,
+    "count_distinct": CountDistinct,
+    "topk": TopK,
+}
+
+
+def make_aggregate(name: str, **params: Any) -> AggregateFunction:
+    """Instantiate an aggregate function by name (used by plan specs)."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown aggregate function {name!r}") from exc
+    return factory(**params)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate column in a group-by: function, input column, output name."""
+
+    function: str
+    column: Optional[str]
+    output: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self) -> AggregateFunction:
+        return make_aggregate(self.function, **dict(self.params))

@@ -1,0 +1,118 @@
+"""Query dissemination and distributed indexing (paper Section 3.3.3).
+
+An opgraph is shipped only to the nodes that must run it.  Three
+"distributed indexes" drive that decision:
+
+* the *true-predicate index* — the distribution tree — broadcasts the
+  opgraph to every node;
+* the *equality-predicate index* routes an opgraph to the node(s)
+  responsible for a specific partitioning-key value in the DHT;
+* the *range-predicate index* (the Prefix Hash Tree) resolves the DHT keys
+  covering a value range, and the opgraph is sent to each covering node.
+
+Opgraphs travel inside a query-dissemination DHT namespace; the receiving
+node hands them to its local executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.overlay.distribution_tree import DistributionTree
+from repro.overlay.identifiers import object_identifier
+from repro.overlay.naming import random_suffix
+from repro.overlay.wrapper import OverlayNode
+from repro.qp.opgraph import OpGraph, QueryPlan
+
+DISSEMINATION_NAMESPACE = "__query_dissemination__"
+
+InstallHandler = Callable[[Dict[str, Any]], None]
+
+
+def query_envelope(plan: QueryPlan, graph: OpGraph, proxy_address: Any) -> Dict[str, Any]:
+    """The wire format in which an opgraph travels to executing nodes."""
+    return {
+        "query_id": plan.query_id,
+        "timeout": plan.timeout,
+        "proxy": proxy_address,
+        "graph": graph.to_dict(),
+    }
+
+
+class QueryDisseminator:
+    """Per-node component that ships opgraphs out and receives them in."""
+
+    def __init__(
+        self,
+        overlay: OverlayNode,
+        tree: DistributionTree,
+        install_handler: InstallHandler,
+        pht_resolver: Optional[Callable[[str, Any, Any], List[Any]]] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.tree = tree
+        self.install_handler = install_handler
+        self.pht_resolver = pht_resolver
+        self.graphs_broadcast = 0
+        self.graphs_targeted = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Register for inbound opgraphs (both broadcast and targeted)."""
+        if self._started:
+            return
+        self._started = True
+        self.tree.on_broadcast(self._on_broadcast)
+        self.overlay.new_data(DISSEMINATION_NAMESPACE, self._on_targeted)
+
+    # -- outbound ----------------------------------------------------------- #
+    def disseminate(self, plan: QueryPlan, graph: OpGraph, proxy_address: Any) -> None:
+        """Ship one opgraph according to its dissemination spec."""
+        envelope = query_envelope(plan, graph, proxy_address)
+        strategy = graph.dissemination.strategy
+        if strategy == "broadcast":
+            self.graphs_broadcast += 1
+            self.tree.broadcast(f"{plan.query_id}/{graph.graph_id}", envelope)
+        elif strategy == "equality":
+            self.graphs_targeted += 1
+            self._send_to_key(
+                graph.dissemination.namespace, graph.dissemination.key, envelope
+            )
+        elif strategy == "range":
+            keys = self._resolve_range(graph)
+            for key in keys:
+                self.graphs_targeted += 1
+                self._send_to_key(graph.dissemination.namespace, key, envelope)
+        elif strategy == "local":
+            self.install_handler(envelope)
+        else:  # pragma: no cover - validated at plan construction
+            raise ValueError(f"unknown dissemination strategy {strategy!r}")
+
+    def _send_to_key(self, namespace: Optional[str], key: Any, envelope: Dict[str, Any]) -> None:
+        """Route the opgraph to the node responsible for (namespace, key)."""
+        if namespace is None:
+            raise ValueError("equality/range dissemination requires a namespace")
+        target = object_identifier(namespace, key)
+        self.overlay.send(
+            DISSEMINATION_NAMESPACE,
+            key=f"{namespace}:{key!r}",
+            suffix=random_suffix(),
+            value=envelope,
+            lifetime=envelope["timeout"],
+            target=target,
+        )
+
+    def _resolve_range(self, graph: OpGraph) -> List[Any]:
+        spec = graph.dissemination
+        if self.pht_resolver is None:
+            raise ValueError("range dissemination requires a PHT resolver")
+        return self.pht_resolver(spec.namespace, spec.low, spec.high)
+
+    # -- inbound -------------------------------------------------------------- #
+    def _on_broadcast(self, payload: object) -> None:
+        if isinstance(payload, dict) and "graph" in payload:
+            self.install_handler(payload)
+
+    def _on_targeted(self, _namespace: str, _key: object, value: object) -> None:
+        if isinstance(value, dict) and "graph" in value:
+            self.install_handler(value)

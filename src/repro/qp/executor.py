@@ -1,0 +1,164 @@
+"""Per-node query executor (paper Section 3.3.2, "Life of a Query").
+
+When an opgraph reaches a node, the executor instantiates each operator,
+wires the local dataflow (data pushes child -> parent; probes pull parent
+-> child), starts the operators, and issues the initial probe.  The opgraph
+runs until the query's timeout expires, at which point buffered state is
+flushed in topological order, operators are stopped, and any query-scoped
+DHT state on this node is discarded.
+
+Because PIER nodes are only loosely synchronised, an opgraph may start
+after other nodes have already begun sending it data; the DHT's storage of
+that data plus the scan-then-subscribe access methods let late starters
+"catch up".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.overlay.wrapper import OverlayNode
+from repro.qp.opgraph import OpGraph, QueryPlan
+from repro.qp.operators.base import ExecutionContext, PhysicalOperator, build_operator
+from repro.qp.operators.control import ControlFlowManager
+from repro.qp.tuples import Tuple
+
+
+@dataclass
+class InstalledGraph:
+    """Book-keeping for one opgraph running on this node."""
+
+    query_id: str
+    graph: OpGraph
+    context: ExecutionContext
+    operators: Dict[str, PhysicalOperator]
+    started_at: float
+    finished: bool = False
+
+
+class QueryExecutor:
+    """Installs and runs opgraphs on one PIER node."""
+
+    def __init__(self, overlay: OverlayNode) -> None:
+        self.overlay = overlay
+        self._installed: Dict[str, InstalledGraph] = {}
+        # Node-local data sources shared by every query on this node.
+        self.local_tables: Dict[str, List[Tuple]] = {}
+        self.streams: Dict[str, Callable[[float], List[Tuple]]] = {}
+        self.graphs_installed = 0
+        self.graphs_completed = 0
+
+    # -- node-local data sources ------------------------------------------- #
+    def register_local_table(self, name: str, rows: List[Tuple]) -> None:
+        """Expose node-local rows to ``local_table`` access methods."""
+        self.local_tables[name] = rows
+
+    def append_local_rows(self, name: str, rows: List[Tuple]) -> None:
+        self.local_tables.setdefault(name, []).extend(rows)
+
+    def register_stream(self, name: str, producer: Callable[[float], List[Tuple]]) -> None:
+        """Expose a stream producer to ``stream_source`` access methods."""
+        self.streams[name] = producer
+
+    # -- installation ---------------------------------------------------------- #
+    def install(
+        self,
+        query_id: str,
+        graph: OpGraph,
+        timeout: float,
+        proxy_address: Any,
+        deliver_result: Optional[Callable[[Tuple], None]] = None,
+    ) -> Optional[InstalledGraph]:
+        """Instantiate and start ``graph``.  Duplicate installs are ignored."""
+        install_key = f"{query_id}/{graph.graph_id}"
+        if install_key in self._installed:
+            return None
+        context = ExecutionContext(
+            overlay=self.overlay,
+            query_id=query_id,
+            timeout=timeout,
+            proxy_address=proxy_address,
+            deliver_result=deliver_result,
+            lifetime=max(timeout * 2.0, 60.0),
+            extras={"local_tables": self.local_tables, "streams": self.streams},
+        )
+        operators = {
+            spec.operator_id: build_operator(spec, context)
+            for spec in graph.topological_order()
+        }
+        # Wire the data channel: producer pushes into the consumer's slot.
+        for spec in graph.operators.values():
+            consumer = operators[spec.operator_id]
+            for slot, input_id in enumerate(spec.inputs):
+                operators[input_id].add_parent(consumer, slot)
+        installed = InstalledGraph(
+            query_id=query_id,
+            graph=graph,
+            context=context,
+            operators=operators,
+            started_at=self.overlay.runtime.get_current_time(),
+        )
+        self._installed[install_key] = installed
+        self.graphs_installed += 1
+        self._start(installed)
+        # A node executes an opgraph until the query's timeout expires.
+        self.overlay.runtime.schedule_event(timeout, install_key, self._on_timeout)
+        return installed
+
+    def _start(self, installed: InstalledGraph) -> None:
+        order = [installed.operators[spec.operator_id] for spec in installed.graph.topological_order()]
+        for operator in order:
+            operator.start()
+        # Control channel: a ControlFlowManager drives probes if present,
+        # otherwise the executor probes every source operator once.
+        controls = [op for op in order if isinstance(op, ControlFlowManager)]
+        sources = [
+            installed.operators[spec.operator_id] for spec in installed.graph.sources()
+        ]
+        if controls:
+            for control in controls:
+                for source in sources:
+                    control.register_child(source)
+                control.start()
+        else:
+            for source in sources:
+                source.probe()
+
+    # -- teardown ------------------------------------------------------------------ #
+    def _on_timeout(self, install_key: str) -> None:
+        installed = self._installed.get(install_key)
+        if installed is None or installed.finished:
+            return
+        self.finish(installed)
+
+    def finish(self, installed: InstalledGraph) -> None:
+        """Flush buffered state bottom-up, stop operators, release DHT state."""
+        if installed.finished:
+            return
+        installed.finished = True
+        for spec in installed.graph.topological_order():
+            installed.operators[spec.operator_id].flush()
+        for operator in installed.operators.values():
+            operator.stop()
+        self._release_query_state(installed)
+        self.graphs_completed += 1
+
+    def _release_query_state(self, installed: InstalledGraph) -> None:
+        prefix = f"{installed.query_id}:"
+        for namespace in list(self.overlay.object_manager.namespaces()):
+            if namespace.startswith(prefix):
+                self.overlay.object_manager.drop_namespace(namespace)
+
+    # -- introspection --------------------------------------------------------------- #
+    def installed_graphs(self) -> List[InstalledGraph]:
+        return list(self._installed.values())
+
+    def running_graphs(self) -> List[InstalledGraph]:
+        return [graph for graph in self._installed.values() if not graph.finished]
+
+    def operator(self, query_id: str, graph_id: str, operator_id: str) -> Optional[PhysicalOperator]:
+        installed = self._installed.get(f"{query_id}/{graph_id}")
+        if installed is None:
+            return None
+        return installed.operators.get(operator_id)

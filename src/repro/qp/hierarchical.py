@@ -1,0 +1,290 @@
+"""Hierarchical (in-network) operators (paper Section 3.3.4).
+
+*Hierarchical aggregation* spreads the in-bandwidth of an aggregate over an
+aggregation tree: each node sends its local partial aggregate toward a root
+identifier with the DHT ``send`` call; the first hop intercepts it via an
+upcall, merges it with its own pending partial state, waits briefly for
+more children, then forwards one combined partial aggregate a hop closer to
+the root.  Distributive and algebraic aggregates need only constant state
+per group at every step.
+
+*Hierarchical joins* reduce the out-bandwidth of the node owning a hot hash
+bucket: while tuples are being rehashed (``send``) toward their bucket,
+every intermediate node caches passing tuples, joins freshly cached pairs
+whose forwarding paths have not met before, and emits those "early" results
+straight to the proxy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple as PyTuple
+
+from repro.overlay.identifiers import object_identifier
+from repro.overlay.naming import random_suffix
+from repro.qp.operators.base import PhysicalOperator, register_operator
+from repro.qp.operators.groupby import _BaseGroupBy
+from repro.qp.tuples import Tuple
+
+
+@register_operator
+class HierarchicalAggregate(_BaseGroupBy):
+    """Aggregate over an aggregation tree rooted at a query-specific identifier.
+
+    Every node in the query runs this operator (broadcast dissemination).
+    Local input tuples are folded into per-group partial states; the states
+    are shipped toward the root after ``local_wait`` seconds.  Intercepted
+    partial states from other nodes are merged and held for ``hold``
+    seconds before being forwarded onward.  The node that owns the root
+    identifier merges everything it receives and emits final result tuples
+    downstream (typically into a ``result_handler``) when the query is
+    flushed.
+
+    Params: ``aggregates``, ``group_columns``, ``output_table``,
+    ``local_wait`` (default 2.0 s), ``hold`` (default 1.0 s), ``window``
+    (optional, re-ship local partials periodically for continuous queries).
+    """
+
+    op_type = "hierarchical_aggregate"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.local_wait = float(self.param("local_wait", 2.0))
+        self.hold = float(self.param("hold", 1.0))
+        self.namespace = context.scoped_namespace("__hierarchical_aggregate__")
+        self.root_identifier = object_identifier(self.namespace, "root")
+        # Partial states intercepted from (or terminating at) other nodes.
+        self._held: Dict[PyTuple[Any, ...], List[Any]] = {}
+        self._hold_scheduled = False
+        self._root_states: Dict[PyTuple[Any, ...], List[Any]] = {}
+        self.partials_sent = 0
+        self.partials_intercepted = 0
+
+    # -- lifecycle --------------------------------------------------------- #
+    def start(self) -> None:
+        super().start()
+        self.context.overlay.upcall(self.namespace, self._on_upcall)
+        self.context.overlay.new_data(self.namespace, self._on_root_arrival)
+        # Catch up on partial aggregates that reached this node before the
+        # opgraph was installed here (loose synchronization).
+        self.context.overlay.local_scan(
+            self.namespace, lambda _ns, _key, value: self._on_root_arrival(_ns, _key, value)
+        )
+        self.context.schedule(self.local_wait, self._ship_local)
+
+    # -- local contribution -------------------------------------------------- #
+    def _ship_local(self, _data: object) -> None:
+        if self._stopped:
+            return
+        groups, self._groups = self._groups, {}
+        for key, state in groups.items():
+            self._enqueue_partial(key, state.states)
+        if self.window:
+            self.context.schedule(self.window, self._ship_local)
+
+    def _enqueue_partial(self, key: PyTuple[Any, ...], states: List[Any]) -> None:
+        """Fold a partial state into the held buffer and arm the hold timer."""
+        if self._is_root():
+            self._merge_into(self._root_states, key, states)
+            return
+        self._merge_into(self._held, key, states)
+        if not self._hold_scheduled:
+            self._hold_scheduled = True
+            self.context.schedule(self.hold, self._forward_held)
+
+    def _merge_into(
+        self,
+        buffer: Dict[PyTuple[Any, ...], List[Any]],
+        key: PyTuple[Any, ...],
+        states: List[Any],
+    ) -> None:
+        functions = [spec.build() for spec in self.aggregate_specs]
+        existing = buffer.get(key)
+        if existing is None:
+            buffer[key] = list(states)
+            return
+        buffer[key] = [
+            function.merge(left, right)
+            for function, left, right in zip(functions, existing, states)
+        ]
+
+    # -- upcall (intermediate hop) ------------------------------------------- #
+    def _on_upcall(self, _namespace: str, _key: object, value: object) -> bool:
+        if not isinstance(value, dict) or "partials" not in value:
+            return True
+        self.partials_intercepted += 1
+        for entry in value["partials"]:
+            self._enqueue_partial(tuple(entry["key"]), entry["states"])
+        return False  # hold; a combined partial will be forwarded later
+
+    def _forward_held(self, _data: object) -> None:
+        self._hold_scheduled = False
+        if self._stopped or not self._held:
+            return
+        held, self._held = self._held, {}
+        self.partials_sent += 1
+        self.context.overlay.send(
+            self.namespace,
+            key="root",
+            suffix=random_suffix(),
+            value={
+                "partials": [
+                    {"key": list(key), "states": states} for key, states in held.items()
+                ]
+            },
+            lifetime=self.context.lifetime,
+            target=self.root_identifier,
+        )
+
+    # -- root ------------------------------------------------------------------ #
+    def _is_root(self) -> bool:
+        return self.context.overlay.router.is_responsible(self.root_identifier)
+
+    def _on_root_arrival(self, _namespace: str, _key: object, value: object) -> None:
+        if not isinstance(value, dict) or "partials" not in value:
+            return
+        for entry in value["partials"]:
+            self._merge_into(self._root_states, tuple(entry["key"]), entry["states"])
+
+    def flush(self) -> None:
+        # Any local groups not yet shipped travel now (e.g. snapshot query
+        # whose timeout fires before the next window).
+        groups, self._groups = self._groups, {}
+        for key, state in groups.items():
+            self._enqueue_partial(key, state.states)
+        if self._held:
+            self._forward_held(None)
+        if not self._is_root():
+            return
+        functions = [spec.build() for spec in self.aggregate_specs]
+        for key, states in self._root_states.items():
+            payload = {
+                spec.output: function.result(state)
+                for spec, function, state in zip(self.aggregate_specs, functions, states)
+            }
+            self.emit(self._group_tuple(key, payload))
+
+
+@register_operator
+class HierarchicalJoinExchange(PhysicalOperator):
+    """Rehash phase of a parallel hash join with in-path ("early") joins.
+
+    Both join inputs are pushed into this operator (slots 0 and 1).  Each
+    tuple is routed toward the DHT bucket for its join key with ``send``;
+    every node it passes through caches a copy annotated with the list of
+    node identifiers visited so far.  When a passing tuple joins with a
+    cached tuple of the other side whose path it has never shared, the
+    result is emitted immediately (and shipped by the downstream
+    result_handler), off-loading out-bandwidth from the bucket owner.  The
+    bucket owner still receives every tuple and performs the complete join,
+    skipping pairs whose paths met earlier.
+
+    Params: ``namespace`` (rehash rendezvous), ``left_columns``,
+    ``right_columns``, optional ``output_table``, ``lifetime``.
+    """
+
+    op_type = "hierarchical_join"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.namespace = context.scoped_namespace(self.require_param("namespace"))
+        self.left_columns: List[str] = list(self.require_param("left_columns"))
+        self.right_columns: List[str] = list(self.require_param("right_columns"))
+        self.output_table: Optional[str] = self.param("output_table")
+        self.lifetime = float(self.param("lifetime", context.lifetime))
+        # Cache of tuples seen at this node, per join key and side.
+        self._cache: Dict[Any, PyTuple[List[Dict[str, Any]], List[Dict[str, Any]]]] = {}
+        # Envelope ids already cached/joined at this node: a tuple can reach
+        # the same node more than once (e.g. as an upcall and again as the
+        # stored bucket copy) and must be processed exactly once.
+        self._processed: Set[str] = set()
+        self.early_results = 0
+        self.final_results = 0
+
+    def start(self) -> None:
+        self.context.overlay.upcall(self.namespace, self._on_upcall)
+        self.context.overlay.new_data(self.namespace, self._on_bucket_arrival)
+        # Nodes are only loosely synchronised: envelopes rehashed by nodes
+        # that started earlier may already be stored here.  Catch up on them
+        # (Section 3.3.4, "No Global Synchronization").
+        self.context.overlay.local_scan(
+            self.namespace, lambda _ns, _key, value: self._on_bucket_arrival(_ns, _key, value)
+        )
+
+    # -- local input ---------------------------------------------------------- #
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        columns = self.left_columns if slot == 0 else self.right_columns
+        key = tup.key(columns)
+        partition_key = key[0] if len(key) == 1 else key
+        envelope = {
+            "envelope_id": random_suffix(),
+            "side": slot,
+            "key": list(key),
+            "tuple": tup.to_dict(),
+            "path": [self.context.overlay.identifier],
+        }
+        self._process(envelope, emit_early=True)
+        self.context.overlay.send(
+            self.namespace,
+            key=partition_key,
+            suffix=envelope["envelope_id"],
+            value=envelope,
+            lifetime=self.lifetime,
+        )
+
+    # -- in-path interception ---------------------------------------------------- #
+    def _on_upcall(self, _namespace: str, _key: object, value: object) -> bool:
+        if not isinstance(value, dict) or "side" not in value:
+            return True
+        value["path"] = list(value.get("path", [])) + [self.context.overlay.identifier]
+        self._process(value, emit_early=True)
+        return True  # keep routing toward the bucket owner
+
+    def _on_bucket_arrival(self, _namespace: str, _key: object, value: object) -> None:
+        if not isinstance(value, dict) or "side" not in value:
+            return
+        self._process(value, emit_early=False)
+
+    def _process(self, envelope: Dict[str, Any], emit_early: bool) -> None:
+        envelope_id = envelope.get("envelope_id")
+        if envelope_id in self._processed:
+            return
+        self._processed.add(envelope_id)
+        # Cache a snapshot: the in-flight message keeps accumulating path
+        # entries as it travels, but this node saw it with the path as-is.
+        snapshot = dict(envelope)
+        snapshot["path"] = list(envelope.get("path", []))
+        self._join_against_cache(snapshot, emit_early=emit_early)
+        self._cache_envelope(snapshot)
+
+    # -- join machinery -------------------------------------------------------------#
+    def _cache_envelope(self, envelope: Dict[str, Any]) -> None:
+        key = tuple(envelope["key"])
+        sides = self._cache.setdefault(key, ([], []))
+        sides[envelope["side"]].append(envelope)
+
+    def _join_against_cache(self, envelope: Dict[str, Any], emit_early: bool) -> None:
+        key = tuple(envelope["key"])
+        sides = self._cache.get(key)
+        if sides is None:
+            return
+        other_side = 1 - envelope["side"]
+        own_identifier = self.context.overlay.identifier
+        for cached in sides[other_side]:
+            met_before = (
+                set(cached.get("path", [])) & set(envelope.get("path", []))
+            ) - {own_identifier}
+            if met_before:
+                # The two tuples already met at an earlier node, which
+                # produced this result there ("annotated with a matching
+                # node identifier"): skip to avoid duplicates.
+                continue
+            left_env, right_env = (
+                (envelope, cached) if envelope["side"] == 0 else (cached, envelope)
+            )
+            left = Tuple.from_dict(left_env["tuple"])
+            right = Tuple.from_dict(right_env["tuple"])
+            if emit_early:
+                self.early_results += 1
+            else:
+                self.final_results += 1
+            self.emit(left.join(right, table=self.output_table))

@@ -1,0 +1,144 @@
+"""PIERNode: the full per-node software stack.
+
+One PIERNode combines the overlay network (router + object manager +
+wrapper), the distribution tree, the query disseminator, the query
+executor, and the proxy service — everything Figure 3/4 places above the
+Virtual Runtime Interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.overlay.distribution_tree import DistributionTree
+from repro.overlay.naming import random_suffix
+from repro.overlay.router import BootstrapDirectory, ChordRouter, NodeContact, Router
+from repro.overlay.wrapper import OverlayNode
+from repro.qp.dissemination import QueryDisseminator
+from repro.qp.executor import QueryExecutor
+from repro.qp.opgraph import QueryPlan
+from repro.qp.proxy import ProxyService, QueryHandle
+from repro.qp.tuples import Tuple
+from repro.runtime.vri import VirtualRuntime
+
+
+class PIERNode:
+    """One participant in a PIER deployment."""
+
+    def __init__(
+        self,
+        runtime: VirtualRuntime,
+        directory: BootstrapDirectory,
+        router_factory: Callable[[NodeContact], Router] = ChordRouter,
+        pht_resolver: Optional[Callable[[str, Any, Any], List[Any]]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.overlay = OverlayNode(runtime, directory, router_factory=router_factory)
+        self.tree = DistributionTree(self.overlay)
+        self.executor = QueryExecutor(self.overlay)
+        self.disseminator = QueryDisseminator(
+            self.overlay, self.tree, self._install_envelope, pht_resolver=pht_resolver
+        )
+        self.proxy = ProxyService(self.overlay, self.executor, self.disseminator)
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------ #
+    def start(self) -> None:
+        """Join the overlay and bring up every per-node service."""
+        if self._started:
+            return
+        self._started = True
+        self.overlay.join()
+        self.tree.start()
+        self.disseminator.start()
+        self.proxy.start()
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self.tree.stop()
+        self.overlay.leave()
+
+    @property
+    def address(self) -> Any:
+        return self.overlay.address
+
+    @property
+    def identifier(self) -> int:
+        return self.overlay.identifier
+
+    # -- publishing (primary indexes) -------------------------------------------- #
+    def publish(
+        self,
+        namespace: str,
+        partitioning_columns: List[str],
+        tup: Tuple,
+        lifetime: float = 600.0,
+        use_send: bool = False,
+    ) -> None:
+        """Publish a tuple into the DHT, creating/extending the table's
+        primary index on ``partitioning_columns`` (paper Section 3.3.3)."""
+        key = tup.key(partitioning_columns)
+        partition_key = key[0] if len(key) == 1 else key
+        if use_send:
+            self.overlay.send(namespace, partition_key, random_suffix(), tup.to_dict(), lifetime)
+        else:
+            self.overlay.put(namespace, partition_key, random_suffix(), tup.to_dict(), lifetime)
+
+    def publish_secondary_index(
+        self,
+        index_namespace: str,
+        index_columns: List[str],
+        base_namespace: str,
+        base_key: Any,
+        tup: Tuple,
+        lifetime: float = 600.0,
+    ) -> None:
+        """Publish a (index-key, tupleID) entry: a secondary index the query
+        can dereference with a Fetch Matches join (Section 3.3.3)."""
+        key = tup.key(index_columns)
+        index_key = key[0] if len(key) == 1 else key
+        pointer = Tuple(
+            index_namespace,
+            {"index_key": index_key, "base_namespace": base_namespace, "base_key": base_key},
+        )
+        self.overlay.put(index_namespace, index_key, random_suffix(), pointer.to_dict(), lifetime)
+
+    # -- node-local data -------------------------------------------------------------#
+    def register_local_table(self, name: str, rows: List[Tuple]) -> None:
+        self.executor.register_local_table(name, rows)
+
+    def append_local_rows(self, name: str, rows: Iterable[Tuple]) -> None:
+        self.executor.append_local_rows(name, list(rows))
+
+    def register_stream(self, name: str, producer: Callable[[float], List[Tuple]]) -> None:
+        self.executor.register_stream(name, producer)
+
+    # -- query submission (this node acts as the client's proxy) ----------------------#
+    def submit(
+        self,
+        plan: QueryPlan,
+        result_callback: Optional[Callable[[Tuple], None]] = None,
+        done_callback: Optional[Callable[[QueryHandle], None]] = None,
+    ) -> QueryHandle:
+        return self.proxy.submit(plan, result_callback, done_callback)
+
+    # -- dissemination sink ---------------------------------------------------------- #
+    def _install_envelope(self, envelope: Dict[str, Any]) -> None:
+        """Install an opgraph that arrived via dissemination."""
+        from repro.qp.opgraph import OpGraph
+
+        graph = OpGraph.from_dict(envelope["graph"])
+        query_id = envelope["query_id"]
+        proxy_address = envelope["proxy"]
+        deliver = None
+        if proxy_address == self.overlay.address:
+            deliver = lambda tup, qid=query_id: self.proxy.deliver_local_result(qid, tup)
+        self.executor.install(
+            query_id=query_id,
+            graph=graph,
+            timeout=envelope["timeout"],
+            proxy_address=proxy_address,
+            deliver_result=deliver,
+        )

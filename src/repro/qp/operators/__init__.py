@@ -1,0 +1,33 @@
+"""Physical dataflow operators (paper Section 3.3.4).
+
+Every operator follows the non-blocking iterator model of Section 3.3.5:
+control (probes) flows from parents to children via plain function calls,
+and data is pushed from children to parents as it arrives, with queue
+operators breaking the call stack so the event loop can breathe.
+"""
+
+from repro.qp.operators.base import (
+    ExecutionContext,
+    PhysicalOperator,
+    build_operator,
+    register_operator,
+    registered_operator_types,
+)
+
+# Import operator modules for their registration side effects.
+from repro.qp.operators import access  # noqa: F401
+from repro.qp.operators import relational  # noqa: F401
+from repro.qp.operators import joins  # noqa: F401
+from repro.qp.operators import groupby  # noqa: F401
+from repro.qp.operators import exchange  # noqa: F401
+from repro.qp.operators import control  # noqa: F401
+from repro.qp.operators import eddy  # noqa: F401
+from repro.qp import hierarchical  # noqa: F401  (hierarchical agg / join operators)
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOperator",
+    "build_operator",
+    "register_operator",
+    "registered_operator_types",
+]

@@ -1,0 +1,183 @@
+"""Access methods: the sources of every opgraph (paper Section 3.3.1).
+
+Access methods contact a data source (the internal DHT, node-local tables,
+or a stream), convert items into PIER's self-describing tuple format, and
+inject them into the dataflow.  Type inference/conversion happens here;
+type *checking* is deferred to downstream operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.qp.operators.base import (
+    DEFAULT_PROBE_TAG,
+    ExecutionContext,
+    PhysicalOperator,
+    register_operator,
+)
+from repro.qp.opgraph import OperatorSpec
+from repro.qp.tuples import MalformedTupleError, Tuple
+
+
+def _coerce_tuple(table: str, value: Any) -> Optional[Tuple]:
+    """Convert a stored object into a tuple, best-effort."""
+    if isinstance(value, Tuple):
+        return value
+    if isinstance(value, dict):
+        if "table" in value and "values" in value:
+            try:
+                return Tuple.from_dict(value)
+            except MalformedTupleError:
+                return None
+        return Tuple(table, value)
+    return None
+
+
+@register_operator
+class DHTScanAccess(PhysicalOperator):
+    """Scan a DHT namespace at this node: existing objects via ``localScan``
+    plus newly arriving ones via ``newData`` (Table 2's intra-node calls).
+
+    Params: ``namespace`` (table name), optional ``scoped`` (default False:
+    the namespace is a base table; True: it is a query-private rendezvous
+    namespace such as the output of a ``put`` operator).
+    """
+
+    op_type = "dht_scan"
+
+    def __init__(self, spec: OperatorSpec, context: ExecutionContext) -> None:
+        super().__init__(spec, context)
+        self.namespace = self.require_param("namespace")
+        if self.param("scoped", False):
+            self.namespace = context.scoped_namespace(self.namespace)
+        self.table = self.param("table", self.require_param("namespace"))
+
+    def start(self) -> None:
+        self.context.overlay.new_data(self.namespace, self._on_new_data)
+
+    def probe(self, tag: str = DEFAULT_PROBE_TAG) -> None:
+        self.context.overlay.local_scan(
+            self.namespace, lambda _ns, _key, value: self._inject(value, tag)
+        )
+
+    def _on_new_data(self, _namespace: str, _key: object, value: object) -> None:
+        self._inject(value, DEFAULT_PROBE_TAG)
+
+    def _inject(self, value: object, tag: str) -> None:
+        tup = _coerce_tuple(self.table, value)
+        if tup is None:
+            self.stats.tuples_dropped += 1
+            return
+        self.emit(tup, tag)
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        raise MalformedTupleError("access methods have no inputs")
+
+
+@register_operator
+class DHTGetAccess(PhysicalOperator):
+    """Equality-predicate access: fetch all objects published under one
+    partitioning-key value with a DHT ``get`` (a distributed index lookup).
+
+    Params: ``namespace``, ``key``.
+    """
+
+    op_type = "dht_get"
+
+    def __init__(self, spec: OperatorSpec, context: ExecutionContext) -> None:
+        super().__init__(spec, context)
+        self.namespace = self.require_param("namespace")
+        if self.param("scoped", False):
+            self.namespace = context.scoped_namespace(self.namespace)
+        self.key = self.require_param("key")
+        self.table = self.param("table", self.require_param("namespace"))
+
+    def probe(self, tag: str = DEFAULT_PROBE_TAG) -> None:
+        def on_get(_namespace: str, _key: object, objects: List[object]) -> None:
+            for value in objects:
+                tup = _coerce_tuple(self.table, value)
+                if tup is None:
+                    self.stats.tuples_dropped += 1
+                    continue
+                self.emit(tup, tag)
+
+        self.context.overlay.get(self.namespace, self.key, on_get)
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        raise MalformedTupleError("access methods have no inputs")
+
+
+@register_operator
+class LocalTableAccess(PhysicalOperator):
+    """Scan a node-local, in-memory table registered with the executor.
+
+    This is how per-node data sources such as firewall logs or packet
+    traces enter the dataflow: each node holds only its own rows.
+    Params: ``table``.
+    """
+
+    op_type = "local_table"
+
+    def __init__(self, spec: OperatorSpec, context: ExecutionContext) -> None:
+        super().__init__(spec, context)
+        self.table = self.require_param("table")
+
+    def _rows(self) -> Iterable[Tuple]:
+        tables = self.context.extras.get("local_tables", {})
+        return tables.get(self.table, [])
+
+    def probe(self, tag: str = DEFAULT_PROBE_TAG) -> None:
+        for tup in list(self._rows()):
+            coerced = tup if isinstance(tup, Tuple) else _coerce_tuple(self.table, tup)
+            if coerced is None:
+                self.stats.tuples_dropped += 1
+                continue
+            self.emit(coerced, tag)
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        raise MalformedTupleError("access methods have no inputs")
+
+
+@register_operator
+class StreamAccess(PhysicalOperator):
+    """A push-based streaming source driven by timers.
+
+    A generator callable registered under ``extras['streams'][name]`` is
+    polled every ``interval`` seconds; each call may return zero or more
+    tuples which are injected into the dataflow.  This models continuously
+    arriving monitoring data.
+    Params: ``stream`` (name), ``interval`` (seconds, default 1.0).
+    """
+
+    op_type = "stream_source"
+
+    def __init__(self, spec: OperatorSpec, context: ExecutionContext) -> None:
+        super().__init__(spec, context)
+        self.stream_name = self.require_param("stream")
+        self.interval = float(self.param("interval", 1.0))
+        self._active = False
+
+    def start(self) -> None:
+        self._active = True
+        self.context.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._active = False
+        super().stop()
+
+    def _tick(self, _data: object) -> None:
+        if not self._active or self._stopped:
+            return
+        producer = self.context.extras.get("streams", {}).get(self.stream_name)
+        if producer is not None:
+            for item in producer(self.context.now):
+                tup = item if isinstance(item, Tuple) else _coerce_tuple(self.stream_name, item)
+                if tup is None:
+                    self.stats.tuples_dropped += 1
+                    continue
+                self.emit(tup)
+        self.context.schedule(self.interval, self._tick)
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        raise MalformedTupleError("access methods have no inputs")

@@ -1,0 +1,165 @@
+"""Operator runtime: execution context, base class, and registry.
+
+PIER's event-driven core cannot block, so the classic iterator ("pull")
+model is replaced by a *non-blocking iterator*: probes (control) are pulled
+from parent to child with ordinary function calls, while tuples (data) are
+pushed from child to parent as they arrive (Section 3.3.5).  Each pushed
+tuple carries the tag of the probe that requested it, which lets operators
+match data with the state they set up for that probe even when nested
+probes are arbitrarily reordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple as PyTuple, Type
+
+from repro.overlay.wrapper import OverlayNode
+from repro.qp.opgraph import OperatorSpec
+from repro.qp.tuples import MalformedTupleError, Tuple
+
+DEFAULT_PROBE_TAG = "main"
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator counters, mirroring what an eddy would observe."""
+
+    tuples_in: int = 0
+    tuples_out: int = 0
+    tuples_dropped: int = 0
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator instance needs from its host node.
+
+    ``overlay`` is the node's DHT wrapper; ``query_id`` scopes namespaces so
+    concurrent queries do not collide; ``proxy_address`` is where result
+    tuples must be shipped; ``deliver_result`` short-circuits delivery when
+    the executing node *is* the proxy.
+    """
+
+    overlay: OverlayNode
+    query_id: str
+    timeout: float
+    proxy_address: Any
+    deliver_result: Optional[Callable[[Tuple], None]] = None
+    lifetime: float = 120.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def now(self) -> float:
+        return self.overlay.runtime.get_current_time()
+
+    def schedule(self, delay: float, callback: Callable[[Any], None], data: Any = None) -> Any:
+        return self.overlay.runtime.schedule_event(delay, data, callback)
+
+    def scoped_namespace(self, name: str) -> str:
+        """A DHT namespace private to this query."""
+        return f"{self.query_id}:{name}"
+
+
+class PhysicalOperator:
+    """Base class for all physical operators.
+
+    Subclasses implement :meth:`on_receive` (one input tuple arrived on a
+    given slot) and optionally :meth:`start`, :meth:`probe`, :meth:`flush`
+    and :meth:`stop`.
+    """
+
+    op_type = "abstract"
+
+    def __init__(self, spec: OperatorSpec, context: ExecutionContext) -> None:
+        self.spec = spec
+        self.context = context
+        self.stats = OperatorStats()
+        # Downstream consumers: (operator, input-slot index at the consumer).
+        self._parents: List[PyTuple["PhysicalOperator", int]] = []
+        self._stopped = False
+
+    # -- wiring ----------------------------------------------------------- #
+    def add_parent(self, parent: "PhysicalOperator", slot: int) -> None:
+        self._parents.append((parent, slot))
+
+    @property
+    def parents(self) -> List[PyTuple["PhysicalOperator", int]]:
+        return list(self._parents)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.spec.params.get(name, default)
+
+    def require_param(self, name: str) -> Any:
+        if name not in self.spec.params:
+            raise ValueError(f"operator {self.spec.operator_id!r} missing param {name!r}")
+        return self.spec.params[name]
+
+    # -- lifecycle --------------------------------------------------------- #
+    def start(self) -> None:
+        """Called once when the opgraph is installed on this node."""
+
+    def stop(self) -> None:
+        """Called at query teardown (timeout)."""
+        self._stopped = True
+
+    def flush(self) -> None:
+        """Emit any buffered state (called in topological order at timeout,
+        and by windowed operators when their window closes)."""
+
+    def probe(self, tag: str = DEFAULT_PROBE_TAG) -> None:
+        """Control-channel request for data, propagated parent -> child.
+
+        The default implementation just records the request; stateful
+        operators override it to set up per-probe state on the heap.
+        Sources respond to probes by beginning to push tuples upward.
+        """
+
+    # -- dataflow ------------------------------------------------------------ #
+    def receive(self, tup: Tuple, slot: int = 0, tag: str = DEFAULT_PROBE_TAG) -> None:
+        """Data-channel entry point: a child pushed ``tup`` into ``slot``."""
+        if self._stopped:
+            return
+        self.stats.tuples_in += 1
+        try:
+            self.on_receive(tup, slot, tag)
+        except MalformedTupleError:
+            # Best-effort policy (Section 3.3.4): drop tuples that do not
+            # match the query's expectations.
+            self.stats.tuples_dropped += 1
+        except (TypeError, KeyError):
+            self.stats.tuples_dropped += 1
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        raise NotImplementedError
+
+    def emit(self, tup: Tuple, tag: str = DEFAULT_PROBE_TAG) -> None:
+        """Push ``tup`` to every downstream consumer."""
+        if self._stopped:
+            return
+        self.stats.tuples_out += 1
+        for parent, slot in self._parents:
+            parent.receive(tup, slot, tag)
+
+
+_OPERATOR_REGISTRY: Dict[str, Type[PhysicalOperator]] = {}
+
+
+def register_operator(cls: Type[PhysicalOperator]) -> Type[PhysicalOperator]:
+    """Class decorator adding a physical operator to the plan-time registry."""
+    if not cls.op_type or cls.op_type == "abstract":
+        raise ValueError(f"{cls.__name__} must define a concrete op_type")
+    _OPERATOR_REGISTRY[cls.op_type] = cls
+    return cls
+
+
+def build_operator(spec: OperatorSpec, context: ExecutionContext) -> PhysicalOperator:
+    """Instantiate the physical operator named by ``spec.op_type``."""
+    try:
+        cls = _OPERATOR_REGISTRY[spec.op_type]
+    except KeyError as exc:
+        raise ValueError(f"unknown operator type {spec.op_type!r}") from exc
+    return cls(spec, context)
+
+
+def registered_operator_types() -> List[str]:
+    return sorted(_OPERATOR_REGISTRY)

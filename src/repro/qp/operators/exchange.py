@@ -1,0 +1,151 @@
+"""Dataflow plumbing operators: put (exchange), queue, and result handler.
+
+``put`` is PIER's analogue of the Exchange operator [Graefe 90]: it
+repartitions tuples across the network by publishing them into a DHT
+namespace keyed on chosen columns, where the consumer opgraph picks them up
+with a ``dht_scan`` access method.  ``queue`` breaks the local call stack
+so dataflow "comes up for air" and yields to the Main Scheduler.  The
+result handler ships answer tuples to the query's proxy node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple as PyTuple
+
+from repro.overlay.naming import random_suffix
+from repro.qp.operators.base import DEFAULT_PROBE_TAG, PhysicalOperator, register_operator
+from repro.qp.tuples import Tuple
+
+RESULT_NAMESPACE = "__results__"
+
+
+@register_operator
+class PutExchange(PhysicalOperator):
+    """Publish each input tuple into the DHT, partitioned by key columns.
+
+    This is the "rehash" phase of parallel hash joins and multi-phase
+    aggregation: a tuple's partitioning key decides which node receives it.
+    Params: ``namespace`` (rendezvous, query-scoped by default),
+    ``key_columns``, optional ``lifetime``, ``use_send`` (route the object
+    hop-by-hop with upcalls — required for hierarchical operators — instead
+    of the two-phase put), ``scoped`` (default True).
+    """
+
+    op_type = "put"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        namespace = self.require_param("namespace")
+        self.namespace = (
+            context.scoped_namespace(namespace) if self.param("scoped", True) else namespace
+        )
+        self.key_columns: List[str] = list(self.require_param("key_columns"))
+        self.lifetime = float(self.param("lifetime", context.lifetime))
+        self.use_send = bool(self.param("use_send", False))
+        self.tuples_published = 0
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        key = tup.key(self.key_columns)
+        partition_key = key[0] if len(key) == 1 else key
+        self.tuples_published += 1
+        if self.use_send:
+            self.context.overlay.send(
+                self.namespace, partition_key, random_suffix(), tup.to_dict(), self.lifetime
+            )
+        else:
+            self.context.overlay.put(
+                self.namespace, partition_key, random_suffix(), tup.to_dict(), self.lifetime
+            )
+
+
+@register_operator
+class Queue(PhysicalOperator):
+    """Decouple producer and consumer: buffered tuples are re-injected from
+    a zero-delay timer event, unwinding the producer's call stack
+    (Section 3.3.5).
+    Params: optional ``batch`` (tuples drained per scheduler event).
+    """
+
+    op_type = "queue"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self._buffer: Deque[PyTuple[Tuple, str]] = deque()
+        self._drain_scheduled = False
+        self.batch = int(self.param("batch", 64))
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        self._buffer.append((tup, tag))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.context.schedule(0.0, self._drain)
+
+    def _drain(self, _data: object) -> None:
+        self._drain_scheduled = False
+        if self._stopped:
+            self._buffer.clear()
+            return
+        for _ in range(min(self.batch, len(self._buffer))):
+            tup, tag = self._buffer.popleft()
+            self.emit(tup, tag)
+        if self._buffer and not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.context.schedule(0.0, self._drain)
+
+    def flush(self) -> None:
+        while self._buffer:
+            tup, tag = self._buffer.popleft()
+            self.emit(tup, tag)
+
+    @property
+    def depth(self) -> int:
+        return len(self._buffer)
+
+
+@register_operator
+class ResultHandler(PhysicalOperator):
+    """Forward answer tuples to the client's proxy node.
+
+    When this node *is* the proxy, results are delivered through the
+    context's ``deliver_result`` hook; otherwise they are sent directly to
+    the proxy's address, tagged with the query id, optionally in batches.
+    Params: optional ``batch`` (default 1), ``table`` (rename of results).
+    """
+
+    op_type = "result_handler"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.batch = int(self.param("batch", 1))
+        self._pending: List[Tuple] = []
+        self.results_shipped = 0
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        if self.param("table"):
+            tup = tup.rename(self.param("table"))
+        self._pending.append(tup)
+        if len(self._pending) >= self.batch:
+            self._ship()
+
+    def flush(self) -> None:
+        self._ship()
+
+    def _ship(self) -> None:
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.results_shipped += len(batch)
+        if (
+            self.context.deliver_result is not None
+            and self.context.proxy_address == self.context.overlay.address
+        ):
+            for tup in batch:
+                self.context.deliver_result(tup)
+            return
+        self.context.overlay.direct_message(
+            self.context.proxy_address,
+            namespace=RESULT_NAMESPACE,
+            key=self.context.query_id,
+            value=[tup.to_dict() for tup in batch],
+        )

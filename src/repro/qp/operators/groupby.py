@@ -1,0 +1,189 @@
+"""Group-by / aggregation operators (paper Section 3.3.4).
+
+``groupby_hash`` keeps one mergeable partial state per group (see
+:mod:`repro.qp.aggregates`) and emits on flush or on a periodic window for
+continuous queries.  ``partial_aggregate`` emits partial states (rather
+than final results) so that they can be combined downstream — either by a
+rehash exchange (flat multi-phase aggregation) or by the hierarchical
+aggregation tree of :mod:`repro.qp.hierarchical`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
+
+from repro.qp.aggregates import AggregateFunction, AggregateSpec, make_aggregate
+from repro.qp.operators.base import PhysicalOperator, register_operator
+from repro.qp.tuples import Tuple
+
+
+def parse_aggregate_specs(raw_specs: List[Any]) -> List[AggregateSpec]:
+    """Normalise plan-level aggregate descriptions into AggregateSpec objects.
+
+    Accepted forms: ``AggregateSpec`` instances, ``(function, column,
+    output)`` triples, or dicts with ``function``/``column``/``output`` and
+    optional ``params``.
+    """
+    specs: List[AggregateSpec] = []
+    for raw in raw_specs:
+        if isinstance(raw, AggregateSpec):
+            specs.append(raw)
+        elif isinstance(raw, dict):
+            specs.append(
+                AggregateSpec(
+                    function=raw["function"],
+                    column=raw.get("column"),
+                    output=raw.get("output", raw["function"]),
+                    params=tuple(sorted(raw.get("params", {}).items())),
+                )
+            )
+        else:
+            function, column, output = raw
+            specs.append(AggregateSpec(function=function, column=column, output=output))
+    return specs
+
+
+class _GroupState:
+    """Aggregate partial states for one group key."""
+
+    def __init__(self, functions: List[AggregateFunction]) -> None:
+        self.functions = functions
+        self.states: List[Any] = [function.initial() for function in functions]
+
+    def add(self, values: List[Any]) -> None:
+        self.states = [
+            function.add(state, value)
+            for function, state, value in zip(self.functions, self.states, values)
+        ]
+
+    def merge_states(self, other_states: List[Any]) -> None:
+        self.states = [
+            function.merge(state, other)
+            for function, state, other in zip(self.functions, self.states, other_states)
+        ]
+
+    def results(self) -> List[Any]:
+        return [function.result(state) for function, state in zip(self.functions, self.states)]
+
+
+class _BaseGroupBy(PhysicalOperator):
+    """Shared machinery for the group-by variants."""
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.group_columns: List[str] = list(self.param("group_columns", []))
+        self.aggregate_specs = parse_aggregate_specs(self.require_param("aggregates"))
+        self.output_table: str = self.param("output_table", "aggregate")
+        self.window: Optional[float] = self.param("window")
+        self._groups: Dict[PyTuple[Any, ...], _GroupState] = {}
+        self._window_scheduled = False
+
+    def start(self) -> None:
+        if self.window:
+            self._schedule_window()
+
+    def _schedule_window(self) -> None:
+        if self._stopped:
+            return
+        self.context.schedule(self.window, self._on_window)
+
+    def _on_window(self, _data: object) -> None:
+        if self._stopped:
+            return
+        self.flush()
+        self._groups.clear()
+        self._schedule_window()
+
+    def _state_for(self, key: PyTuple[Any, ...]) -> _GroupState:
+        state = self._groups.get(key)
+        if state is None:
+            state = _GroupState([spec.build() for spec in self.aggregate_specs])
+            self._groups[key] = state
+        return state
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        key = tup.key(self.group_columns) if self.group_columns else ()
+        values = [
+            tup.require(spec.column) if spec.column is not None else None
+            for spec in self.aggregate_specs
+        ]
+        self._state_for(key).add(values)
+
+    def _group_tuple(self, key: PyTuple[Any, ...], payload: Dict[str, Any]) -> Tuple:
+        values = dict(zip(self.group_columns, key))
+        values.update(payload)
+        return Tuple(self.output_table, values)
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+
+@register_operator
+class HashGroupBy(_BaseGroupBy):
+    """Final aggregation: emits one result tuple per group on flush/window.
+
+    Params: ``group_columns``, ``aggregates``, optional ``output_table``,
+    ``window`` (seconds, for continuous queries).
+    """
+
+    op_type = "groupby_hash"
+
+    def flush(self) -> None:
+        for key, state in self._groups.items():
+            payload = {
+                spec.output: result
+                for spec, result in zip(self.aggregate_specs, state.results())
+            }
+            self.emit(self._group_tuple(key, payload))
+
+
+@register_operator
+class PartialAggregate(_BaseGroupBy):
+    """Local (per-node) aggregation step of a multi-phase aggregate.
+
+    On flush it emits *partial state* tuples — one per group — carrying the
+    mergeable states rather than final values, so a downstream
+    ``merge_aggregate`` (after a rehash, or at an aggregation-tree parent)
+    can combine them.
+    """
+
+    op_type = "partial_aggregate"
+
+    def flush(self) -> None:
+        for key, state in self._groups.items():
+            self.emit(
+                self._group_tuple(
+                    key,
+                    {
+                        "__partial_states__": list(state.states),
+                        "__group_key__": tuple(key),
+                    },
+                )
+            )
+
+
+@register_operator
+class MergeAggregate(_BaseGroupBy):
+    """Combine partial-state tuples produced by :class:`PartialAggregate`.
+
+    Accepts both partial-state tuples (merged) and raw tuples (folded), so
+    it can sit at the top of either a rehash exchange or a local pipeline.
+    """
+
+    op_type = "merge_aggregate"
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        if "__partial_states__" in tup:
+            key = tuple(tup.require("__group_key__")) if self.group_columns else ()
+            self._state_for(key).merge_states(tup.require("__partial_states__"))
+        else:
+            super().on_receive(tup, slot, tag)
+
+    def flush(self) -> None:
+        for key, state in self._groups.items():
+            payload = {
+                spec.output: result
+                for spec, result in zip(self.aggregate_specs, state.results())
+            }
+            self.emit(self._group_tuple(key, payload))

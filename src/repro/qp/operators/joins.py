@@ -1,0 +1,273 @@
+"""Join operators (paper Section 3.3.4).
+
+PIER's core join algorithms are the Symmetric Hash join — both inputs are
+hashed as they arrive, so results stream out without blocking — and the
+Fetch Matches join, a distributed index join that issues a DHT ``get`` for
+each outer tuple against a published (primary or secondary) index.
+Bloom-join and semi-join rewrites are composed from these plus the bloom
+operators (see :mod:`repro.qp.rewrites`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Any, DefaultDict, Dict, List, Optional, Set, Tuple as PyTuple
+
+from repro.qp.operators.base import PhysicalOperator, register_operator
+from repro.qp.tuples import MalformedTupleError, Tuple
+
+
+@register_operator
+class SymmetricHashJoin(PhysicalOperator):
+    """Pipelining equi-join: hash and probe both inputs symmetrically.
+
+    Params: ``left_columns``, ``right_columns`` (equi-join key columns for
+    slot 0 and slot 1), optional ``output_table``.
+    """
+
+    op_type = "symmetric_hash_join"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.left_columns: List[str] = list(self.require_param("left_columns"))
+        self.right_columns: List[str] = list(self.require_param("right_columns"))
+        if len(self.left_columns) != len(self.right_columns):
+            raise ValueError("join key column lists must have equal length")
+        self._tables: PyTuple[DefaultDict[Any, List[Tuple]], ...] = (
+            defaultdict(list),
+            defaultdict(list),
+        )
+
+    def _key(self, tup: Tuple, slot: int) -> Any:
+        columns = self.left_columns if slot == 0 else self.right_columns
+        return tup.key(columns)
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        if slot not in (0, 1):
+            raise MalformedTupleError(f"join received tuple on unknown slot {slot}")
+        key = self._key(tup, slot)
+        self._tables[slot][key].append(tup)
+        other = 1 - slot
+        for match in self._tables[other].get(key, []):
+            left, right = (tup, match) if slot == 0 else (match, tup)
+            self.emit(left.join(right, table=self.param("output_table")), tag)
+
+    @property
+    def state_size(self) -> int:
+        return sum(len(bucket) for table in self._tables for bucket in table.values())
+
+
+@register_operator
+class FetchMatchesJoin(PhysicalOperator):
+    """Distributed index join: for each outer tuple, fetch matching inner
+    tuples from the DHT index published under ``inner_namespace``.
+
+    The inner relation must have been published into the DHT partitioned on
+    the join key (a *primary index*), or be a (key, tupleID) secondary
+    index that a subsequent Fetch Matches join dereferences.
+
+    Params: ``outer_columns`` (join key columns of the outer input),
+    ``inner_namespace``, ``inner_table`` (table name for fetched tuples),
+    optional ``inner_filter_columns``/``output_table``/``scoped``.
+    """
+
+    op_type = "fetch_matches_join"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.outer_columns: List[str] = list(self.require_param("outer_columns"))
+        self.inner_namespace: str = self.require_param("inner_namespace")
+        if self.param("scoped", False):
+            self.inner_namespace = context.scoped_namespace(self.inner_namespace)
+        self.inner_table: str = self.param("inner_table", self.inner_namespace)
+        self.fetches_issued = 0
+        self.fetches_completed = 0
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        key = tup.key(self.outer_columns)
+        lookup_key = key[0] if len(key) == 1 else key
+        self.fetches_issued += 1
+
+        def on_fetch(_namespace: str, _key: object, objects: List[object]) -> None:
+            self.fetches_completed += 1
+            for value in objects:
+                inner = self._coerce(value)
+                if inner is None:
+                    self.stats.tuples_dropped += 1
+                    continue
+                self.emit(tup.join(inner, table=self.param("output_table")), tag)
+
+        self.context.overlay.get(self.inner_namespace, lookup_key, on_fetch)
+
+    def _coerce(self, value: object) -> Optional[Tuple]:
+        if isinstance(value, Tuple):
+            return value
+        if isinstance(value, dict):
+            if "table" in value and "values" in value:
+                try:
+                    return Tuple.from_dict(value)
+                except MalformedTupleError:
+                    return None
+            return Tuple(self.inner_table, value)
+        return None
+
+
+@register_operator
+class NestedLoopJoin(PhysicalOperator):
+    """Node-local nested-loop join with an arbitrary predicate.
+
+    Used for non-equi joins after data has already been co-located (e.g. by
+    a ``put`` exchange); both inputs are buffered in memory.
+    Params: ``predicate`` (see :mod:`repro.qp.expressions`, evaluated over
+    the concatenated tuple), optional ``output_table``.
+    """
+
+    op_type = "nested_loop_join"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self._buffers: PyTuple[List[Tuple], List[Tuple]] = ([], [])
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        from repro.qp.expressions import matches
+
+        if slot not in (0, 1):
+            raise MalformedTupleError(f"join received tuple on unknown slot {slot}")
+        self._buffers[slot].append(tup)
+        other = 1 - slot
+        predicate = self.param("predicate")
+        for match in self._buffers[other]:
+            left, right = (tup, match) if slot == 0 else (match, tup)
+            joined = left.join(right, table=self.param("output_table"))
+            if matches(predicate, joined):
+                self.emit(joined, tag)
+
+
+class BloomFilter:
+    """A simple counting-free Bloom filter over join keys.
+
+    Used by the Bloom-join rewrite: the filter summarising one relation's
+    join keys is shipped to the other relation's partitions so that only
+    probably-matching tuples are rehashed across the network.
+    """
+
+    def __init__(self, size_bits: int = 8192, hash_count: int = 3) -> None:
+        if size_bits <= 0 or hash_count <= 0:
+            raise ValueError("size_bits and hash_count must be positive")
+        self.size_bits = size_bits
+        self.hash_count = hash_count
+        self.bits: Set[int] = set()
+        self.items_added = 0
+
+    def _positions(self, key: Any) -> List[int]:
+        encoded = repr(key).encode()
+        positions = []
+        for index in range(self.hash_count):
+            digest = hashlib.sha1(encoded + bytes([index])).digest()
+            positions.append(int.from_bytes(digest[:8], "big") % self.size_bits)
+        return positions
+
+    def add(self, key: Any) -> None:
+        self.items_added += 1
+        self.bits.update(self._positions(key))
+
+    def might_contain(self, key: Any) -> bool:
+        return all(position in self.bits for position in self._positions(key))
+
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        if other.size_bits != self.size_bits or other.hash_count != self.hash_count:
+            raise ValueError("cannot merge Bloom filters with different shapes")
+        merged = BloomFilter(self.size_bits, self.hash_count)
+        merged.bits = set(self.bits) | set(other.bits)
+        merged.items_added = self.items_added + other.items_added
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "size_bits": self.size_bits,
+            "hash_count": self.hash_count,
+            "bits": sorted(self.bits),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "BloomFilter":
+        bloom = BloomFilter(payload["size_bits"], payload["hash_count"])
+        bloom.bits = set(payload["bits"])
+        return bloom
+
+
+@register_operator
+class BloomFilterBuild(PhysicalOperator):
+    """Accumulate a Bloom filter over the input's join keys and publish it
+    into a query-scoped DHT namespace on flush.
+
+    Params: ``columns`` (key columns), ``filter_namespace``, optional
+    ``size_bits``/``hash_count``.
+    """
+
+    op_type = "bloom_build"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.columns: List[str] = list(self.require_param("columns"))
+        self.filter_namespace = context.scoped_namespace(self.require_param("filter_namespace"))
+        self.bloom = BloomFilter(
+            size_bits=int(self.param("size_bits", 8192)),
+            hash_count=int(self.param("hash_count", 3)),
+        )
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        self.bloom.add(tup.key(self.columns))
+
+    def flush(self) -> None:
+        self.context.overlay.put(
+            self.filter_namespace,
+            key="bloom",
+            suffix=f"from-{self.context.overlay.identifier:016x}",
+            value=self.bloom.to_dict(),
+            lifetime=self.context.lifetime,
+        )
+
+
+@register_operator
+class BloomFilterProbe(PhysicalOperator):
+    """Filter the input against the Bloom filters published under
+    ``filter_namespace`` (dropping tuples that cannot join).
+
+    Params: ``columns``, ``filter_namespace``.
+    """
+
+    op_type = "bloom_probe"
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self.columns: List[str] = list(self.require_param("columns"))
+        self.filter_namespace = context.scoped_namespace(self.require_param("filter_namespace"))
+        self._bloom: Optional[BloomFilter] = None
+        self._pending: List[PyTuple[Tuple, str]] = []
+        self.tuples_filtered = 0
+
+    def start(self) -> None:
+        def on_get(_namespace: str, _key: object, objects: List[object]) -> None:
+            bloom: Optional[BloomFilter] = None
+            for payload in objects:
+                if not isinstance(payload, dict):
+                    continue
+                piece = BloomFilter.from_dict(payload)
+                bloom = piece if bloom is None else bloom.merge(piece)
+            self._bloom = bloom if bloom is not None else BloomFilter()
+            pending, self._pending = self._pending, []
+            for tup, tag in pending:
+                self.on_receive(tup, 0, tag)
+
+        self.context.overlay.get(self.filter_namespace, "bloom", on_get)
+
+    def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
+        if self._bloom is None:
+            self._pending.append((tup, tag))
+            return
+        if self._bloom.items_added == 0 or self._bloom.might_contain(tup.key(self.columns)):
+            self.emit(tup, tag)
+        else:
+            self.tuples_filtered += 1

@@ -1,0 +1,231 @@
+"""UFL query plans: opgraphs of physical operators (paper Section 3.3.2).
+
+A UFL query is a direct specification of a physical execution plan: one or
+more *opgraphs*, each a connected DAG of dataflow operators.  Separate
+opgraphs are formed wherever the query redistributes data around the
+network; a producer in one opgraph and a consumer in another rendezvous
+through a DHT namespace (the distributed Exchange pattern).  Opgraphs are
+also the unit of dissemination: each one carries a dissemination spec that
+says which nodes must run it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+_query_counter = itertools.count(1)
+
+
+def next_query_id(prefix: str = "q") -> str:
+    return f"{prefix}{next(_query_counter):06d}"
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Specification of one operator instance in an opgraph.
+
+    ``inputs`` lists the operator ids whose output feeds this operator, in
+    input-slot order (slot 0, slot 1, ...); joins use two slots.
+    """
+
+    operator_id: str
+    op_type: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    inputs: Tuple[str, ...] = ()
+
+    def with_params(self, **extra: Any) -> "OperatorSpec":
+        params = dict(self.params)
+        params.update(extra)
+        return OperatorSpec(self.operator_id, self.op_type, params, self.inputs)
+
+
+@dataclass(frozen=True)
+class DisseminationSpec:
+    """Which nodes must run an opgraph (paper Section 3.3.3).
+
+    * ``broadcast`` — every node, via the distribution tree (true-predicate
+      index).
+    * ``equality`` — only the node(s) responsible for ``namespace``/``key``
+      in the DHT (equality-predicate index).
+    * ``range``    — the nodes covering ``(low, high)`` of a PHT-indexed
+      attribute (range-predicate index).
+    * ``local``    — only the proxy node itself (e.g. final result
+      assembly).
+    """
+
+    strategy: str = "broadcast"
+    namespace: Optional[str] = None
+    key: Any = None
+    low: Any = None
+    high: Any = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in {"broadcast", "equality", "range", "local"}:
+            raise ValueError(f"unknown dissemination strategy {self.strategy!r}")
+
+
+@dataclass
+class OpGraph:
+    """A connected DAG of operators plus its dissemination spec."""
+
+    graph_id: str
+    operators: Dict[str, OperatorSpec] = field(default_factory=dict)
+    dissemination: DisseminationSpec = field(default_factory=DisseminationSpec)
+
+    def add(self, spec: OperatorSpec) -> OperatorSpec:
+        if spec.operator_id in self.operators:
+            raise ValueError(f"duplicate operator id {spec.operator_id!r}")
+        self.operators[spec.operator_id] = spec
+        return spec
+
+    def add_operator(
+        self,
+        operator_id: str,
+        op_type: str,
+        params: Optional[Mapping[str, Any]] = None,
+        inputs: Iterable[str] = (),
+    ) -> OperatorSpec:
+        return self.add(
+            OperatorSpec(operator_id, op_type, dict(params or {}), tuple(inputs))
+        )
+
+    def sources(self) -> List[OperatorSpec]:
+        """Operators with no inputs (access methods)."""
+        return [spec for spec in self.operators.values() if not spec.inputs]
+
+    def sinks(self) -> List[OperatorSpec]:
+        """Operators whose output no other operator consumes."""
+        consumed = {
+            input_id for spec in self.operators.values() for input_id in spec.inputs
+        }
+        return [
+            spec for spec in self.operators.values() if spec.operator_id not in consumed
+        ]
+
+    def topological_order(self) -> List[OperatorSpec]:
+        """Operators ordered so every input precedes its consumer."""
+        order: List[OperatorSpec] = []
+        visited: Dict[str, int] = {}
+
+        def visit(operator_id: str) -> None:
+            state = visited.get(operator_id, 0)
+            if state == 1:
+                raise ValueError("opgraph contains a dependency cycle")
+            if state == 2:
+                return
+            visited[operator_id] = 1
+            spec = self.operators[operator_id]
+            for input_id in spec.inputs:
+                if input_id not in self.operators:
+                    raise ValueError(
+                        f"operator {operator_id!r} references unknown input {input_id!r}"
+                    )
+                visit(input_id)
+            visited[operator_id] = 2
+            order.append(spec)
+
+        for operator_id in self.operators:
+            visit(operator_id)
+        return order
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the graph is malformed (cycles, bad refs)."""
+        self.topological_order()
+
+    # -- serialisation -------------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "graph_id": self.graph_id,
+            "dissemination": {
+                "strategy": self.dissemination.strategy,
+                "namespace": self.dissemination.namespace,
+                "key": self.dissemination.key,
+                "low": self.dissemination.low,
+                "high": self.dissemination.high,
+            },
+            "operators": [
+                {
+                    "id": spec.operator_id,
+                    "type": spec.op_type,
+                    "params": dict(spec.params),
+                    "inputs": list(spec.inputs),
+                }
+                for spec in self.operators.values()
+            ],
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "OpGraph":
+        dissemination = payload.get("dissemination", {})
+        graph = OpGraph(
+            graph_id=payload["graph_id"],
+            dissemination=DisseminationSpec(
+                strategy=dissemination.get("strategy", "broadcast"),
+                namespace=dissemination.get("namespace"),
+                key=dissemination.get("key"),
+                low=dissemination.get("low"),
+                high=dissemination.get("high"),
+            ),
+        )
+        for item in payload.get("operators", []):
+            graph.add_operator(
+                item["id"], item["type"], item.get("params", {}), item.get("inputs", [])
+            )
+        return graph
+
+
+@dataclass
+class QueryPlan:
+    """A full UFL query: opgraphs plus query-wide execution parameters.
+
+    ``timeout`` is the paper's universal termination mechanism: each node
+    executes an opgraph until the timeout expires, for both snapshot and
+    continuous queries.
+    """
+
+    query_id: str = field(default_factory=next_query_id)
+    opgraphs: List[OpGraph] = field(default_factory=list)
+    timeout: float = 30.0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add_graph(self, graph: OpGraph) -> OpGraph:
+        self.opgraphs.append(graph)
+        return graph
+
+    def new_graph(
+        self, graph_id: Optional[str] = None, dissemination: Optional[DisseminationSpec] = None
+    ) -> OpGraph:
+        graph = OpGraph(
+            graph_id=graph_id or f"{self.query_id}-g{len(self.opgraphs)}",
+            dissemination=dissemination or DisseminationSpec(),
+        )
+        return self.add_graph(graph)
+
+    def validate(self) -> None:
+        seen = set()
+        for graph in self.opgraphs:
+            if graph.graph_id in seen:
+                raise ValueError(f"duplicate opgraph id {graph.graph_id!r}")
+            seen.add(graph.graph_id)
+            graph.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query_id": self.query_id,
+            "timeout": self.timeout,
+            "metadata": dict(self.metadata),
+            "opgraphs": [graph.to_dict() for graph in self.opgraphs],
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "QueryPlan":
+        plan = QueryPlan(
+            query_id=payload["query_id"],
+            timeout=payload.get("timeout", 30.0),
+            metadata=dict(payload.get("metadata", {})),
+        )
+        for graph_payload in payload.get("opgraphs", []):
+            plan.add_graph(OpGraph.from_dict(graph_payload))
+        return plan

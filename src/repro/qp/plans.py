@@ -1,0 +1,313 @@
+"""Convenience builders for common UFL query plans.
+
+These helpers assemble the opgraph shapes the paper's applications rely on:
+equality-index lookups (filesharing keyword search), broadcast
+selection/projection scans, flat (rehash) and hierarchical distributed
+aggregation, and the distributed join strategies compared in the join
+ablation (symmetric hash rehash join, Fetch Matches index join, Bloom join,
+and semi-join).  Applications and examples can of course build opgraphs by
+hand; these builders just capture the recurring patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.qp.opgraph import DisseminationSpec, OpGraph, QueryPlan
+
+
+def equality_lookup_plan(
+    namespace: str,
+    key: Any,
+    timeout: float = 10.0,
+    predicate: Optional[Any] = None,
+    columns: Optional[List[str]] = None,
+) -> QueryPlan:
+    """Fetch all tuples published under one partitioning-key value.
+
+    The opgraph is disseminated only to the node responsible for the key
+    (equality-predicate index), where a ``dht_scan`` reads the matching
+    partition locally.
+    """
+    plan = QueryPlan(timeout=timeout)
+    graph = plan.new_graph(
+        dissemination=DisseminationSpec(strategy="equality", namespace=namespace, key=key)
+    )
+    graph.add_operator("scan", "dht_scan", {"namespace": namespace})
+    upstream = "scan"
+    graph.add_operator(
+        "filter_key",
+        "selection",
+        {"predicate": predicate if predicate is not None else ["true"]},
+        inputs=[upstream],
+    )
+    upstream = "filter_key"
+    if columns:
+        graph.add_operator("project", "projection", {"columns": columns}, inputs=[upstream])
+        upstream = "project"
+    graph.add_operator("results", "result_handler", {}, inputs=[upstream])
+    return plan
+
+
+def broadcast_scan_plan(
+    table: str,
+    source: str = "local_table",
+    predicate: Optional[Any] = None,
+    columns: Optional[List[str]] = None,
+    timeout: float = 15.0,
+) -> QueryPlan:
+    """SELECT [columns] FROM table WHERE predicate, over every node's data.
+
+    ``source`` selects the access method: ``local_table`` for per-node data
+    (monitoring logs) or ``dht_scan`` for a table published into the DHT.
+    """
+    plan = QueryPlan(timeout=timeout)
+    graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    if source == "local_table":
+        graph.add_operator("scan", "local_table", {"table": table})
+    else:
+        graph.add_operator("scan", "dht_scan", {"namespace": table})
+    upstream = "scan"
+    if predicate is not None:
+        graph.add_operator("select", "selection", {"predicate": predicate}, inputs=[upstream])
+        upstream = "select"
+    if columns:
+        graph.add_operator("project", "projection", {"columns": columns}, inputs=[upstream])
+        upstream = "project"
+    graph.add_operator("results", "result_handler", {"batch": 16}, inputs=[upstream])
+    return plan
+
+
+def flat_aggregation_plan(
+    table: str,
+    group_columns: List[str],
+    aggregates: List[Any],
+    source: str = "local_table",
+    predicate: Optional[Any] = None,
+    timeout: float = 20.0,
+    output_table: str = "aggregate",
+    rendezvous: str = "agg_rehash",
+) -> QueryPlan:
+    """Two-opgraph multi-phase aggregation via a rehash exchange.
+
+    Opgraph 0 (broadcast): scan -> [select] -> partial aggregate -> put
+    (partitioned by group key).  Opgraph 1 (broadcast): dht_scan of the
+    rendezvous namespace -> merge aggregate -> result handler.  Each group's
+    partials all land on the node owning that group key, which produces the
+    final row for the group.
+    """
+    plan = QueryPlan(timeout=timeout)
+    producer = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    if source == "local_table":
+        producer.add_operator("scan", "local_table", {"table": table})
+    else:
+        producer.add_operator("scan", "dht_scan", {"namespace": table})
+    upstream = "scan"
+    if predicate is not None:
+        producer.add_operator("select", "selection", {"predicate": predicate}, inputs=[upstream])
+        upstream = "select"
+    producer.add_operator(
+        "partial",
+        "partial_aggregate",
+        {
+            "group_columns": group_columns,
+            "aggregates": aggregates,
+            "output_table": output_table,
+            "window": max(timeout / 4.0, 1.0),
+        },
+        inputs=[upstream],
+    )
+    producer.add_operator(
+        "rehash",
+        "put",
+        {"namespace": rendezvous, "key_columns": group_columns or ["__group_key__"]},
+        inputs=["partial"],
+    )
+    consumer = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    consumer.add_operator(
+        "scan_partials", "dht_scan", {"namespace": rendezvous, "scoped": True}
+    )
+    consumer.add_operator(
+        "merge",
+        "merge_aggregate",
+        {
+            "group_columns": group_columns,
+            "aggregates": aggregates,
+            "output_table": output_table,
+        },
+        inputs=["scan_partials"],
+    )
+    consumer.add_operator("results", "result_handler", {"batch": 16}, inputs=["merge"])
+    return plan
+
+
+def hierarchical_aggregation_plan(
+    table: str,
+    group_columns: List[str],
+    aggregates: List[Any],
+    source: str = "local_table",
+    predicate: Optional[Any] = None,
+    timeout: float = 20.0,
+    output_table: str = "aggregate",
+    local_wait: float = 2.0,
+    hold: float = 1.0,
+) -> QueryPlan:
+    """Single-opgraph aggregation over the in-network aggregation tree."""
+    plan = QueryPlan(timeout=timeout)
+    graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    if source == "local_table":
+        graph.add_operator("scan", "local_table", {"table": table})
+    else:
+        graph.add_operator("scan", "dht_scan", {"namespace": table})
+    upstream = "scan"
+    if predicate is not None:
+        graph.add_operator("select", "selection", {"predicate": predicate}, inputs=[upstream])
+        upstream = "select"
+    graph.add_operator(
+        "hier_agg",
+        "hierarchical_aggregate",
+        {
+            "group_columns": group_columns,
+            "aggregates": aggregates,
+            "output_table": output_table,
+            "local_wait": local_wait,
+            "hold": hold,
+        },
+        inputs=[upstream],
+    )
+    graph.add_operator("results", "result_handler", {"batch": 16}, inputs=["hier_agg"])
+    return plan
+
+
+def symmetric_hash_join_plan(
+    left_table: str,
+    right_table: str,
+    left_columns: List[str],
+    right_columns: List[str],
+    source: str = "dht_scan",
+    timeout: float = 20.0,
+    output_table: Optional[str] = None,
+    rendezvous: str = "join_rehash",
+) -> QueryPlan:
+    """Distributed equi-join by rehashing both inputs on the join key.
+
+    Opgraph 0 (broadcast) republishes both tables into a query-scoped
+    rendezvous namespace partitioned on the join key; opgraph 1 (broadcast)
+    scans the rendezvous partition at each node and runs a symmetric hash
+    join locally, shipping results to the proxy.
+    """
+    plan = QueryPlan(timeout=timeout)
+    producer = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    scan_type = "local_table" if source == "local_table" else "dht_scan"
+    left_param = {"table": left_table} if scan_type == "local_table" else {"namespace": left_table}
+    right_param = (
+        {"table": right_table} if scan_type == "local_table" else {"namespace": right_table}
+    )
+    producer.add_operator("scan_left", scan_type, left_param)
+    producer.add_operator("scan_right", scan_type, right_param)
+    producer.add_operator(
+        "extend_left",
+        "projection",
+        {
+            "keep_all": True,
+            "computed": {
+                "__join_key__": _key_expression(left_columns),
+                "__source_table__": ["lit", left_table],
+            },
+        },
+        inputs=["scan_left"],
+    )
+    producer.add_operator(
+        "extend_right",
+        "projection",
+        {
+            "keep_all": True,
+            "computed": {
+                "__join_key__": _key_expression(right_columns),
+                "__source_table__": ["lit", right_table],
+            },
+        },
+        inputs=["scan_right"],
+    )
+    producer.add_operator("union_both", "union", {}, inputs=["extend_left", "extend_right"])
+    producer.add_operator(
+        "rehash",
+        "put",
+        {"namespace": rendezvous, "key_columns": ["__join_key__"]},
+        inputs=["union_both"],
+    )
+    consumer = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    consumer.add_operator("scan_rehash", "dht_scan", {"namespace": rendezvous, "scoped": True})
+    consumer.add_operator(
+        "split_left",
+        "selection",
+        {"predicate": ["eq", ["col", "__source_table__"], ["lit", left_table]]},
+        inputs=["scan_rehash"],
+    )
+    consumer.add_operator(
+        "split_right",
+        "selection",
+        {"predicate": ["eq", ["col", "__source_table__"], ["lit", right_table]]},
+        inputs=["scan_rehash"],
+    )
+    consumer.add_operator(
+        "join",
+        "symmetric_hash_join",
+        {
+            "left_columns": ["__join_key__"],
+            "right_columns": ["__join_key__"],
+            "output_table": output_table,
+        },
+        inputs=["split_left", "split_right"],
+    )
+    consumer.add_operator("results", "result_handler", {"batch": 16}, inputs=["join"])
+    return plan
+
+
+def fetch_matches_join_plan(
+    outer_table: str,
+    inner_namespace: str,
+    outer_columns: List[str],
+    source: str = "dht_scan",
+    outer_predicate: Optional[Any] = None,
+    timeout: float = 20.0,
+    output_table: Optional[str] = None,
+) -> QueryPlan:
+    """Distributed index join: probe the inner table's primary DHT index for
+    each (filtered) outer tuple."""
+    plan = QueryPlan(timeout=timeout)
+    graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    if source == "local_table":
+        graph.add_operator("scan_outer", "local_table", {"table": outer_table})
+    else:
+        graph.add_operator("scan_outer", "dht_scan", {"namespace": outer_table})
+    upstream = "scan_outer"
+    if outer_predicate is not None:
+        graph.add_operator(
+            "select_outer", "selection", {"predicate": outer_predicate}, inputs=[upstream]
+        )
+        upstream = "select_outer"
+    graph.add_operator(
+        "fetch_join",
+        "fetch_matches_join",
+        {
+            "outer_columns": outer_columns,
+            "inner_namespace": inner_namespace,
+            "output_table": output_table,
+        },
+        inputs=[upstream],
+    )
+    graph.add_operator("results", "result_handler", {"batch": 16}, inputs=["fetch_join"])
+    return plan
+
+
+def _key_expression(columns: Sequence[str]) -> Any:
+    """An expression computing a composite join key from column values."""
+    if len(columns) == 1:
+        return ["col", columns[0]]
+    expression: Any = ["concat"]
+    for index, column in enumerate(columns):
+        if index:
+            expression.append(["lit", "\x1f"])
+        expression.append(["col", column])
+    return expression

@@ -1,0 +1,132 @@
+"""The proxy node role (paper Section 3.3.2).
+
+A client opens a (TCP) connection to any PIER node, which becomes its
+*proxy*: the proxy parses the query, disseminates its opgraphs, receives
+answer tuples produced anywhere in the network, and forwards them to the
+client.  Queries terminate by timeout; the proxy then reports the collected
+result set to the client's completion callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.overlay.wrapper import OverlayNode
+from repro.qp.dissemination import QueryDisseminator
+from repro.qp.executor import QueryExecutor
+from repro.qp.opgraph import OpGraph, QueryPlan
+from repro.qp.operators.exchange import RESULT_NAMESPACE
+from repro.qp.tuples import MalformedTupleError, Tuple
+
+ResultCallback = Callable[[Tuple], None]
+DoneCallback = Callable[["QueryHandle"], None]
+
+
+@dataclass
+class QueryHandle:
+    """The proxy's view of one running query."""
+
+    plan: QueryPlan
+    submitted_at: float
+    results: List[Tuple] = field(default_factory=list)
+    result_callback: Optional[ResultCallback] = None
+    done_callback: Optional[DoneCallback] = None
+    finished: bool = False
+    first_result_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def query_id(self) -> str:
+        return self.plan.query_id
+
+    @property
+    def first_result_latency(self) -> Optional[float]:
+        if self.first_result_at is None:
+            return None
+        return self.first_result_at - self.submitted_at
+
+
+class ProxyService:
+    """Per-node service implementing the proxy role for local clients."""
+
+    def __init__(
+        self,
+        overlay: OverlayNode,
+        executor: QueryExecutor,
+        disseminator: QueryDisseminator,
+    ) -> None:
+        self.overlay = overlay
+        self.executor = executor
+        self.disseminator = disseminator
+        self._queries: Dict[str, QueryHandle] = {}
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.overlay.new_data(RESULT_NAMESPACE, self._on_result_message)
+
+    # -- client API ----------------------------------------------------------- #
+    def submit(
+        self,
+        plan: QueryPlan,
+        result_callback: Optional[ResultCallback] = None,
+        done_callback: Optional[DoneCallback] = None,
+    ) -> QueryHandle:
+        """Parse-time validation, dissemination, and result registration."""
+        plan.validate()
+        handle = QueryHandle(
+            plan=plan,
+            submitted_at=self.overlay.runtime.get_current_time(),
+            result_callback=result_callback,
+            done_callback=done_callback,
+        )
+        self._queries[plan.query_id] = handle
+        for graph in plan.opgraphs:
+            self.disseminator.disseminate(plan, graph, proxy_address=self.overlay.address)
+        # The proxy reports completion shortly after the query timeout so
+        # that the last flush-produced results have time to arrive.
+        self.overlay.runtime.schedule_event(
+            plan.timeout + 1.0, plan.query_id, self._on_query_timeout
+        )
+        return handle
+
+    def query(self, query_id: str) -> Optional[QueryHandle]:
+        return self._queries.get(query_id)
+
+    # -- result delivery -------------------------------------------------------- #
+    def deliver_local_result(self, query_id: str, tup: Tuple) -> None:
+        """Results produced by an opgraph running on the proxy node itself."""
+        self._record_result(query_id, tup)
+
+    def _on_result_message(self, _namespace: str, key: object, value: object) -> None:
+        query_id = str(key)
+        if not isinstance(value, list):
+            value = [value]
+        for payload in value:
+            try:
+                tup = payload if isinstance(payload, Tuple) else Tuple.from_dict(payload)
+            except MalformedTupleError:
+                continue
+            self._record_result(query_id, tup)
+
+    def _record_result(self, query_id: str, tup: Tuple) -> None:
+        handle = self._queries.get(query_id)
+        if handle is None or handle.finished:
+            return
+        if handle.first_result_at is None:
+            handle.first_result_at = self.overlay.runtime.get_current_time()
+        handle.results.append(tup)
+        if handle.result_callback is not None:
+            handle.result_callback(tup)
+
+    def _on_query_timeout(self, query_id: str) -> None:
+        handle = self._queries.get(query_id)
+        if handle is None or handle.finished:
+            return
+        handle.finished = True
+        handle.finished_at = self.overlay.runtime.get_current_time()
+        if handle.done_callback is not None:
+            handle.done_callback(handle)

@@ -1,0 +1,175 @@
+"""Bandwidth-reducing join rewrites (paper Sections 2.1.1 and 3.3.4).
+
+The symmetric-hash rehash join ships *every* tuple of both relations across
+the network.  Two classic rewrites reduce that traffic:
+
+* **Bloom join** — each site first publishes a Bloom filter of its local
+  join keys; the other relation is rehashed only where the filter says a
+  match is possible.
+* **Semi-join** — a query explicitly joins a (key, tupleID) *secondary
+  index* with the other relation first, and only the surviving tupleIDs are
+  dereferenced with a Fetch Matches join.
+
+Both rewrites are expressed purely as UFL plan shapes built from existing
+operators, exactly as the paper describes ("common rewrite strategies such
+as Bloom join and semi-joins can be constructed").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.qp.opgraph import DisseminationSpec, QueryPlan
+from repro.qp.plans import _key_expression
+
+
+def bloom_join_plan(
+    left_table: str,
+    right_table: str,
+    left_columns: List[str],
+    right_columns: List[str],
+    source: str = "dht_scan",
+    timeout: float = 25.0,
+    output_table: Optional[str] = None,
+    rendezvous: str = "bloom_join_rehash",
+    filter_namespace: str = "bloom_filters",
+    size_bits: int = 8192,
+) -> QueryPlan:
+    """Bloom join: filter the right relation by the left relation's keys
+    before rehashing, then symmetric-hash join the survivors."""
+    plan = QueryPlan(timeout=timeout)
+    scan_type = "local_table" if source == "local_table" else "dht_scan"
+
+    def scan_params(table: str) -> dict:
+        return {"table": table} if scan_type == "local_table" else {"namespace": table}
+
+    # Opgraph 0: build and publish Bloom filters over the left relation.
+    build = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    build.add_operator("scan_left", scan_type, scan_params(left_table))
+    build.add_operator(
+        "bloom",
+        "bloom_build",
+        {"columns": left_columns, "filter_namespace": filter_namespace, "size_bits": size_bits},
+        inputs=["scan_left"],
+    )
+
+    # Opgraph 1: rehash the left relation (it always travels) and the
+    # Bloom-filtered right relation into the rendezvous namespace.
+    rehash = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    rehash.add_operator("scan_left", scan_type, scan_params(left_table))
+    rehash.add_operator("scan_right", scan_type, scan_params(right_table))
+    rehash.add_operator(
+        "probe_right",
+        "bloom_probe",
+        {"columns": right_columns, "filter_namespace": filter_namespace},
+        inputs=["scan_right"],
+    )
+    rehash.add_operator(
+        "extend_left",
+        "projection",
+        {
+            "keep_all": True,
+            "computed": {
+                "__join_key__": _key_expression(left_columns),
+                "__source_table__": ["lit", left_table],
+            },
+        },
+        inputs=["scan_left"],
+    )
+    rehash.add_operator(
+        "extend_right",
+        "projection",
+        {
+            "keep_all": True,
+            "computed": {
+                "__join_key__": _key_expression(right_columns),
+                "__source_table__": ["lit", right_table],
+            },
+        },
+        inputs=["probe_right"],
+    )
+    rehash.add_operator("union_both", "union", {}, inputs=["extend_left", "extend_right"])
+    rehash.add_operator(
+        "rehash",
+        "put",
+        {"namespace": rendezvous, "key_columns": ["__join_key__"]},
+        inputs=["union_both"],
+    )
+
+    # Opgraph 2: join at the rendezvous partitions.
+    join = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    join.add_operator("scan_rehash", "dht_scan", {"namespace": rendezvous, "scoped": True})
+    join.add_operator(
+        "split_left",
+        "selection",
+        {"predicate": ["eq", ["col", "__source_table__"], ["lit", left_table]]},
+        inputs=["scan_rehash"],
+    )
+    join.add_operator(
+        "split_right",
+        "selection",
+        {"predicate": ["eq", ["col", "__source_table__"], ["lit", right_table]]},
+        inputs=["scan_rehash"],
+    )
+    join.add_operator(
+        "join",
+        "symmetric_hash_join",
+        {
+            "left_columns": ["__join_key__"],
+            "right_columns": ["__join_key__"],
+            "output_table": output_table,
+        },
+        inputs=["split_left", "split_right"],
+    )
+    join.add_operator("results", "result_handler", {"batch": 16}, inputs=["join"])
+    return plan
+
+
+def semi_join_plan(
+    outer_table: str,
+    index_namespace: str,
+    inner_namespace: str,
+    outer_columns: List[str],
+    source: str = "dht_scan",
+    outer_predicate: Optional[Any] = None,
+    timeout: float = 25.0,
+    output_table: Optional[str] = None,
+) -> QueryPlan:
+    """Semi-join through a secondary index (paper Section 3.3.3).
+
+    The secondary index (``index_namespace``) maps index keys to the base
+    table's partitioning keys.  The outer relation is first Fetch-Matches
+    joined against the index (shipping only keys), and the surviving
+    pointers are dereferenced against ``inner_namespace`` with a second
+    Fetch Matches join — "a distributed index join over a secondary index".
+    """
+    plan = QueryPlan(timeout=timeout)
+    graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    if source == "local_table":
+        graph.add_operator("scan_outer", "local_table", {"table": outer_table})
+    else:
+        graph.add_operator("scan_outer", "dht_scan", {"namespace": outer_table})
+    upstream = "scan_outer"
+    if outer_predicate is not None:
+        graph.add_operator(
+            "select_outer", "selection", {"predicate": outer_predicate}, inputs=[upstream]
+        )
+        upstream = "select_outer"
+    graph.add_operator(
+        "index_probe",
+        "fetch_matches_join",
+        {"outer_columns": outer_columns, "inner_namespace": index_namespace},
+        inputs=[upstream],
+    )
+    graph.add_operator(
+        "dereference",
+        "fetch_matches_join",
+        {
+            "outer_columns": ["base_key"],
+            "inner_namespace": inner_namespace,
+            "output_table": output_table,
+        },
+        inputs=["index_probe"],
+    )
+    graph.add_operator("results", "result_handler", {"batch": 16}, inputs=["dereference"])
+    return plan

@@ -1,0 +1,154 @@
+"""Self-describing tuples (paper Section 3.3.1).
+
+PIER keeps no system catalog, so every tuple carries its own table name,
+column names, and values.  Column values are native Python objects (the
+paper used native Java objects); type checking is deferred to the moment a
+comparison or function accesses the value, and tuples that do not match a
+query's expectations are discarded best-effort (Section 3.3.4, "Malformed
+Tuples").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple as PyTuple
+
+
+class MalformedTupleError(Exception):
+    """Raised internally when a tuple lacks a field or has an unusable type.
+
+    Operators catch this and silently drop the tuple ("best effort").
+    """
+
+
+class Tuple:
+    """An immutable, self-describing relational tuple."""
+
+    __slots__ = ("table", "_columns", "_values")
+
+    def __init__(self, table: str, values: Mapping[str, Any]) -> None:
+        self.table = table
+        self._columns: PyTuple[str, ...] = tuple(values.keys())
+        self._values: PyTuple[Any, ...] = tuple(values.values())
+
+    # -- construction ------------------------------------------------------ #
+    @staticmethod
+    def make(table: str, **values: Any) -> "Tuple":
+        return Tuple(table, values)
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "Tuple":
+        """Rebuild a tuple from its wire representation (see :meth:`to_dict`)."""
+        if not isinstance(payload, Mapping) or "table" not in payload or "values" not in payload:
+            raise MalformedTupleError(f"not a tuple payload: {payload!r}")
+        return Tuple(str(payload["table"]), dict(payload["values"]))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire representation: the self-describing form shipped in messages."""
+        return {"table": self.table, "values": dict(zip(self._columns, self._values))}
+
+    # -- access -------------------------------------------------------------- #
+    @property
+    def columns(self) -> PyTuple[str, ...]:
+        return self._columns
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def __getitem__(self, column: str) -> Any:
+        try:
+            return self._values[self._columns.index(column)]
+        except ValueError as exc:
+            raise MalformedTupleError(
+                f"tuple of table {self.table!r} has no column {column!r}"
+            ) from exc
+
+    def get(self, column: str, default: Any = None) -> Any:
+        if column in self._columns:
+            return self._values[self._columns.index(column)]
+        return default
+
+    def require(self, column: str, expected_type: Optional[type] = None) -> Any:
+        """Strict access used by operators: missing column or wrong type means
+        the tuple is malformed for this query and must be dropped."""
+        value = self[column]
+        if expected_type is not None and not isinstance(value, expected_type):
+            raise MalformedTupleError(
+                f"column {column!r} of table {self.table!r} is "
+                f"{type(value).__name__}, expected {expected_type.__name__}"
+            )
+        return value
+
+    def values(self) -> PyTuple[Any, ...]:
+        return self._values
+
+    def as_mapping(self) -> Dict[str, Any]:
+        return dict(zip(self._columns, self._values))
+
+    # -- derivation ------------------------------------------------------------ #
+    def project(self, columns: Iterable[str], table: Optional[str] = None) -> "Tuple":
+        """A new tuple with only ``columns`` (missing columns are malformed)."""
+        return Tuple(table or self.table, {column: self[column] for column in columns})
+
+    def extend(self, table: Optional[str] = None, **extra: Any) -> "Tuple":
+        values = self.as_mapping()
+        values.update(extra)
+        return Tuple(table or self.table, values)
+
+    def rename(self, table: str) -> "Tuple":
+        return Tuple(table, self.as_mapping())
+
+    def join(self, other: "Tuple", table: Optional[str] = None) -> "Tuple":
+        """Concatenate two tuples; colliding columns are prefixed with the
+        source table name, which keeps both values visible."""
+        values: Dict[str, Any] = {}
+        for column, value in zip(self._columns, self._values):
+            values[column] = value
+        for column, value in zip(other._columns, other._values):
+            if column in values and values[column] != value:
+                values[f"{other.table}.{column}"] = value
+            else:
+                values[column] = value
+        return Tuple(table or f"{self.table}*{other.table}", values)
+
+    # -- identity ---------------------------------------------------------------- #
+    def key(self, columns: Iterable[str]) -> PyTuple[Any, ...]:
+        """A hashable key built from the named columns (for joins/group-by)."""
+        return tuple(self[column] for column in columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return self.table == other.table and self.as_mapping() == other.as_mapping()
+
+    def __hash__(self) -> int:
+        return hash((self.table, self._columns, _hashable(self._values)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c}={v!r}" for c, v in zip(self._columns, self._values))
+        return f"Tuple({self.table}: {inner})"
+
+
+def _hashable(values: PyTuple[Any, ...]) -> PyTuple[Any, ...]:
+    converted: List[Any] = []
+    for value in values:
+        if isinstance(value, (list, set)):
+            converted.append(tuple(value))
+        elif isinstance(value, dict):
+            converted.append(tuple(sorted(value.items())))
+        else:
+            converted.append(value)
+    return tuple(converted)
+
+
+def malformed_guard(function: Callable[..., Any]) -> Callable[..., Any]:
+    """Decorator implementing the best-effort policy: if evaluating
+    ``function`` raises a malformed-tuple or type error, the caller sees
+    ``None`` and should drop the tuple."""
+
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        try:
+            return function(*args, **kwargs)
+        except (MalformedTupleError, TypeError, KeyError, AttributeError):
+            return None
+
+    return wrapper

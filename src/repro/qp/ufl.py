@@ -1,0 +1,95 @@
+"""UFL: the textual form of PIER's native query language (Section 3.3.2).
+
+UFL queries are direct specifications of physical execution plans — "box
+and arrow" dataflow graphs in the spirit of Aurora and the Click router.
+This module provides the parser and serializer for a JSON-based UFL text
+format, which is what travels between the Lighthouse-style front-end tools
+and the proxy node.  A UFL document looks like::
+
+    {
+      "query_id": "q1",
+      "timeout": 20.0,
+      "opgraphs": [
+        {
+          "graph_id": "q1-g0",
+          "dissemination": {"strategy": "broadcast"},
+          "operators": [
+            {"id": "scan", "type": "local_table", "params": {"table": "events"}},
+            {"id": "results", "type": "result_handler", "inputs": ["scan"]}
+          ]
+        }
+      ]
+    }
+
+UFL is a typed syntax in the paper; here, parameter types are validated
+against each operator's declared schema at parse time — but, exactly as the
+paper notes, column references cannot be checked because there is no
+catalog.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.qp.opgraph import OpGraph, QueryPlan
+from repro.qp.operators.base import registered_operator_types
+
+
+class UFLParseError(ValueError):
+    """Raised when a UFL document cannot be parsed into a query plan."""
+
+
+def parse_ufl(text: str) -> QueryPlan:
+    """Parse a UFL document (JSON text) into a validated :class:`QueryPlan`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise UFLParseError(f"invalid UFL document: {exc}") from exc
+    return plan_from_payload(payload)
+
+
+def plan_from_payload(payload: Mapping[str, Any]) -> QueryPlan:
+    """Build a plan from an already-decoded UFL payload."""
+    if not isinstance(payload, Mapping):
+        raise UFLParseError("UFL document must be a JSON object")
+    if "opgraphs" not in payload or not payload["opgraphs"]:
+        raise UFLParseError("UFL document must contain at least one opgraph")
+    known_types = set(registered_operator_types())
+    plan = QueryPlan(
+        query_id=payload.get("query_id", QueryPlan().query_id),
+        timeout=float(payload.get("timeout", 30.0)),
+        metadata=dict(payload.get("metadata", {})),
+    )
+    for graph_payload in payload["opgraphs"]:
+        graph = OpGraph.from_dict(_normalise_graph(graph_payload, plan.query_id))
+        for spec in graph.operators.values():
+            if spec.op_type not in known_types:
+                raise UFLParseError(
+                    f"opgraph {graph.graph_id!r} uses unknown operator type {spec.op_type!r}"
+                )
+        plan.add_graph(graph)
+    try:
+        plan.validate()
+    except ValueError as exc:
+        raise UFLParseError(str(exc)) from exc
+    return plan
+
+
+def _normalise_graph(graph_payload: Mapping[str, Any], query_id: str) -> Dict[str, Any]:
+    if "operators" not in graph_payload:
+        raise UFLParseError("opgraph missing 'operators'")
+    payload = dict(graph_payload)
+    payload.setdefault("graph_id", f"{query_id}-g{id(graph_payload) & 0xFFFF}")
+    return payload
+
+
+def to_ufl(plan: QueryPlan, indent: Optional[int] = 2) -> str:
+    """Serialise a plan back to UFL text."""
+    return json.dumps(plan.to_dict(), indent=indent, default=_json_default)
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    raise TypeError(f"cannot serialise {type(value).__name__} in UFL")

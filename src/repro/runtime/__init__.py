@@ -1,0 +1,37 @@
+"""Execution environments for PIER (paper Section 3.1).
+
+PIER achieves multiprogramming with a single-threaded, event-based model.
+All node logic is written against the narrow :class:`~repro.runtime.vri.
+VirtualRuntime` interface, which can be bound either to the
+:class:`~repro.runtime.simulation.SimulationEnvironment` (discrete-event
+simulation of thousands of nodes in one process, Figure 4) or to the
+:class:`~repro.runtime.physical.PhysicalEnvironment` (real UDP/TCP sockets,
+Figure 3).  This is the paper's "native simulation" requirement: the same
+program code runs in both environments.
+"""
+
+from repro.runtime.events import Event, NetworkEvent, TimerEvent
+from repro.runtime.scheduler import MainScheduler
+from repro.runtime.simulation import SimulatedNodeRuntime, SimulationEnvironment
+from repro.runtime.topology import StarTopology, TransitStubTopology
+from repro.runtime.congestion import (
+    FIFOQueueModel,
+    FairQueuingModel,
+    NoCongestionModel,
+)
+from repro.runtime.vri import VirtualRuntime
+
+__all__ = [
+    "Event",
+    "TimerEvent",
+    "NetworkEvent",
+    "MainScheduler",
+    "SimulationEnvironment",
+    "SimulatedNodeRuntime",
+    "StarTopology",
+    "TransitStubTopology",
+    "NoCongestionModel",
+    "FairQueuingModel",
+    "FIFOQueueModel",
+    "VirtualRuntime",
+]

@@ -1,0 +1,119 @@
+"""Churn generation: node failures, departures, and arrivals.
+
+The paper stresses that DHTs (and therefore PIER) must operate under churn
+— the steady arrival and departure of participating machines.  The
+simulator supports complete node failures; this module drives them on a
+schedule so experiments (soft-state availability, routing resilience) can
+sweep churn rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.runtime.simulation import SimulationEnvironment
+
+
+@dataclass
+class ChurnEvent:
+    """A record of one churn action for post-hoc analysis."""
+
+    time: float
+    address: int
+    action: str  # "fail" or "recover"
+
+
+class ChurnProcess:
+    """Poisson-ish churn: every ``interval`` seconds, fail a random live
+    node and (optionally) recover a random failed node.
+
+    ``session_time`` controls how long a failed node stays down before it
+    becomes eligible for recovery.  The process never fails nodes listed in
+    ``protected`` (e.g. the proxy node of a running query).
+    """
+
+    def __init__(
+        self,
+        environment: SimulationEnvironment,
+        interval: float,
+        session_time: float = 30.0,
+        protected: Optional[List[int]] = None,
+        seed: int = 0,
+        recover: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.environment = environment
+        self.interval = interval
+        self.session_time = session_time
+        self.protected = set(protected or [])
+        self.recover = recover
+        self.rng = random.Random(seed)
+        self.history: List[ChurnEvent] = []
+        self._failed: List[int] = []
+        self._running = False
+        self._on_fail: List[Callable[[int], None]] = []
+        self._on_recover: List[Callable[[int], None]] = []
+
+    def on_fail(self, callback: Callable[[int], None]) -> None:
+        self._on_fail.append(callback)
+
+    def on_recover(self, callback: Callable[[int], None]) -> None:
+        self._on_recover.append(callback)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.environment.scheduler.schedule_callback(self.interval, self._tick, None)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals ------------------------------------------------------- #
+    def _tick(self, _data: object) -> None:
+        if not self._running:
+            return
+        self._fail_one()
+        if self.recover:
+            self._recover_due()
+        self.environment.scheduler.schedule_callback(self.interval, self._tick, None)
+
+    def _fail_one(self) -> None:
+        candidates = [
+            address
+            for address in range(self.environment.node_count)
+            if self.environment.is_alive(address) and address not in self.protected
+        ]
+        if not candidates:
+            return
+        address = self.rng.choice(candidates)
+        self.environment.fail_node(address)
+        self._failed.append(address)
+        self.history.append(
+            ChurnEvent(time=self.environment.now, address=address, action="fail")
+        )
+        for callback in self._on_fail:
+            callback(address)
+
+    def _recover_due(self) -> None:
+        now = self.environment.now
+        due = {
+            event.address
+            for event in self.history
+            if event.action == "fail"
+            and now - event.time >= self.session_time
+            and event.address in self._failed
+        }
+        for address in due:
+            self._failed.remove(address)
+            self.environment.recover_node(address)
+            self.history.append(ChurnEvent(time=now, address=address, action="recover"))
+            for callback in self._on_recover:
+                callback(address)
+
+    @property
+    def failed_nodes(self) -> List[int]:
+        return list(self._failed)

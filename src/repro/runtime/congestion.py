@@ -1,0 +1,150 @@
+"""Congestion models for the Simulation Environment (Section 3.1.4).
+
+The paper's simulator supports three congestion models: *no congestion*
+(messages only see propagation latency), *FIFO queuing* (each node has a
+single outbound queue drained at the access-link bandwidth), and *fair
+queuing* (the outbound link is shared equally among concurrent flows).
+
+A congestion model maps a message send at time ``t`` to the time at which
+the message arrives at the destination, given the link properties from the
+topology.  Messages are simulated at message granularity, as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import DefaultDict, Dict, Tuple
+
+from repro.runtime.topology import LinkProperties
+
+
+class CongestionModel:
+    """Base class.  Subclasses implement :meth:`arrival_time`."""
+
+    def arrival_time(
+        self,
+        send_time: float,
+        source: int,
+        destination: int,
+        size_bytes: int,
+        link: LinkProperties,
+    ) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all queue state (used between simulation runs)."""
+
+
+class NoCongestionModel(CongestionModel):
+    """Messages experience propagation latency plus serialisation only."""
+
+    def arrival_time(
+        self,
+        send_time: float,
+        source: int,
+        destination: int,
+        size_bytes: int,
+        link: LinkProperties,
+    ) -> float:
+        transmit = _transmit_time(size_bytes, link.bandwidth_bps)
+        return send_time + link.latency_s + transmit
+
+
+class FIFOQueueModel(CongestionModel):
+    """Single outbound FIFO queue per source node.
+
+    Each message must wait for all previously enqueued messages at the same
+    source to finish transmitting before its own transmission starts.
+    """
+
+    def __init__(self) -> None:
+        self._link_free_at: DefaultDict[int, float] = defaultdict(float)
+
+    def reset(self) -> None:
+        self._link_free_at.clear()
+
+    def arrival_time(
+        self,
+        send_time: float,
+        source: int,
+        destination: int,
+        size_bytes: int,
+        link: LinkProperties,
+    ) -> float:
+        transmit = _transmit_time(size_bytes, link.bandwidth_bps)
+        start = max(send_time, self._link_free_at[source])
+        finish = start + transmit
+        self._link_free_at[source] = finish
+        return finish + link.latency_s
+
+
+class FairQueuingModel(CongestionModel):
+    """Approximate per-destination fair queuing at the outbound link.
+
+    Implemented as start-time fair queuing over virtual finish times: each
+    (source, destination) flow keeps its own virtual finish time, and the
+    source link is modelled as serving flows proportionally.  The
+    approximation penalises a message by the number of flows concurrently
+    backlogged at the source, which captures the qualitative behaviour
+    (one heavy flow cannot starve light flows).
+    """
+
+    def __init__(self) -> None:
+        self._flow_finish: Dict[Tuple[int, int], float] = {}
+        self._link_finish: DefaultDict[int, float] = defaultdict(float)
+
+    def reset(self) -> None:
+        self._flow_finish.clear()
+        self._link_finish.clear()
+
+    def _backlogged_flows(self, source: int, at_time: float) -> int:
+        return sum(
+            1
+            for (flow_source, _), finish in self._flow_finish.items()
+            if flow_source == source and finish > at_time
+        )
+
+    def arrival_time(
+        self,
+        send_time: float,
+        source: int,
+        destination: int,
+        size_bytes: int,
+        link: LinkProperties,
+    ) -> float:
+        flow = (source, destination)
+        base_transmit = _transmit_time(size_bytes, link.bandwidth_bps)
+        concurrent = max(1, self._backlogged_flows(source, send_time) + 1)
+        transmit = base_transmit * concurrent
+        start = max(send_time, self._flow_finish.get(flow, 0.0))
+        finish = start + transmit
+        self._flow_finish[flow] = finish
+        self._link_finish[source] = max(self._link_finish[source], finish)
+        return finish + link.latency_s
+
+
+def _transmit_time(size_bytes: int, bandwidth_bps: float) -> float:
+    if bandwidth_bps <= 0 or bandwidth_bps == float("inf"):
+        return 0.0
+    return (size_bytes * 8.0) / bandwidth_bps
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters the simulator keeps about network usage."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+
+    def record_send(self, size_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+
+    def record_delivery(self) -> None:
+        self.messages_delivered += 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1

@@ -1,0 +1,79 @@
+"""Event types dispatched by the Main Scheduler (paper Section 3.1.2).
+
+All computation in PIER is triggered either by the expiration of a timer or
+by the arrival of a network message.  Events carry an opaque
+``callback_data`` payload plus the callable (``callback_client``) that will
+handle them; handlers run to completion on the single scheduler thread and
+must never block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+_event_counter = itertools.count()
+
+
+def _next_sequence() -> int:
+    """Monotonically increasing tiebreaker so heap ordering is stable."""
+    return next(_event_counter)
+
+
+@dataclass
+class Event:
+    """A schedulable unit of work.
+
+    Events order by ``(time, sequence)`` so that simultaneous events are
+    dispatched in the order they were scheduled (FIFO within a timestamp),
+    which keeps discrete-event simulation deterministic.  Ordering is
+    defined explicitly (rather than via ``dataclass(order=True)``) so that
+    different event subclasses can be mixed in one priority queue.
+    """
+
+    time: float
+    sequence: int = field(default_factory=_next_sequence)
+    node_id: Optional[int] = None
+    callback: Optional[Callable[..., None]] = None
+    callback_data: Any = None
+    cancelled: bool = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) <= (other.time, other.sequence)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it is dequeued."""
+        self.cancelled = True
+
+    def dispatch(self) -> None:
+        """Invoke the event's callback.  Subclasses customise arguments."""
+        if self.callback is not None:
+            self.callback(self.callback_data)
+
+
+@dataclass
+class TimerEvent(Event):
+    """An event created by ``scheduleEvent`` on the VRI clock interface."""
+
+
+@dataclass
+class NetworkEvent(Event):
+    """Arrival of a network message at a node.
+
+    ``source`` and ``destination`` are node addresses in the environment's
+    address space (integers for the simulator, ``(host, port)`` pairs for
+    the physical runtime).  ``payload`` is the application message.
+    """
+
+    source: Any = None
+    destination: Any = None
+    payload: Any = None
+    size_bytes: int = 0
+
+    def dispatch(self) -> None:
+        if self.callback is not None:
+            self.callback(self.source, self.payload)

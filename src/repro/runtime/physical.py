@@ -1,0 +1,315 @@
+"""The Physical Runtime Environment (paper Section 3.1.3, Figure 3).
+
+This binding of the Virtual Runtime Interface runs against real sockets on
+the local machine.  As in the paper, a single Main Scheduler thread
+dispatches timer and network events, while a separate I/O thread marshals
+outbound messages onto the network and unmarshals inbound ones into the
+scheduler's queue.
+
+The physical environment exists to demonstrate that the same program code
+that runs under the discrete-event simulator can be bound to real UDP/TCP
+transports ("native simulation").  Tests exercise it on the loopback
+interface with a handful of nodes; large-scale experiments use the
+simulator, exactly as the paper did for scales beyond PlanetLab.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runtime.events import Event
+from repro.runtime.scheduler import MainScheduler
+from repro.runtime.vri import (
+    PortRegistry,
+    TCPConnection,
+    TCPListener,
+    UDPListener,
+    VirtualRuntime,
+)
+
+Address = Tuple[str, int]
+
+
+@dataclass
+class _OutboundDatagram:
+    source_port: int
+    destination: Tuple[Address, int]
+    payload: Any
+    callback_data: Any
+    callback_client: Optional[UDPListener]
+
+
+class PhysicalNodeRuntime(VirtualRuntime):
+    """A VRI bound to real sockets for one process-local node.
+
+    Each node owns one UDP socket; logical VRI "ports" are multiplexed over
+    it by tagging every datagram with the logical destination port.  TCP is
+    provided by per-connection sockets serviced by the I/O thread.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", udp_port: int = 0) -> None:
+        self.scheduler = MainScheduler()
+        self._ports = PortRegistry()
+        self._udp_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._udp_socket.bind((host, udp_port))
+        self._udp_socket.settimeout(0.05)
+        self._address: Address = self._udp_socket.getsockname()
+        self._outbound: "queue.Queue[Optional[_OutboundDatagram]]" = queue.Queue()
+        self._inbound: "queue.Queue[Tuple[Any, Any]]" = queue.Queue()
+        self._running = False
+        self._io_thread: Optional[threading.Thread] = None
+        self._start_time = time.monotonic()
+        self._tcp_connections: Dict[int, Tuple[TCPConnection, socket.socket, TCPListener]] = {}
+        self._next_connection_id = 0
+        self._tcp_servers: Dict[int, socket.socket] = {}
+
+    # -- lifecycle --------------------------------------------------------- #
+    def start(self) -> None:
+        """Start the background I/O thread."""
+        if self._running:
+            return
+        self._running = True
+        self._io_thread = threading.Thread(target=self._io_loop, daemon=True)
+        self._io_thread.start()
+
+    def stop(self) -> None:
+        """Stop the I/O thread and close sockets."""
+        self._running = False
+        self._outbound.put(None)
+        if self._io_thread is not None:
+            self._io_thread.join(timeout=2.0)
+        self._udp_socket.close()
+        for server in self._tcp_servers.values():
+            server.close()
+        for _conn, sock, _listener in list(self._tcp_connections.values()):
+            sock.close()
+
+    # -- identity ------------------------------------------------------------#
+    @property
+    def address(self) -> Address:
+        return self._address
+
+    # -- clock / scheduler -----------------------------------------------------#
+    def get_current_time(self) -> float:
+        return time.monotonic() - self._start_time
+
+    def schedule_event(
+        self,
+        delay: float,
+        callback_data: Any,
+        callback_client: Callable[[Any], None],
+    ) -> Event:
+        event = Event(
+            time=self.get_current_time() + max(0.0, delay),
+            callback=callback_client,
+            callback_data=callback_data,
+        )
+        self.scheduler.schedule(event)
+        return event
+
+    # -- UDP ---------------------------------------------------------------------#
+    def listen(self, port: int, callback_client: UDPListener) -> None:
+        self._ports.bind_udp(port, callback_client)
+
+    def release(self, port: int) -> None:
+        self._ports.release_udp(port)
+
+    def send(
+        self,
+        source_port: int,
+        destination: Tuple[Address, int],
+        payload: Any,
+        callback_data: Any = None,
+        callback_client: Optional[UDPListener] = None,
+    ) -> None:
+        self._outbound.put(
+            _OutboundDatagram(
+                source_port=source_port,
+                destination=destination,
+                payload=payload,
+                callback_data=callback_data,
+                callback_client=callback_client,
+            )
+        )
+
+    # -- TCP ---------------------------------------------------------------------#
+    def tcp_listen(self, port: int, callback_client: TCPListener) -> None:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self._address[0], port))
+        server.listen(16)
+        server.settimeout(0.05)
+        self._tcp_servers[port] = server
+        self._ports.bind_tcp(port, callback_client)
+
+    def tcp_release(self, port: int) -> None:
+        server = self._tcp_servers.pop(port, None)
+        if server is not None:
+            server.close()
+        self._ports.release_tcp(port)
+
+    def tcp_connect(
+        self, source_port: int, destination: Tuple[Address, int], callback_client: TCPListener
+    ) -> TCPConnection:
+        (host, _udp_port), port = destination
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.connect((host, port))
+        sock.settimeout(0.05)
+        self._next_connection_id += 1
+        connection = TCPConnection(
+            connection_id=self._next_connection_id,
+            local=(self._address, source_port),
+            remote=destination,
+        )
+        self._tcp_connections[connection.connection_id] = (connection, sock, callback_client)
+        return connection
+
+    def tcp_write(self, connection: TCPConnection, data: bytes) -> int:
+        entry = self._tcp_connections.get(connection.connection_id)
+        if entry is None or connection.closed:
+            raise ConnectionError("write on closed or unknown connection")
+        _connection, sock, _listener = entry
+        sock.sendall(len(data).to_bytes(4, "big") + data)
+        return len(data)
+
+    def tcp_disconnect(self, connection: TCPConnection) -> None:
+        entry = self._tcp_connections.pop(connection.connection_id, None)
+        connection.mark_closed()
+        if entry is not None:
+            entry[1].close()
+
+    # -- event pump ----------------------------------------------------------------#
+    def run(self, duration: float) -> int:
+        """Run the scheduler for ``duration`` wall-clock seconds."""
+        deadline = time.monotonic() + duration
+        dispatched = 0
+        while time.monotonic() < deadline:
+            dispatched += self._drain_inbound()
+            next_time = self.scheduler.peek_time()
+            now = self.get_current_time()
+            if next_time is not None and next_time <= now:
+                self.scheduler.step()
+                dispatched += 1
+                continue
+            time.sleep(0.002)
+        return dispatched
+
+    def _drain_inbound(self) -> int:
+        handled = 0
+        while True:
+            try:
+                kind, item = self._inbound.get_nowait()
+            except queue.Empty:
+                return handled
+            handled += 1
+            if kind == "udp":
+                source, port, payload = item
+                listener = self._ports.udp_listener(port)
+                if listener is not None:
+                    listener.handle_udp(source, payload)
+            elif kind == "ack":
+                callback_client, callback_data, success = item
+                callback_client.handle_udp_ack(callback_data, success)
+            elif kind == "tcp_new":
+                port, connection = item
+                listener = self._ports.tcp_listener(port)
+                if listener is not None:
+                    listener.handle_tcp_new(connection)
+            elif kind == "tcp_data":
+                connection, listener = item
+                listener.handle_tcp_data(connection)
+
+    # -- background I/O thread ---------------------------------------------------------#
+    def _io_loop(self) -> None:
+        while self._running:
+            self._flush_outbound()
+            self._poll_udp()
+            self._poll_tcp()
+
+    def _flush_outbound(self) -> None:
+        while True:
+            try:
+                datagram = self._outbound.get_nowait()
+            except queue.Empty:
+                return
+            if datagram is None:
+                return
+            (host, udp_port), logical_port = datagram.destination
+            wire = pickle.dumps(
+                {
+                    "port": logical_port,
+                    "source": (self._address, datagram.source_port),
+                    "payload": datagram.payload,
+                }
+            )
+            success = True
+            try:
+                self._udp_socket.sendto(wire, (host, udp_port))
+            except OSError:
+                success = False
+            if datagram.callback_client is not None:
+                self._inbound.put(
+                    ("ack", (datagram.callback_client, datagram.callback_data, success))
+                )
+
+    def _poll_udp(self) -> None:
+        try:
+            wire, _peer = self._udp_socket.recvfrom(65536)
+        except socket.timeout:
+            return
+        except OSError:
+            return
+        try:
+            message = pickle.loads(wire)
+        except Exception:  # noqa: BLE001 - malformed datagrams are dropped best-effort
+            return
+        self._inbound.put(("udp", (message["source"], message["port"], message["payload"])))
+
+    def _poll_tcp(self) -> None:
+        for port, server in list(self._tcp_servers.items()):
+            try:
+                sock, peer = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                continue
+            sock.settimeout(0.05)
+            self._next_connection_id += 1
+            connection = TCPConnection(
+                connection_id=self._next_connection_id,
+                local=(self._address, port),
+                remote=peer,
+            )
+            listener = self._ports.tcp_listener(port)
+            if listener is None:
+                sock.close()
+                continue
+            self._tcp_connections[connection.connection_id] = (connection, sock, listener)
+            self._inbound.put(("tcp_new", (port, connection)))
+        for connection_id, (connection, sock, listener) in list(self._tcp_connections.items()):
+            try:
+                header = sock.recv(4)
+            except socket.timeout:
+                continue
+            except OSError:
+                continue
+            if not header:
+                continue
+            length = int.from_bytes(header, "big")
+            body = b""
+            while len(body) < length:
+                try:
+                    chunk = sock.recv(length - len(body))
+                except socket.timeout:
+                    continue
+                if not chunk:
+                    break
+                body += chunk
+            connection.deliver(body)
+            self._inbound.put(("tcp_data", (connection, listener)))

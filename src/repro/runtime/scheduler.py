@@ -1,0 +1,133 @@
+"""The Main Scheduler: a single priority queue of pending events.
+
+Both the Physical Runtime Environment (Figure 3) and the Simulation
+Environment (Figure 4) are built around one instance of this scheduler.
+The simulator advances virtual time to the timestamp of the next event;
+the physical runtime waits on the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.runtime.events import Event
+
+
+class SchedulerStopped(RuntimeError):
+    """Raised when events are scheduled on a scheduler that has been shut down."""
+
+
+class MainScheduler:
+    """A priority queue of :class:`~repro.runtime.events.Event` objects.
+
+    The scheduler itself is time-agnostic: callers supply absolute
+    timestamps, and :meth:`run` dispatches events in timestamp order until
+    the queue drains, a time horizon is reached, or :meth:`stop` is called.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual (or wall-clock-synchronised) time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, event: Event) -> Event:
+        """Enqueue ``event`` for dispatch at ``event.time``.
+
+        Events scheduled in the past are dispatched at the current time
+        (they cannot rewind the clock).
+        """
+        if self._stopped:
+            raise SchedulerStopped("scheduler has been stopped")
+        if event.time < self._now:
+            event.time = self._now
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_callback(
+        self,
+        delay: float,
+        callback: Callable,
+        callback_data: object = None,
+        node_id: Optional[int] = None,
+    ) -> Event:
+        """Convenience helper: schedule ``callback(callback_data)`` after ``delay``."""
+        event = Event(
+            time=self._now + max(0.0, delay),
+            node_id=node_id,
+            callback=callback,
+            callback_data=callback_data,
+        )
+        return self.schedule(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next non-cancelled event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the single next event, advancing the clock to its time."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = max(self._now, event.time)
+        self.events_dispatched += 1
+        event.dispatch()
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Dispatch events until the queue drains or a bound is hit.
+
+        ``until`` is an absolute virtual-time horizon; events with a later
+        timestamp remain queued.  ``max_events`` bounds the number of
+        dispatches.  Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        self._running = True
+        try:
+            while self._running:
+                self._drop_cancelled()
+                if not self._queue:
+                    break
+                next_time = self._queue[0].time
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and dispatched >= max_events:
+                    break
+                self.step()
+                dispatched += 1
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_for(self, duration: float) -> int:
+        """Dispatch events for ``duration`` seconds of virtual time."""
+        return self.run(until=self._now + duration)
+
+    def stop(self) -> None:
+        """Stop an in-progress :meth:`run` after the current event."""
+        self._running = False
+
+    def shutdown(self) -> None:
+        """Discard all pending events and reject further scheduling."""
+        self._queue.clear()
+        self._stopped = True
+        self._running = False

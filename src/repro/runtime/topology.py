@@ -1,0 +1,178 @@
+"""Network topology models for the Simulation Environment (Section 3.1.4).
+
+The paper's simulator supports two standard topology types: *star* (every
+node hangs off a single virtual switch with a per-node access latency) and
+*transit-stub* (a small core of well-connected transit domains, each with
+several stub domains attached — the classic GT-ITM model of the Internet).
+
+A topology answers two questions for the network model:
+
+* the one-way propagation latency between two node addresses, and
+* the access-link bandwidth of a node (used by congestion models).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinkProperties:
+    """Latency and bandwidth of the path between two nodes."""
+
+    latency_s: float
+    bandwidth_bps: float
+
+
+class Topology:
+    """Base class: subclasses implement :meth:`link`."""
+
+    def __init__(self, node_count: int) -> None:
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        self.node_count = node_count
+
+    def link(self, source: int, destination: int) -> LinkProperties:
+        """Return the link properties for ``source -> destination``."""
+        raise NotImplementedError
+
+    def latency(self, source: int, destination: int) -> float:
+        return self.link(source, destination).latency_s
+
+    def bandwidth(self, source: int, destination: int) -> float:
+        return self.link(source, destination).bandwidth_bps
+
+    def validate_address(self, address: int) -> None:
+        if not 0 <= address < self.node_count:
+            raise ValueError(
+                f"address {address} outside topology of {self.node_count} nodes"
+            )
+
+
+class StarTopology(Topology):
+    """All nodes connect to one hub; end-to-end latency is the sum of the
+    two access links.  Per-node access latency is drawn uniformly from
+    ``[min_access_latency, max_access_latency]`` using a seeded RNG so the
+    topology is reproducible.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        min_access_latency: float = 0.010,
+        max_access_latency: float = 0.050,
+        access_bandwidth_bps: float = 1.5e6,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_count)
+        rng = random.Random(seed)
+        self.access_bandwidth_bps = access_bandwidth_bps
+        self._access_latency: List[float] = [
+            rng.uniform(min_access_latency, max_access_latency)
+            for _ in range(node_count)
+        ]
+
+    def access_latency(self, address: int) -> float:
+        self.validate_address(address)
+        return self._access_latency[address]
+
+    def link(self, source: int, destination: int) -> LinkProperties:
+        self.validate_address(source)
+        self.validate_address(destination)
+        if source == destination:
+            return LinkProperties(latency_s=0.0, bandwidth_bps=float("inf"))
+        latency = self._access_latency[source] + self._access_latency[destination]
+        return LinkProperties(latency_s=latency, bandwidth_bps=self.access_bandwidth_bps)
+
+
+class TransitStubTopology(Topology):
+    """A two-level transit-stub topology.
+
+    ``transit_domains`` transit (core) domains are fully meshed with
+    ``transit_latency`` between them.  Each transit domain has
+    ``stubs_per_transit`` stub domains attached by a ``stub_uplink_latency``
+    link; simulated nodes are assigned round-robin to stub domains.  Nodes
+    within the same stub domain see only the local ``lan_latency``.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        transit_domains: int = 4,
+        stubs_per_transit: int = 3,
+        transit_latency: float = 0.030,
+        stub_uplink_latency: float = 0.015,
+        lan_latency: float = 0.002,
+        access_bandwidth_bps: float = 1.5e6,
+        core_bandwidth_bps: float = 45e6,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_count)
+        if transit_domains <= 0 or stubs_per_transit <= 0:
+            raise ValueError("transit_domains and stubs_per_transit must be positive")
+        self.transit_domains = transit_domains
+        self.stubs_per_transit = stubs_per_transit
+        self.transit_latency = transit_latency
+        self.stub_uplink_latency = stub_uplink_latency
+        self.lan_latency = lan_latency
+        self.access_bandwidth_bps = access_bandwidth_bps
+        self.core_bandwidth_bps = core_bandwidth_bps
+        rng = random.Random(seed)
+        stub_count = transit_domains * stubs_per_transit
+        # Jitter each stub's uplink latency a little so paths are not all equal.
+        self._stub_uplink: List[float] = [
+            stub_uplink_latency * rng.uniform(0.5, 1.5) for _ in range(stub_count)
+        ]
+        self._node_stub: Dict[int, int] = {
+            address: address % stub_count for address in range(node_count)
+        }
+
+    def stub_of(self, address: int) -> int:
+        self.validate_address(address)
+        return self._node_stub[address]
+
+    def transit_of(self, address: int) -> int:
+        return self.stub_of(address) // self.stubs_per_transit
+
+    def link(self, source: int, destination: int) -> LinkProperties:
+        self.validate_address(source)
+        self.validate_address(destination)
+        if source == destination:
+            return LinkProperties(latency_s=0.0, bandwidth_bps=float("inf"))
+        source_stub = self.stub_of(source)
+        destination_stub = self.stub_of(destination)
+        if source_stub == destination_stub:
+            return LinkProperties(
+                latency_s=self.lan_latency, bandwidth_bps=self.access_bandwidth_bps
+            )
+        latency = self._stub_uplink[source_stub] + self._stub_uplink[destination_stub]
+        bandwidth = self.access_bandwidth_bps
+        if self.transit_of(source) != self.transit_of(destination):
+            latency += self.transit_latency
+        return LinkProperties(latency_s=latency, bandwidth_bps=bandwidth)
+
+
+class ExplicitTopology(Topology):
+    """A topology defined by an explicit latency matrix (useful in tests)."""
+
+    def __init__(
+        self,
+        latency_matrix: List[List[float]],
+        bandwidth_bps: float = 1.5e6,
+    ) -> None:
+        super().__init__(len(latency_matrix))
+        for row in latency_matrix:
+            if len(row) != self.node_count:
+                raise ValueError("latency matrix must be square")
+        self._latency = latency_matrix
+        self._bandwidth = bandwidth_bps
+
+    def link(self, source: int, destination: int) -> LinkProperties:
+        self.validate_address(source)
+        self.validate_address(destination)
+        bandwidth = float("inf") if source == destination else self._bandwidth
+        return LinkProperties(
+            latency_s=self._latency[source][destination], bandwidth_bps=bandwidth
+        )

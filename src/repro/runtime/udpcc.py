@@ -1,0 +1,169 @@
+"""UdpCC: acknowledged, congestion-controlled UDP (paper Section 3.1.3).
+
+PIER's primary transport is UDP, augmented by the UdpCC library which adds
+per-message acknowledgements and TCP-style congestion control, without
+in-order delivery guarantees.  This module reproduces the transport's
+observable behaviour on top of the VRI ``send``/``listen`` primitives:
+
+* every message is tracked until acknowledged;
+* senders are notified of delivery success or failure (after retries);
+* an AIMD congestion window bounds the number of unacknowledged messages
+  in flight to any one destination, with additional messages queued.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Deque, Dict, Optional, Tuple
+
+from repro.runtime.vri import VirtualRuntime
+
+DeliveryCallback = Callable[[bool, Any], None]
+
+
+@dataclass
+class _OutstandingMessage:
+    message_id: int
+    destination: Tuple[Any, int]
+    payload: Any
+    callback: Optional[DeliveryCallback]
+    callback_data: Any
+    attempts: int = 0
+
+
+@dataclass
+class _FlowState:
+    """AIMD congestion state for one destination."""
+
+    window: float = 4.0
+    in_flight: int = 0
+    queue: Deque[_OutstandingMessage] = field(default_factory=deque)
+
+    def on_ack(self) -> None:
+        # Additive increase, one message per window's worth of acks.
+        self.window = min(self.window + 1.0 / max(self.window, 1.0), 256.0)
+
+    def on_loss(self) -> None:
+        # Multiplicative decrease.
+        self.window = max(self.window / 2.0, 1.0)
+
+
+class UdpCCTransport:
+    """Reliable (acknowledged) message transport bound to one VRI port."""
+
+    MAX_ATTEMPTS = 4
+    RETRY_TIMEOUT = 1.0
+
+    def __init__(self, runtime: VirtualRuntime, port: int) -> None:
+        self.runtime = runtime
+        self.port = port
+        self._message_ids = itertools.count(1)
+        self._receive_handler: Optional[Callable[[Any, Any], None]] = None
+        self._flows: DefaultDict[Tuple[Any, int], _FlowState] = defaultdict(_FlowState)
+        self._outstanding: Dict[int, _OutstandingMessage] = {}
+        self.messages_sent = 0
+        self.messages_failed = 0
+        runtime.listen(port, self)
+
+    # -- public API -------------------------------------------------------#
+    def on_receive(self, handler: Callable[[Any, Any], None]) -> None:
+        """Register the application handler for inbound messages."""
+        self._receive_handler = handler
+
+    def send(
+        self,
+        destination: Tuple[Any, int],
+        payload: Any,
+        callback: Optional[DeliveryCallback] = None,
+        callback_data: Any = None,
+    ) -> int:
+        """Queue ``payload`` for delivery to ``destination``.
+
+        Returns the message id.  ``callback(success, callback_data)`` fires
+        once delivery succeeds or is abandoned after retries.
+        """
+        message = _OutstandingMessage(
+            message_id=next(self._message_ids),
+            destination=destination,
+            payload=payload,
+            callback=callback,
+            callback_data=callback_data,
+        )
+        flow = self._flows[destination]
+        flow.queue.append(message)
+        self._pump(destination)
+        return message.message_id
+
+    def close(self) -> None:
+        self.runtime.release(self.port)
+
+    # -- flow control -------------------------------------------------------#
+    def _pump(self, destination: Tuple[Any, int]) -> None:
+        flow = self._flows[destination]
+        while flow.queue and flow.in_flight < int(flow.window):
+            message = flow.queue.popleft()
+            self._transmit(message)
+
+    def _transmit(self, message: _OutstandingMessage) -> None:
+        flow = self._flows[message.destination]
+        flow.in_flight += 1
+        message.attempts += 1
+        self._outstanding[message.message_id] = message
+        self.messages_sent += 1
+        self.runtime.send(
+            self.port,
+            message.destination,
+            {"udpcc_id": message.message_id, "payload": message.payload},
+            callback_data=message.message_id,
+            callback_client=self,
+        )
+        self.runtime.schedule_event(
+            self.RETRY_TIMEOUT * message.attempts, message.message_id, self._on_timeout
+        )
+
+    def _on_timeout(self, message_id: int) -> None:
+        message = self._outstanding.get(message_id)
+        if message is None:
+            return
+        flow = self._flows[message.destination]
+        flow.on_loss()
+        if message.attempts >= self.MAX_ATTEMPTS:
+            self._finish(message, success=False)
+            return
+        self._outstanding.pop(message_id, None)
+        flow.in_flight = max(0, flow.in_flight - 1)
+        flow.queue.appendleft(message)
+        self._pump(message.destination)
+
+    def _finish(self, message: _OutstandingMessage, success: bool) -> None:
+        if self._outstanding.pop(message.message_id, None) is None:
+            return
+        flow = self._flows[message.destination]
+        flow.in_flight = max(0, flow.in_flight - 1)
+        if success:
+            flow.on_ack()
+        else:
+            self.messages_failed += 1
+            flow.on_loss()
+        if message.callback is not None:
+            message.callback(success, message.callback_data)
+        self._pump(message.destination)
+
+    # -- VRI UDPListener callbacks --------------------------------------------#
+    def handle_udp(self, source: Any, payload: Any) -> None:
+        if isinstance(payload, dict) and "udpcc_id" in payload:
+            payload = payload["payload"]
+        if self._receive_handler is not None:
+            self._receive_handler(source, payload)
+
+    def handle_udp_ack(self, callback_data: Any, success: bool) -> None:
+        message = self._outstanding.get(callback_data)
+        if message is None:
+            return
+        if success:
+            self._finish(message, success=True)
+        else:
+            # Treat as loss; the retry timer will resend or give up.
+            self._flows[message.destination].on_loss()

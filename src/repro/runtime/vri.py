@@ -1,0 +1,200 @@
+"""The Virtual Runtime Interface (paper Section 3.1.1, Table 1).
+
+The VRI is the narrow waist between PIER's program logic (overlay network
+and query processor) and the execution platform.  It exposes the clock and
+timers, UDP- and TCP-style network protocols, and scheduling.  Program code
+is written only against this interface so that the same code runs in the
+Simulation Environment and the Physical Runtime Environment.
+
+The method names follow Table 1 of the paper (``get_current_time``,
+``schedule_event``, ``listen`` / ``release`` / ``send`` for UDP, and
+``connect`` / ``read`` / ``write`` for TCP), translated to Python naming.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class UDPListener(Protocol):
+    """Callback client for UDP messages (``handleUDP`` / ``handleUDPAck``)."""
+
+    def handle_udp(self, source: Any, payload: Any) -> None:
+        """Handle an inbound datagram."""
+
+    def handle_udp_ack(self, callback_data: Any, success: bool) -> None:
+        """Handle delivery acknowledgement (or failure) of a sent datagram."""
+
+
+@runtime_checkable
+class TimerClient(Protocol):
+    """Callback client for timers (``handleTimer``)."""
+
+    def handle_timer(self, callback_data: Any) -> None:
+        """Handle the expiration of a previously scheduled timer."""
+
+
+@dataclass
+class TCPConnection:
+    """A bidirectional byte-stream connection handle.
+
+    TCP in PIER is used only for client/proxy communication, so this model
+    is intentionally small: an identified, ordered, reliable byte pipe.
+    """
+
+    connection_id: int
+    local: Any
+    remote: Any
+    _inbound: List[bytes] = field(default_factory=list)
+    _closed: bool = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def deliver(self, data: bytes) -> None:
+        """Called by the environment when bytes arrive from the peer."""
+        self._inbound.append(data)
+
+    def read(self) -> bytes:
+        """Drain and return all buffered inbound bytes."""
+        data = b"".join(self._inbound)
+        self._inbound.clear()
+        return data
+
+    def mark_closed(self) -> None:
+        self._closed = True
+
+
+@runtime_checkable
+class TCPListener(Protocol):
+    """Callback client for TCP events (``handleTCPNew``/``Data``/``Error``)."""
+
+    def handle_tcp_new(self, connection: TCPConnection) -> None:
+        """A new inbound connection was accepted."""
+
+    def handle_tcp_data(self, connection: TCPConnection) -> None:
+        """Data is available to :meth:`TCPConnection.read`."""
+
+    def handle_tcp_error(self, connection: TCPConnection) -> None:
+        """The connection failed or was closed by the peer."""
+
+
+class VirtualRuntime(abc.ABC):
+    """Abstract VRI bound either to simulation or to the physical runtime.
+
+    One instance exists per (virtual) node.  The ``address`` property is the
+    node's network address in whatever address space the environment uses.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Clock and Main Scheduler                                            #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def get_current_time(self) -> float:
+        """Return the current time in (virtual) seconds."""
+
+    @abc.abstractmethod
+    def schedule_event(
+        self,
+        delay: float,
+        callback_data: Any,
+        callback_client: Callable[[Any], None],
+    ) -> Any:
+        """Schedule ``callback_client(callback_data)`` after ``delay`` seconds.
+
+        Returns a handle with a ``cancel()`` method.
+        """
+
+    # ------------------------------------------------------------------ #
+    # UDP                                                                 #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def listen(self, port: int, callback_client: UDPListener) -> None:
+        """Register ``callback_client`` to receive datagrams on ``port``."""
+
+    @abc.abstractmethod
+    def release(self, port: int) -> None:
+        """Stop listening on ``port``."""
+
+    @abc.abstractmethod
+    def send(
+        self,
+        source_port: int,
+        destination: Any,
+        payload: Any,
+        callback_data: Any = None,
+        callback_client: Optional[UDPListener] = None,
+    ) -> None:
+        """Send ``payload`` to ``destination`` (an ``(address, port)`` pair).
+
+        Delivery is acknowledged through ``callback_client.handle_udp_ack``
+        when a callback client is supplied (the UdpCC behaviour from the
+        paper: reliable delivery or failure notification, but no ordering).
+        """
+
+    # ------------------------------------------------------------------ #
+    # TCP                                                                 #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def tcp_listen(self, port: int, callback_client: TCPListener) -> None:
+        """Accept inbound TCP connections on ``port``."""
+
+    @abc.abstractmethod
+    def tcp_release(self, port: int) -> None:
+        """Stop accepting TCP connections on ``port``."""
+
+    @abc.abstractmethod
+    def tcp_connect(
+        self, source_port: int, destination: Any, callback_client: TCPListener
+    ) -> TCPConnection:
+        """Open a connection to ``destination`` (an ``(address, port)`` pair)."""
+
+    @abc.abstractmethod
+    def tcp_write(self, connection: TCPConnection, data: bytes) -> int:
+        """Write bytes to the connection; returns number of bytes accepted."""
+
+    @abc.abstractmethod
+    def tcp_disconnect(self, connection: TCPConnection) -> None:
+        """Close the connection."""
+
+    # ------------------------------------------------------------------ #
+    # Identity                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def address(self) -> Any:
+        """This node's network address."""
+
+
+class PortRegistry:
+    """Shared helper tracking which listener owns each UDP/TCP port."""
+
+    def __init__(self) -> None:
+        self._udp: Dict[int, UDPListener] = {}
+        self._tcp: Dict[int, TCPListener] = {}
+
+    def bind_udp(self, port: int, listener: UDPListener) -> None:
+        if port in self._udp:
+            raise ValueError(f"UDP port {port} already bound")
+        self._udp[port] = listener
+
+    def release_udp(self, port: int) -> None:
+        self._udp.pop(port, None)
+
+    def udp_listener(self, port: int) -> Optional[UDPListener]:
+        return self._udp.get(port)
+
+    def bind_tcp(self, port: int, listener: TCPListener) -> None:
+        if port in self._tcp:
+            raise ValueError(f"TCP port {port} already bound")
+        self._tcp[port] = listener
+
+    def release_tcp(self, port: int) -> None:
+        self._tcp.pop(port, None)
+
+    def tcp_listener(self, port: int) -> Optional[TCPListener]:
+        return self._tcp.get(port)

@@ -1,0 +1,19 @@
+"""Security and robustness prototypes (paper Section 4.1).
+
+The paper identifies defensive avenues PIER was beginning to explore:
+client rate limitation, redundancy in dissemination/aggregation to bound an
+adversary's influence on results, and spot-checking of aggregation
+computations.  These modules implement working versions of those mechanisms
+so the ablation benchmarks can quantify their effect.
+"""
+
+from repro.security.rate_limiter import ClientRateLimiter, ReciprocationLedger
+from repro.security.redundancy import RedundantAggregation
+from repro.security.spot_check import SpotChecker
+
+__all__ = [
+    "ClientRateLimiter",
+    "ReciprocationLedger",
+    "RedundantAggregation",
+    "SpotChecker",
+]

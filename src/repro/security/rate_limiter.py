@@ -1,0 +1,98 @@
+"""Rate limitation against abusive clients and free-riding peers (Section 4.1.2).
+
+Two mechanisms from the paper:
+
+* :class:`ClientRateLimiter` — each node monitors per-client resource
+  consumption within a sliding time window and throttles clients whose
+  aggregate consumption exceeds a threshold (the paper proposes computing
+  the aggregate across nodes; the per-node monitor here is the building
+  block and exposes the merge needed for that aggregation).
+* :class:`ReciprocationLedger` — the reciprocative strategy between PIER
+  nodes: node A executes a query injected via node B only if B has recently
+  executed queries injected via A, keeping the executed-query balance
+  bounded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Callable, DefaultDict, Deque, Dict, Tuple
+
+
+@dataclass
+class ConsumptionRecord:
+    timestamp: float
+    amount: float
+
+
+class ClientRateLimiter:
+    """Sliding-window resource accounting with a hard threshold per client."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        window: float = 60.0,
+        threshold: float = 100.0,
+    ) -> None:
+        if window <= 0 or threshold <= 0:
+            raise ValueError("window and threshold must be positive")
+        self._clock = clock
+        self.window = window
+        self.threshold = threshold
+        self._usage: DefaultDict[str, Deque[ConsumptionRecord]] = defaultdict(deque)
+        self.throttled_requests = 0
+
+    def _prune(self, client: str) -> None:
+        cutoff = self._clock() - self.window
+        records = self._usage[client]
+        while records and records[0].timestamp < cutoff:
+            records.popleft()
+
+    def consumption(self, client: str) -> float:
+        """Resource units the client consumed inside the current window."""
+        self._prune(client)
+        return sum(record.amount for record in self._usage[client])
+
+    def admit(self, client: str, cost: float = 1.0) -> bool:
+        """Charge ``cost`` to ``client``; returns False if the client must be
+        throttled (the charge is not recorded in that case)."""
+        self._prune(client)
+        if self.consumption(client) + cost > self.threshold:
+            self.throttled_requests += 1
+            return False
+        self._usage[client].append(ConsumptionRecord(self._clock(), cost))
+        return True
+
+    def merge_remote_usage(self, client: str, remote_total: float) -> float:
+        """Combine this node's view with a total reported by other nodes,
+        returning the system-wide consumption estimate used for throttling."""
+        return self.consumption(client) + max(0.0, remote_total)
+
+
+class ReciprocationLedger:
+    """Pairwise executed-query balance between PIER nodes."""
+
+    def __init__(self, allowance: int = 5) -> None:
+        if allowance < 1:
+            raise ValueError("allowance must be at least 1")
+        self.allowance = allowance
+        # balance[(a, b)] = queries a executed on behalf of b, minus the reverse.
+        self._executed: DefaultDict[Tuple[str, str], int] = defaultdict(int)
+        self.refusals = 0
+
+    def record_execution(self, executor: str, injector: str) -> None:
+        self._executed[(executor, injector)] += 1
+
+    def balance(self, executor: str, injector: str) -> int:
+        """How many more queries ``executor`` has run for ``injector`` than
+        vice versa."""
+        return self._executed[(executor, injector)] - self._executed[(injector, executor)]
+
+    def should_execute(self, executor: str, injector: str) -> bool:
+        """The reciprocative policy: execute while the imbalance stays within
+        the allowance."""
+        if self.balance(executor, injector) >= self.allowance:
+            self.refusals += 1
+            return False
+        return True

@@ -1,0 +1,91 @@
+"""Redundant computation to limit an adversary's influence (Section 4.1.2).
+
+The paper proposes using multiple, randomly selected entities to compute
+the same operator so that maliciously suppressed or perturbed inputs can be
+detected and out-voted.  :class:`RedundantAggregation` implements the
+analysis side: given the results reported by k independent aggregation
+trees (some of which may be controlled by an adversary that suppresses
+data sources or injects outliers), it combines them and reports simple
+influence metrics — the fraction of sources suppressed and the relative
+result error — which are exactly the metrics the paper says it studies.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class RedundancyReport:
+    """Outcome of combining k redundant aggregate computations."""
+
+    combined_value: float
+    reference_value: Optional[float]
+    replica_values: List[float]
+    relative_error: Optional[float]
+    suspected_outliers: List[int]
+
+
+class RedundantAggregation:
+    """Combine the outputs of redundant aggregation replicas.
+
+    ``combiner`` picks how replicas are reconciled: the median (default) is
+    robust to a minority of corrupted replicas; "mean" and "max" are
+    provided for comparison in the ablation.
+    """
+
+    def __init__(self, combiner: str = "median", outlier_threshold: float = 0.5) -> None:
+        if combiner not in {"median", "mean", "max", "min"}:
+            raise ValueError(f"unknown combiner {combiner!r}")
+        self.combiner = combiner
+        self.outlier_threshold = outlier_threshold
+
+    def combine(
+        self, replica_values: Sequence[float], reference_value: Optional[float] = None
+    ) -> RedundancyReport:
+        if not replica_values:
+            raise ValueError("at least one replica value is required")
+        values = list(replica_values)
+        if self.combiner == "median":
+            combined = statistics.median(values)
+        elif self.combiner == "mean":
+            combined = statistics.fmean(values)
+        elif self.combiner == "max":
+            combined = max(values)
+        else:
+            combined = min(values)
+        relative_error = None
+        if reference_value not in (None, 0):
+            relative_error = abs(combined - reference_value) / abs(reference_value)
+        outliers = self._outliers(values)
+        return RedundancyReport(
+            combined_value=combined,
+            reference_value=reference_value,
+            replica_values=values,
+            relative_error=relative_error,
+            suspected_outliers=outliers,
+        )
+
+    def _outliers(self, values: List[float]) -> List[int]:
+        """Replica indices that deviate from the median by more than the
+        configured relative threshold."""
+        if len(values) < 3:
+            return []
+        center = statistics.median(values)
+        if center == 0:
+            return [index for index, value in enumerate(values) if value != 0]
+        return [
+            index
+            for index, value in enumerate(values)
+            if abs(value - center) / abs(center) > self.outlier_threshold
+        ]
+
+    @staticmethod
+    def suppression_fraction(total_sources: int, included_sources: int) -> float:
+        """Fraction of data sources an adversary kept out of the computation."""
+        if total_sources <= 0:
+            raise ValueError("total_sources must be positive")
+        included_sources = max(0, min(included_sources, total_sources))
+        return 1.0 - included_sources / total_sources

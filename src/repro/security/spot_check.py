@@ -1,0 +1,101 @@
+"""Spot-checking and early commitment for accountable aggregation (Section 4.1.2).
+
+Following the SIA approach the paper cites, an aggregator *commits* to its
+inputs (a hash over the multiset of input values) before revealing its
+result; a client can then sample some of the original sources and verify
+that (a) the sampled inputs are consistent with the commitment and (b) the
+claimed aggregate is consistent with the committed inputs.  A cheating
+aggregator that drops or alters inputs after the fact is caught with
+probability growing in the sample size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def commit_to_inputs(values: Sequence[float]) -> str:
+    """A deterministic commitment to the multiset of input values."""
+    digest = hashlib.sha256()
+    for value in sorted(values):
+        digest.update(repr(round(float(value), 9)).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+@dataclass
+class AggregatorClaim:
+    """What an (possibly dishonest) aggregator reports to the client."""
+
+    commitment: str
+    claimed_result: float
+    claimed_inputs: List[float]
+
+
+@dataclass
+class SpotCheckResult:
+    consistent_commitment: bool
+    consistent_result: bool
+    sampled_sources: List[int]
+    mismatched_sources: List[int]
+
+    @property
+    def passed(self) -> bool:
+        return self.consistent_commitment and self.consistent_result and not self.mismatched_sources
+
+
+class SpotChecker:
+    """Client-side verification of one aggregation claim."""
+
+    def __init__(self, aggregate: Callable[[Sequence[float]], float], sample_size: int = 4,
+                 seed: int = 0, tolerance: float = 1e-9) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        self.aggregate = aggregate
+        self.sample_size = sample_size
+        self.tolerance = tolerance
+        self._rng = random.Random(seed)
+        self.checks_run = 0
+        self.failures_detected = 0
+
+    def check(
+        self,
+        claim: AggregatorClaim,
+        true_source_values: Dict[int, float],
+    ) -> SpotCheckResult:
+        """Verify a claim against the ability to re-query sampled sources.
+
+        ``true_source_values`` maps source ids to the values those sources
+        would report if the client asked them directly (the spot check).
+        """
+        self.checks_run += 1
+        consistent_commitment = commit_to_inputs(claim.claimed_inputs) == claim.commitment
+        recomputed = self.aggregate(claim.claimed_inputs) if claim.claimed_inputs else 0.0
+        consistent_result = abs(recomputed - claim.claimed_result) <= self.tolerance
+        source_ids = sorted(true_source_values)
+        sample = self._rng.sample(source_ids, k=min(self.sample_size, len(source_ids)))
+        claimed_multiset = list(claim.claimed_inputs)
+        mismatched: List[int] = []
+        for source_id in sample:
+            expected = true_source_values[source_id]
+            if not self._remove_close(claimed_multiset, expected):
+                mismatched.append(source_id)
+        result = SpotCheckResult(
+            consistent_commitment=consistent_commitment,
+            consistent_result=consistent_result,
+            sampled_sources=sample,
+            mismatched_sources=mismatched,
+        )
+        if not result.passed:
+            self.failures_detected += 1
+        return result
+
+    def _remove_close(self, values: List[float], target: float) -> bool:
+        for index, value in enumerate(values):
+            if abs(value - target) <= self.tolerance:
+                values.pop(index)
+                return True
+        return False

@@ -1,0 +1,22 @@
+"""SQL-like frontend with a naive optimizer (paper Section 4.2).
+
+PIER's native language is UFL, but "many users far prefer the compact
+syntax of SQL", so the system grew a SQL-like language compiled by a very
+naive optimizer.  Because PIER has no catalog, the application supplies the
+table metadata the optimizer needs (where each table lives and how it is
+partitioned) — the "bake the metadata into the application logic"
+workaround discussed in Section 4.2.1.
+"""
+
+from repro.sql.lexer import tokenize, Token
+from repro.sql.parser import parse_sql, SelectStatement
+from repro.sql.planner import NaivePlanner, TableInfo
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_sql",
+    "SelectStatement",
+    "NaivePlanner",
+    "TableInfo",
+]

@@ -1,0 +1,81 @@
+"""Tokenizer for the SQL-like query language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "JOIN",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "LIMIT",
+    "TIMEOUT",
+    "BETWEEN",
+    "IN",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "ASC",
+    "DESC",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | identifier | number | string | symbol
+    value: str
+    position: int
+
+
+class SQLSyntaxError(ValueError):
+    """Raised for malformed query text."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<symbol><=|>=|!=|<>|[(),.*=<>])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split query text into tokens; raises :class:`SQLSyntaxError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise SQLSyntaxError(f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup == "space":
+            continue
+        value = match.group()
+        if match.lastgroup == "word":
+            upper = value.upper()
+            kind = "keyword" if upper in KEYWORDS else "identifier"
+            tokens.append(Token(kind, upper if kind == "keyword" else value, match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", value[1:-1].replace("''", "'"), match.start()))
+        else:
+            tokens.append(Token("symbol", value, match.start()))
+    return tokens

@@ -1,0 +1,286 @@
+"""Recursive-descent parser for the SQL-like language.
+
+Supported grammar (a deliberately small but useful subset)::
+
+    SELECT select_list
+    FROM table [alias] [JOIN table [alias] ON col = col]
+    [WHERE predicate]
+    [GROUP BY col {, col}]
+    [ORDER BY col [ASC|DESC]]
+    [LIMIT n]
+    [TIMEOUT seconds]
+
+The select list accepts column names, ``*``, and the aggregate functions
+COUNT/SUM/MIN/MAX/AVG with an optional ``AS`` alias.  Predicates combine
+comparisons with AND/OR/NOT, plus BETWEEN and IN ( literal list ).  As in
+the paper, the parser cannot check that column references exist — there is
+no catalog — so bad references surface at run time as dropped tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+
+AGGREGATE_KEYWORDS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry in the select list: a column or an aggregate call."""
+
+    expression: str  # column name or "*"
+    aggregate: Optional[str] = None  # count/sum/min/max/avg
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            suffix = self.expression if self.expression != "*" else "all"
+            return f"{self.aggregate}_{suffix}"
+        return self.expression
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    alias: str
+    left_column: str
+    right_column: str
+
+
+@dataclass
+class SelectStatement:
+    """Parsed representation of one query."""
+
+    select_items: List[SelectItem]
+    table: str
+    alias: str
+    join: Optional[JoinClause] = None
+    where: Optional[Any] = None  # predicate in repro.qp.expressions form
+    group_by: List[str] = field(default_factory=list)
+    order_by: Optional[Tuple[str, bool]] = None  # (column, descending)
+    limit: Optional[int] = None
+    timeout: Optional[float] = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.aggregate for item in self.select_items)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------- #
+    def _peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise SQLSyntaxError(
+                f"expected {value or kind}, found {actual.value if actual else 'end of query'}"
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------ #
+    def parse(self) -> SelectStatement:
+        self._expect("keyword", "SELECT")
+        select_items = self._select_list()
+        self._expect("keyword", "FROM")
+        table, alias = self._table_reference()
+        join = None
+        if self._accept("keyword", "JOIN"):
+            join = self._join_clause()
+        where = None
+        if self._accept("keyword", "WHERE"):
+            where = self._predicate()
+        group_by: List[str] = []
+        if self._accept("keyword", "GROUP"):
+            self._expect("keyword", "BY")
+            group_by = self._column_list()
+        order_by = None
+        if self._accept("keyword", "ORDER"):
+            self._expect("keyword", "BY")
+            column = self._column_name()
+            descending = bool(self._accept("keyword", "DESC"))
+            if not descending:
+                self._accept("keyword", "ASC")
+            order_by = (column, descending)
+        limit = None
+        if self._accept("keyword", "LIMIT"):
+            limit = int(self._expect("number").value)
+        timeout = None
+        if self._accept("keyword", "TIMEOUT"):
+            timeout = float(self._expect("number").value)
+        if self._peek() is not None:
+            raise SQLSyntaxError(f"unexpected trailing token {self._peek().value!r}")
+        return SelectStatement(
+            select_items=select_items,
+            table=table,
+            alias=alias,
+            join=join,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            timeout=timeout,
+        )
+
+    def _select_list(self) -> List[SelectItem]:
+        items = [self._select_item()]
+        while self._accept("symbol", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of query in select list")
+        if token.kind == "keyword" and token.value in AGGREGATE_KEYWORDS:
+            aggregate = self._next().value.lower()
+            self._expect("symbol", "(")
+            if self._accept("symbol", "*"):
+                expression = "*"
+            else:
+                expression = self._column_name()
+            self._expect("symbol", ")")
+            alias = self._alias()
+            return SelectItem(expression=expression, aggregate=aggregate, alias=alias)
+        if self._accept("symbol", "*"):
+            return SelectItem(expression="*")
+        expression = self._column_name()
+        alias = self._alias()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _alias(self) -> Optional[str]:
+        if self._accept("keyword", "AS"):
+            return self._expect("identifier").value
+        return None
+
+    def _table_reference(self) -> Tuple[str, str]:
+        table = self._expect("identifier").value
+        alias_token = self._accept("identifier")
+        alias = alias_token.value if alias_token else table
+        return table, alias
+
+    def _join_clause(self) -> JoinClause:
+        table, alias = self._table_reference()
+        self._expect("keyword", "ON")
+        left = self._column_name()
+        self._expect("symbol", "=")
+        right = self._column_name()
+        return JoinClause(table=table, alias=alias, left_column=left, right_column=right)
+
+    def _column_list(self) -> List[str]:
+        columns = [self._column_name()]
+        while self._accept("symbol", ","):
+            columns.append(self._column_name())
+        return columns
+
+    def _column_name(self) -> str:
+        name = self._expect("identifier").value
+        if self._accept("symbol", "."):
+            qualified = self._expect("identifier").value
+            return qualified  # the data model is schema-less: drop the qualifier
+        return name
+
+    # -- predicates (compiled straight into qp.expressions form) -------------- #
+    def _predicate(self) -> Any:
+        return self._or_expression()
+
+    def _or_expression(self) -> Any:
+        left = self._and_expression()
+        while self._accept("keyword", "OR"):
+            right = self._and_expression()
+            left = ["or", left, right]
+        return left
+
+    def _and_expression(self) -> Any:
+        left = self._not_expression()
+        while self._accept("keyword", "AND"):
+            right = self._not_expression()
+            left = ["and", left, right]
+        return left
+
+    def _not_expression(self) -> Any:
+        if self._accept("keyword", "NOT"):
+            return ["not", self._not_expression()]
+        if self._accept("symbol", "("):
+            inner = self._or_expression()
+            self._expect("symbol", ")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Any:
+        column = self._column_name()
+        if self._accept("keyword", "BETWEEN"):
+            low = self._literal()
+            self._expect("keyword", "AND")
+            high = self._literal()
+            return ["between", ["col", column], ["lit", low], ["lit", high]]
+        if self._accept("keyword", "IN"):
+            self._expect("symbol", "(")
+            values = [self._literal()]
+            while self._accept("symbol", ","):
+                values.append(self._literal())
+            self._expect("symbol", ")")
+            return ["in", ["col", column], ["lit", values]]
+        operator_token = self._next()
+        if operator_token.kind != "symbol" or operator_token.value not in {
+            "=",
+            "!=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        }:
+            raise SQLSyntaxError(f"expected comparison operator, found {operator_token.value!r}")
+        operator = {"=": "eq", "!=": "ne", "<>": "ne"}.get(operator_token.value, operator_token.value)
+        value = self._value_operand()
+        return [operator, ["col", column], value]
+
+    def _value_operand(self) -> Any:
+        token = self._peek()
+        if token is not None and token.kind == "identifier":
+            return ["col", self._column_name()]
+        return ["lit", self._literal()]
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            return token.value
+        raise SQLSyntaxError(f"expected literal, found {token.value!r}")
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse SQL-like query text into a :class:`SelectStatement`."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,229 @@
+"""The naive SQL optimizer (paper Section 4.2).
+
+The planner compiles a parsed :class:`SelectStatement` into a UFL query
+plan.  It is intentionally naive: no cost model, no join reordering, no
+statistics (there is nowhere to keep them).  What it does pick up on:
+
+* an equality predicate on a table's partitioning key becomes an
+  equality-dissemination lookup (touching one node) instead of a broadcast;
+* GROUP BY / aggregate queries become multi-phase aggregation — flat
+  rehash by default, or hierarchical when the application asks for it;
+* a single equi-join becomes either a rehash symmetric-hash join or, when
+  the inner table is partitioned on the join key, a Fetch Matches index
+  join.
+
+Because PIER has no catalog, table placement metadata comes from the
+application via :class:`TableInfo` (Section 4.2.1's "out-of-band
+metadata").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.qp.opgraph import QueryPlan
+from repro.qp.plans import (
+    broadcast_scan_plan,
+    equality_lookup_plan,
+    fetch_matches_join_plan,
+    flat_aggregation_plan,
+    hierarchical_aggregation_plan,
+    symmetric_hash_join_plan,
+)
+from repro.sql.parser import SelectStatement, parse_sql
+
+
+class PlanningError(ValueError):
+    """Raised when a statement cannot be compiled with the available metadata."""
+
+
+@dataclass
+class TableInfo:
+    """Application-supplied placement metadata for one table.
+
+    ``source`` is ``"dht"`` for tables published into the DHT or
+    ``"local"`` for per-node tables; ``partitioning`` names the columns the
+    DHT primary index is partitioned on (empty for local tables).
+    """
+
+    name: str
+    source: str = "dht"
+    partitioning: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.source not in {"dht", "local"}:
+            raise ValueError(f"unknown table source {self.source!r}")
+
+
+class NaivePlanner:
+    """Compile SQL text (or parsed statements) into UFL query plans."""
+
+    def __init__(
+        self,
+        tables: Optional[Dict[str, TableInfo]] = None,
+        default_timeout: float = 20.0,
+        aggregation_strategy: str = "flat",
+    ) -> None:
+        self.tables = dict(tables or {})
+        self.default_timeout = default_timeout
+        if aggregation_strategy not in {"flat", "hierarchical"}:
+            raise ValueError("aggregation_strategy must be 'flat' or 'hierarchical'")
+        self.aggregation_strategy = aggregation_strategy
+
+    # -- metadata ---------------------------------------------------------- #
+    def register_table(self, info: TableInfo) -> None:
+        self.tables[info.name] = info
+
+    def _info(self, table: str) -> TableInfo:
+        info = self.tables.get(table)
+        if info is None:
+            # No catalog: default to a broadcast-scanned local table, the
+            # safest assumption for unknown names.
+            info = TableInfo(name=table, source="local")
+        return info
+
+    # -- entry points --------------------------------------------------------- #
+    def plan_sql(self, text: str) -> QueryPlan:
+        return self.plan(parse_sql(text))
+
+    def plan(self, statement: SelectStatement) -> QueryPlan:
+        timeout = statement.timeout or self.default_timeout
+        if statement.join is not None:
+            plan = self._plan_join(statement, timeout)
+        elif statement.has_aggregates or statement.group_by:
+            plan = self._plan_aggregate(statement, timeout)
+        else:
+            plan = self._plan_scan(statement, timeout)
+        plan.metadata.update(
+            {
+                "sql_limit": statement.limit,
+                "sql_order_by": statement.order_by,
+                "sql_select": [item.output_name for item in statement.select_items],
+            }
+        )
+        return plan
+
+    # -- scans -------------------------------------------------------------------#
+    def _plan_scan(self, statement: SelectStatement, timeout: float) -> QueryPlan:
+        info = self._info(statement.table)
+        columns = self._projection_columns(statement)
+        equality = self._partitioning_equality(statement.where, info)
+        if info.source == "dht" and equality is not None:
+            return equality_lookup_plan(
+                statement.table,
+                equality,
+                timeout=timeout,
+                predicate=statement.where,
+                columns=columns,
+            )
+        return broadcast_scan_plan(
+            statement.table,
+            source="local_table" if info.source == "local" else "dht_scan",
+            predicate=statement.where,
+            columns=columns,
+            timeout=timeout,
+        )
+
+    # -- aggregation -----------------------------------------------------------------#
+    def _plan_aggregate(self, statement: SelectStatement, timeout: float) -> QueryPlan:
+        info = self._info(statement.table)
+        aggregates = []
+        for item in statement.select_items:
+            if not item.aggregate:
+                continue
+            column = None if item.expression == "*" else item.expression
+            aggregates.append((item.aggregate, column, item.output_name))
+        if not aggregates:
+            raise PlanningError("GROUP BY requires at least one aggregate in the select list")
+        builder = (
+            hierarchical_aggregation_plan
+            if self.aggregation_strategy == "hierarchical"
+            else flat_aggregation_plan
+        )
+        return builder(
+            statement.table,
+            group_columns=statement.group_by,
+            aggregates=aggregates,
+            source="local_table" if info.source == "local" else "dht_scan",
+            predicate=statement.where,
+            timeout=timeout,
+        )
+
+    # -- joins -----------------------------------------------------------------------#
+    def _plan_join(self, statement: SelectStatement, timeout: float) -> QueryPlan:
+        if statement.has_aggregates or statement.group_by:
+            raise PlanningError("joins combined with aggregation are not supported by the naive planner")
+        join = statement.join
+        outer_info = self._info(statement.table)
+        inner_info = self._info(join.table)
+        # If the inner table's DHT index is partitioned on its join column,
+        # use the distributed index join (Fetch Matches).
+        if inner_info.source == "dht" and inner_info.partitioning == [join.right_column]:
+            return fetch_matches_join_plan(
+                outer_table=statement.table,
+                inner_namespace=join.table,
+                outer_columns=[join.left_column],
+                source="local_table" if outer_info.source == "local" else "dht_scan",
+                outer_predicate=statement.where,
+                timeout=timeout,
+            )
+        return symmetric_hash_join_plan(
+            left_table=statement.table,
+            right_table=join.table,
+            left_columns=[join.left_column],
+            right_columns=[join.right_column],
+            source="local_table" if outer_info.source == "local" else "dht_scan",
+            timeout=timeout,
+        )
+
+    # -- helpers ------------------------------------------------------------------------#
+    def _projection_columns(self, statement: SelectStatement) -> Optional[List[str]]:
+        columns = [
+            item.expression
+            for item in statement.select_items
+            if not item.aggregate and item.expression != "*"
+        ]
+        return columns or None
+
+    def _partitioning_equality(self, predicate: Any, info: TableInfo) -> Optional[Any]:
+        """The literal an equality predicate binds the partitioning key to."""
+        if predicate is None or len(info.partitioning) != 1:
+            return None
+        partition_column = info.partitioning[0]
+
+        def find(node: Any) -> Optional[Any]:
+            if not isinstance(node, list) or not node:
+                return None
+            head = node[0]
+            if head == "and":
+                for child in node[1:]:
+                    found = find(child)
+                    if found is not None:
+                        return found
+                return None
+            if head in {"eq", "="} and len(node) == 3:
+                left, right = node[1], node[2]
+                if (
+                    isinstance(left, list)
+                    and left[:1] == ["col"]
+                    and left[1] == partition_column
+                    and isinstance(right, list)
+                    and right[:1] == ["lit"]
+                ):
+                    return right[1]
+            return None
+
+        return find(predicate)
+
+
+def apply_result_clauses(plan_metadata: Dict[str, Any], rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Apply ORDER BY / LIMIT (recorded in plan metadata) at the proxy side."""
+    order_by = plan_metadata.get("sql_order_by")
+    if order_by:
+        column, descending = order_by
+        rows = sorted(rows, key=lambda row: (row.get(column) is None, row.get(column)), reverse=descending)
+    limit = plan_metadata.get("sql_limit")
+    if limit is not None:
+        rows = rows[: int(limit)]
+    return rows

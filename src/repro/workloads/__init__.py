@@ -1,0 +1,13 @@
+"""Synthetic workload generators.
+
+These stand in for the real traces the paper used (live Gnutella queries
+and PlanetLab firewall logs), preserving the statistical properties the
+experiments depend on: Zipf-distributed keyword/file popularity with a long
+rare tail for filesharing, and heavy-hitter source concentration for
+firewall events.  See DESIGN.md ("Substitutions").
+"""
+
+from repro.workloads.filesharing import FilesharingWorkload, FileDescriptor
+from repro.workloads.firewall import FirewallWorkload
+
+__all__ = ["FilesharingWorkload", "FileDescriptor", "FirewallWorkload"]

@@ -1,0 +1,89 @@
+"""Firewall-log workload generator (stands in for the PlanetLab logs).
+
+Figure 2 of the paper reports the top-10 sources of firewall log events
+across 350 PlanetLab nodes, and notes (citing forensic studies) that a few
+sources generate a large fraction of all unwanted traffic.  This generator
+produces per-node firewall event logs whose source IPs follow a heavy-
+tailed (Zipf) distribution over a pool of attacker addresses, so the
+distributed top-k aggregation has genuine heavy hitters to find.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple as PyTuple
+
+from repro.qp.tuples import Tuple
+
+
+@dataclass
+class FirewallWorkload:
+    """Per-node synthetic firewall logs with global heavy-hitter sources."""
+
+    node_count: int
+    events_per_node: int = 200
+    source_pool: int = 500
+    heavy_hitters: int = 12
+    heavy_hitter_share: float = 0.6
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0 or self.events_per_node < 0:
+            raise ValueError("node_count must be positive and events_per_node non-negative")
+        if not 0.0 <= self.heavy_hitter_share <= 1.0:
+            raise ValueError("heavy_hitter_share must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+        self._sources = [self._random_ip(index) for index in range(self.source_pool)]
+        self._heavy = self._sources[: self.heavy_hitters]
+
+    def _random_ip(self, index: int) -> str:
+        octets = (
+            self._rng.randint(1, 223),
+            self._rng.randint(0, 255),
+            self._rng.randint(0, 255),
+            (index % 254) + 1,
+        )
+        return ".".join(str(octet) for octet in octets)
+
+    # -- generation ---------------------------------------------------------- #
+    def events_for_node(self, address: int) -> List[Tuple]:
+        """The firewall log of one node, as self-describing tuples."""
+        node_rng = random.Random(self.seed * 1_000_003 + address)
+        rows: List[Tuple] = []
+        for event_index in range(self.events_per_node):
+            if node_rng.random() < self.heavy_hitter_share:
+                # Heavy hitters are themselves Zipf-ranked.
+                weights = [1.0 / (rank + 1) for rank in range(len(self._heavy))]
+                source = node_rng.choices(self._heavy, weights=weights, k=1)[0]
+            else:
+                source = node_rng.choice(self._sources)
+            rows.append(
+                Tuple.make(
+                    "firewall_events",
+                    source_ip=source,
+                    destination_port=node_rng.choice([22, 23, 80, 135, 139, 443, 445, 3389]),
+                    protocol=node_rng.choice(["tcp", "tcp", "tcp", "udp"]),
+                    action="drop",
+                    node=address,
+                    timestamp=round(node_rng.uniform(0, 3600), 3),
+                )
+            )
+        return rows
+
+    def events_by_node(self) -> List[List[Tuple]]:
+        return [self.events_for_node(address) for address in range(self.node_count)]
+
+    # -- ground truth ------------------------------------------------------------ #
+    def true_source_counts(self) -> Dict[str, int]:
+        counts: Counter = Counter()
+        for address in range(self.node_count):
+            for row in self.events_for_node(address):
+                counts[row["source_ip"]] += 1
+        return dict(counts)
+
+    def true_top_k(self, k: int = 10) -> List[PyTuple[str, int]]:
+        counts = self.true_source_counts()
+        return sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:k]

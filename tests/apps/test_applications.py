@@ -1,0 +1,137 @@
+"""Tests for the two paper applications and the baseline systems."""
+
+import pytest
+
+from repro import PIERNetwork
+from repro.apps import FilesharingSearchApp, NetworkMonitorApp
+from repro.baselines import CentralDirectory, GnutellaNetwork
+from repro.runtime.simulation import SimulationEnvironment
+from repro.workloads import FilesharingWorkload, FirewallWorkload
+
+
+@pytest.fixture(scope="module")
+def filesharing_setup():
+    network = PIERNetwork(24, seed=21)
+    workload = FilesharingWorkload(24, file_count=120, keyword_count=60, seed=21)
+    app = FilesharingSearchApp(network, query_timeout=8.0)
+    app.publish_workload(workload)
+    return network, workload, app
+
+
+def test_search_finds_every_matching_file(filesharing_setup):
+    _network, workload, app = filesharing_setup
+    keyword = workload.keywords_sorted_by_popularity()[3]
+    expected = {descriptor.file_id for descriptor in workload.files_matching(keyword)}
+    outcome = app.search(keyword, proxy=5)
+    assert set(outcome.file_ids) == expected
+    assert outcome.found and outcome.first_result_latency is not None
+
+
+def test_rare_keyword_search_succeeds(filesharing_setup):
+    _network, workload, app = filesharing_setup
+    rare = workload.rare_keywords()
+    assert rare
+    outcome = app.search(rare[0], proxy=11)
+    expected = {descriptor.file_id for descriptor in workload.files_matching(rare[0])}
+    assert set(outcome.file_ids) == expected
+
+
+def test_search_for_unknown_keyword_returns_empty(filesharing_setup):
+    _network, _workload, app = filesharing_setup
+    outcome = app.search("keyword-that-does-not-exist", proxy=2)
+    assert not outcome.found and outcome.file_ids == []
+
+
+def test_conjunctive_search_intersects_keywords(filesharing_setup):
+    _network, workload, app = filesharing_setup
+    descriptor = max(workload.files, key=lambda d: len(d.keywords))
+    keywords = list(descriptor.keywords[:2])
+    outcome = app.search_conjunction(keywords, proxy=7, timeout=12.0)
+    expected = {
+        d.file_id
+        for d in workload.files
+        if all(keyword in d.keywords for keyword in keywords)
+    }
+    assert set(outcome.file_ids) == expected
+    assert descriptor.file_id in outcome.file_ids
+
+
+def test_network_monitor_top_k_matches_ground_truth():
+    network = PIERNetwork(20, seed=22)
+    workload = FirewallWorkload(20, events_per_node=60, seed=22)
+    app = NetworkMonitorApp(network, query_timeout=16.0)
+    assert app.load_workload(workload) == 20 * 60
+    for strategy in ("hierarchical", "flat"):
+        report = app.top_k_sources(k=10, strategy=strategy)
+        assert report.top_sources == workload.true_top_k(10)
+    with pytest.raises(ValueError):
+        app.top_k_sources(strategy="quantum")
+
+
+def test_network_monitor_events_per_port():
+    network = PIERNetwork(12, seed=23)
+    workload = FirewallWorkload(12, events_per_node=30, seed=23)
+    app = NetworkMonitorApp(network, query_timeout=14.0)
+    app.load_workload(workload)
+    per_port = app.events_per_port()
+    assert sum(per_port.values()) == 12 * 30
+
+
+def test_monitor_rejects_mismatched_workload():
+    network = PIERNetwork(5, seed=24)
+    workload = FirewallWorkload(6, events_per_node=5, seed=24)
+    with pytest.raises(ValueError):
+        NetworkMonitorApp(network).load_workload(workload)
+
+
+# -- baselines ------------------------------------------------------------------ #
+
+def test_gnutella_finds_popular_but_misses_many_rare_items():
+    workload = FilesharingWorkload(40, file_count=250, keyword_count=80, seed=25)
+    environment = SimulationEnvironment(40, seed=25)
+    gnutella = GnutellaNetwork(environment, degree=4, default_ttl=2, seed=25)
+    gnutella.load_replicas(workload.replicas_by_node())
+
+    popular = workload.keywords_sorted_by_popularity()[:5]
+    # Rare keywords whose matching files really are hosted on few nodes.
+    rare = [
+        keyword
+        for keyword in workload.rare_keywords()
+        if sum(len(d.hosts) for d in workload.files_matching(keyword)) <= 2
+    ][:10]
+    assert rare
+
+    popular_outcomes = [gnutella.query(keyword, origin=0) for keyword in popular]
+    rare_outcomes = [gnutella.query(keyword, origin=0) for keyword in rare]
+    environment.run(30.0)
+
+    popular_found = sum(outcome.found for outcome in popular_outcomes)
+    rare_found = sum(outcome.found for outcome in rare_outcomes)
+    assert popular_found >= len(popular) - 1
+    assert rare_found < len(rare_outcomes)  # bounded flooding misses part of the rare tail
+
+
+def test_gnutella_flood_is_duplicate_suppressed():
+    environment = SimulationEnvironment(20, seed=26)
+    gnutella = GnutellaNetwork(environment, degree=4, default_ttl=6, seed=26)
+    workload = FilesharingWorkload(20, file_count=50, seed=26)
+    gnutella.load_replicas(workload.replicas_by_node())
+    gnutella.query("kw0000", origin=3)
+    environment.run(20.0)
+    # Bounded flooding: no more messages than ttl * degree * nodes.
+    assert gnutella.messages_sent <= 6 * 4 * 20
+
+
+def test_central_directory_register_and_lookup():
+    environment = SimulationEnvironment(10, seed=27)
+    directory = CentralDirectory(environment, server_address=0)
+    directory.register(3, "rock", {"file_id": 7})
+    directory.register(5, "rock", {"file_id": 9})
+    environment.run(2.0)
+    answers = {}
+    directory.lookup(8, "rock", lambda matches: answers.setdefault("rock", matches))
+    directory.lookup(8, "jazz", lambda matches: answers.setdefault("jazz", matches))
+    environment.run(2.0)
+    assert sorted(match["file_id"] for match in answers["rock"]) == [7, 9]
+    assert answers["jazz"] == []
+    assert directory.stats.lookups == 2 and directory.stats.registrations == 2

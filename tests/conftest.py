@@ -1,0 +1,37 @@
+"""Shared fixtures for the PIER reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PIERNetwork
+from repro.qp.tuples import Tuple
+from repro.simnet import build_overlay
+
+
+@pytest.fixture
+def small_overlay():
+    """A 16-node overlay with distribution trees, already settled."""
+    return build_overlay(16, with_trees=True, seed=7)
+
+
+@pytest.fixture
+def small_network():
+    """A 16-node full PIER deployment (overlay + query processor)."""
+    return PIERNetwork(16, seed=7)
+
+
+@pytest.fixture
+def event_rows():
+    """Helper building per-node 'events' rows for aggregation tests."""
+
+    def build(node_count: int, rows_per_node: int = 3, groups: int = 4):
+        return [
+            [
+                Tuple.make("events", src=f"10.0.0.{address % groups}", bytes=100 + address)
+                for _ in range(rows_per_node)
+            ]
+            for address in range(node_count)
+        ]
+
+    return build

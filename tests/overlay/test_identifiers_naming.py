@@ -1,0 +1,107 @@
+"""Unit and property-based tests for the identifier space and object naming."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.identifiers import (
+    ID_BITS,
+    ID_SPACE,
+    IdentifierSpace,
+    node_identifier,
+    object_identifier,
+    responsible_node,
+)
+from repro.overlay.naming import ObjectName, reseed_suffixes
+
+identifiers = st.integers(min_value=0, max_value=ID_SPACE - 1)
+
+
+def test_node_identifier_is_deterministic_and_in_range():
+    a = node_identifier(("10.0.0.1", 5100))
+    b = node_identifier(("10.0.0.1", 5100))
+    assert a == b
+    assert 0 <= a < ID_SPACE
+    assert node_identifier(("10.0.0.2", 5100)) != a
+
+
+def test_object_identifier_ignores_suffix():
+    name_a = ObjectName("inverted", "kw1", "suffix-a")
+    name_b = ObjectName("inverted", "kw1", "suffix-b")
+    assert name_a.routing_identifier() == name_b.routing_identifier()
+    assert ObjectName("inverted", "kw2").routing_identifier() != name_a.routing_identifier()
+
+
+def test_object_identifier_separates_namespaces():
+    assert object_identifier("tableA", "k") != object_identifier("tableB", "k")
+
+
+@given(identifiers, identifiers)
+@settings(max_examples=100, deadline=None)
+def test_distance_is_circular(a, b):
+    forward = IdentifierSpace.distance(a, b)
+    backward = IdentifierSpace.distance(b, a)
+    assert 0 <= forward < ID_SPACE
+    if a != b:
+        assert forward + backward == ID_SPACE
+    else:
+        assert forward == backward == 0
+
+
+@given(identifiers, identifiers, identifiers)
+@settings(max_examples=100, deadline=None)
+def test_in_interval_wraparound_consistency(value, start, end):
+    # A value is in (start, end] iff walking clockwise from start reaches it
+    # no later than it reaches end.
+    expected = (
+        IdentifierSpace.distance(start, value) <= IdentifierSpace.distance(start, end)
+        and value != start
+    ) or (start == end and value != start)
+    if start == end:
+        expected = value != start
+    assert IdentifierSpace.in_interval(value, start, end) == expected or value == end
+
+
+@given(identifiers, st.lists(identifiers, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_successor_of_is_closest_clockwise(target, candidates):
+    chosen = IdentifierSpace.successor_of(target, candidates)
+    assert chosen in candidates
+    chosen_distance = IdentifierSpace.distance(target, chosen)
+    assert all(
+        chosen_distance <= IdentifierSpace.distance(target, candidate)
+        for candidate in candidates
+    )
+
+
+@given(identifiers, st.lists(identifiers, min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_responsible_node_agrees_with_successor(target, nodes):
+    owner = responsible_node(target, nodes)
+    assert owner == IdentifierSpace.successor_of(target, nodes)
+
+
+def test_responsible_node_empty_membership():
+    assert responsible_node(5, []) is None
+
+
+@given(identifiers, identifiers)
+@settings(max_examples=60, deadline=None)
+def test_shared_prefix_bits_bounds(a, b):
+    shared = IdentifierSpace.shared_prefix_bits(a, b)
+    assert 0 <= shared <= ID_BITS
+    assert (shared == ID_BITS) == (a == b)
+
+
+def test_digit_extraction():
+    identifier = int("f" + "0" * 15, 16)  # top nibble = 0xF
+    assert IdentifierSpace.digit(identifier, 0) == 0xF
+    assert IdentifierSpace.digit(identifier, 1) == 0x0
+
+
+def test_suffixes_are_unique_and_reseedable():
+    reseed_suffixes(123)
+    first = [ObjectName("t", 1).suffix for _ in range(50)]
+    assert len(set(first)) == 50
+    reseed_suffixes(123)
+    second = [ObjectName("t", 1).suffix for _ in range(50)]
+    assert first == second

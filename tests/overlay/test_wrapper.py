@@ -1,0 +1,158 @@
+"""Tests for the DHT wrapper (Table 2 operations) over the simulator."""
+
+import pytest
+
+from repro.overlay.wrapper import OverlayNode
+from repro.simnet import build_overlay
+
+# Table 2 of the paper, translated to Python naming.
+TABLE_2_INTER_NODE = ["get", "put", "send", "renew"]
+TABLE_2_INTRA_NODE = ["local_scan", "new_data", "upcall"]
+
+
+@pytest.mark.parametrize("method", TABLE_2_INTER_NODE + TABLE_2_INTRA_NODE)
+def test_wrapper_exposes_table2_method(method):
+    assert hasattr(OverlayNode, method)
+
+
+def test_put_then_get_roundtrip(small_overlay):
+    deployment = small_overlay
+    outcomes = {}
+    deployment.node(1).put(
+        "files", "song", "sfx", {"title": "song.mp3"}, lifetime=300,
+        callback=lambda ok: outcomes.setdefault("put", ok),
+    )
+    deployment.run(3.0)
+    assert outcomes.get("put") is True
+    deployment.node(9).get("files", "song", lambda ns, key, objs: outcomes.setdefault("get", objs))
+    deployment.run(3.0)
+    assert outcomes.get("get") == [{"title": "song.mp3"}]
+
+
+def test_get_for_absent_key_returns_empty(small_overlay):
+    deployment = small_overlay
+    outcomes = {}
+    deployment.node(2).get("files", "missing", lambda ns, key, objs: outcomes.setdefault("get", objs))
+    deployment.run(3.0)
+    assert outcomes.get("get") == []
+
+
+def test_all_suffixes_are_returned(small_overlay):
+    deployment = small_overlay
+    for index in range(4):
+        deployment.node(index).put("t", "same-key", f"s{index}", index, lifetime=300)
+    deployment.run(3.0)
+    seen = {}
+    deployment.node(5).get("t", "same-key", lambda ns, key, objs: seen.setdefault("objs", objs))
+    deployment.run(3.0)
+    assert sorted(seen["objs"]) == [0, 1, 2, 3]
+
+
+def test_objects_for_one_key_live_on_one_node(small_overlay):
+    deployment = small_overlay
+    for index in range(4):
+        deployment.node(index).put("t", "hot-key", f"s{index}", index, lifetime=300)
+    deployment.run(3.0)
+    holders = [
+        node for node in deployment.nodes if node.object_manager.count("t") > 0
+    ]
+    assert len(holders) == 1
+    assert holders[0].object_manager.count("t") == 4
+
+
+def test_renew_succeeds_only_when_object_present(small_overlay):
+    deployment = small_overlay
+    outcomes = {}
+    publisher = deployment.node(3)
+    publisher.put("t", "k", "s", "value", lifetime=300)
+    deployment.run(2.0)
+    publisher.renew("t", "k", "s", lifetime=300, callback=lambda ok: outcomes.setdefault("renew1", ok))
+    deployment.run(3.0)
+    assert outcomes["renew1"] is True
+    publisher.renew("t", "other", "s", lifetime=300, callback=lambda ok: outcomes.setdefault("renew2", ok))
+    deployment.run(3.0)
+    assert outcomes["renew2"] is False
+    assert publisher.stats.renew_failures >= 1
+
+
+def test_send_triggers_new_data_at_owner_and_upcalls_on_path(small_overlay):
+    deployment = small_overlay
+    upcall_nodes = []
+    arrived = {}
+    for address, node in enumerate(deployment.nodes):
+        node.upcall("stream", lambda ns, key, value, a=address: upcall_nodes.append(a) or True)
+        node.new_data("stream", lambda ns, key, value, a=address: arrived.setdefault("at", (a, value)))
+    deployment.node(4).send("stream", "topic", "s1", {"v": 9}, lifetime=60)
+    deployment.run(3.0)
+    assert arrived["at"][1] == {"v": 9}
+    owner_address = arrived["at"][0]
+    # The sender itself must not get an upcall for its own message.
+    assert 4 not in upcall_nodes or owner_address == 4
+
+
+def test_upcall_can_drop_a_message(small_overlay):
+    deployment = small_overlay
+    stored = {}
+    for node in deployment.nodes:
+        node.upcall("dropped", lambda ns, key, value: False)
+        node.new_data("dropped", lambda ns, key, value: stored.setdefault("arrived", value))
+    deployment.node(0).send("dropped", "topic", "s", "payload", lifetime=60)
+    deployment.run(3.0)
+    owner = next(
+        (n for n in deployment.nodes if n.object_manager.count("dropped")), None
+    )
+    # Either the first hop dropped it (normal case) or the sender was itself
+    # the owner (then no upcall fires and it is stored).
+    if stored.get("arrived") is not None:
+        assert owner is not None and owner.address == 0
+
+
+def test_local_scan_only_sees_local_objects(small_overlay):
+    deployment = small_overlay
+    for index in range(8):
+        deployment.node(index).put("scan_table", index, "s", index, lifetime=300)
+    deployment.run(3.0)
+    total = 0
+    for node in deployment.nodes:
+        rows = []
+        node.local_scan("scan_table", lambda ns, key, value: rows.append(value))
+        total += len(rows)
+        assert len(rows) == node.object_manager.count("scan_table")
+    assert total == 8
+
+
+def test_lookup_hops_are_bounded_and_counted(small_overlay):
+    deployment = small_overlay
+    hops_seen = []
+    for index in range(6):
+        deployment.node(index).lookup(
+            deployment.node((index + 7) % 16).identifier,
+            lambda owner, hops: hops_seen.append(hops),
+        )
+    deployment.run(3.0)
+    assert len(hops_seen) == 6
+    assert all(0 <= hops <= 16 for hops in hops_seen)
+
+
+def test_put_routes_around_failed_owner_predecessor(small_overlay):
+    """Killing a node must not prevent the rest of the overlay from storing
+    and retrieving data (routing retries around suspected-dead neighbors)."""
+    deployment = small_overlay
+    victim = 11
+    deployment.environment.fail_node(victim)
+    outcomes = {}
+    publisher = deployment.node(2)
+    publisher.put("resilient", "key", "s", "v", lifetime=300,
+                  callback=lambda ok: outcomes.setdefault("put", ok))
+    deployment.run(12.0)
+    # The put either lands on a live owner (success) or times out if the
+    # failed node was the owner itself; both are legitimate soft-state
+    # behaviours, but the publisher must get an answer either way.
+    assert "put" in outcomes
+
+
+def test_leave_removes_node_from_directory(small_overlay):
+    deployment = small_overlay
+    before = len(deployment.directory)
+    deployment.node(5).leave()
+    assert len(deployment.directory) == before - 1

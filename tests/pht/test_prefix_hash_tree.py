@@ -1,0 +1,106 @@
+"""Tests for the Prefix Hash Tree range index, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pht import PrefixHashTree, decode_key, encode_key
+from repro.simnet import build_overlay
+
+
+def _make_pht(deployment, name="ranges", leaf_capacity=4, key_bits=10):
+    return PrefixHashTree(
+        deployment.node(0), name, key_bits=key_bits, leaf_capacity=leaf_capacity
+    )
+
+
+def _insert_all(deployment, pht, items, step=1.0):
+    for key, value in items:
+        pht.insert(key, value)
+        deployment.run(step)
+    deployment.run(2.0)
+
+
+def test_encode_decode_roundtrip():
+    for value in (0, 1, 17, 1023):
+        assert decode_key(encode_key(value, 10)) == value
+    assert encode_key(5, 4) == "0101"
+    with pytest.raises(ValueError):
+        encode_key(16, 4)
+    with pytest.raises(ValueError):
+        encode_key(-1, 4)
+
+
+def test_point_lookup_after_insert():
+    deployment = build_overlay(10, seed=1)
+    pht = _make_pht(deployment)
+    _insert_all(deployment, pht, [(42, "answer"), (7, "seven")])
+    found = {}
+    pht.lookup(42, lambda values: found.setdefault("values", values))
+    deployment.run(3.0)
+    assert found["values"] == ["answer"]
+
+
+def test_range_query_returns_sorted_matches_only():
+    deployment = build_overlay(10, seed=2)
+    pht = _make_pht(deployment)
+    items = [(key, f"v{key}") for key in (3, 9, 15, 27, 200, 512, 700)]
+    _insert_all(deployment, pht, items)
+    result = {}
+    pht.range_query(10, 300, lambda rows: result.setdefault("rows", rows))
+    deployment.run(4.0)
+    keys = [row["key"] for row in result["rows"]]
+    assert keys == [15, 27, 200]
+
+
+def test_leaf_split_distributes_items_across_dht_nodes():
+    deployment = build_overlay(10, seed=3)
+    pht = _make_pht(deployment, leaf_capacity=2)
+    _insert_all(deployment, pht, [(k, k) for k in (1, 2, 3, 4, 5, 6, 900, 901)])
+    result = {}
+    pht.range_query(0, 1023, lambda rows: result.setdefault("rows", rows))
+    deployment.run(5.0)
+    assert sorted(row["key"] for row in result["rows"]) == [1, 2, 3, 4, 5, 6, 900, 901]
+    # The index itself must be spread over the DHT, not held by one node.
+    holders = [n for n in deployment.nodes if n.object_manager.count(pht.namespace)]
+    assert len(holders) >= 2
+
+
+def test_empty_and_inverted_ranges():
+    deployment = build_overlay(8, seed=4)
+    pht = _make_pht(deployment)
+    _insert_all(deployment, pht, [(100, "x")])
+    outcomes = {}
+    pht.range_query(200, 300, lambda rows: outcomes.setdefault("empty", rows))
+    pht.range_query(50, 10, lambda rows: outcomes.setdefault("inverted", rows))
+    deployment.run(4.0)
+    assert outcomes["empty"] == []
+    assert outcomes["inverted"] == []
+
+
+def test_covering_prefixes_intersect_query_range():
+    deployment = build_overlay(8, seed=5)
+    pht = _make_pht(deployment, leaf_capacity=2)
+    _insert_all(deployment, pht, [(k, k) for k in (10, 20, 30, 600, 610, 620)])
+    outcome = {}
+    pht.covering_prefixes(0, 63, lambda prefixes: outcome.setdefault("prefixes", prefixes))
+    deployment.run(4.0)
+    assert outcome["prefixes"], "range dissemination needs at least one covering leaf"
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=12, unique=True),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=8, deadline=None)
+def test_property_range_query_matches_reference_filter(keys, bound_a, bound_b):
+    low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+    deployment = build_overlay(6, seed=6)
+    pht = PrefixHashTree(deployment.node(0), "prop", key_bits=8, leaf_capacity=3)
+    _insert_all(deployment, pht, [(key, key) for key in keys], step=0.5)
+    outcome = {}
+    pht.range_query(low, high, lambda rows: outcome.setdefault("rows", rows))
+    deployment.run(4.0)
+    expected = sorted(key for key in keys if low <= key <= high)
+    assert [row["key"] for row in outcome.get("rows", [])] == expected

@@ -1,0 +1,100 @@
+"""Tests for aggregate functions, including the merge/add equivalence that
+hierarchical aggregation depends on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qp.aggregates import (
+    AggregateSpec,
+    Average,
+    Count,
+    CountDistinct,
+    Max,
+    Min,
+    Sum,
+    TopK,
+    make_aggregate,
+)
+
+values_lists = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=30)
+
+
+def _fold(function, values):
+    state = function.initial()
+    for value in values:
+        state = function.add(state, value)
+    return state
+
+
+@pytest.mark.parametrize(
+    "name, values, expected",
+    [
+        ("count", [5, 2, 9], 3),
+        ("sum", [5, 2, 9], 16),
+        ("min", [5, 2, 9], 2),
+        ("max", [5, 2, 9], 9),
+        ("avg", [4, 8], 6.0),
+        ("count_distinct", [1, 1, 2, 3, 3], 3),
+    ],
+)
+def test_basic_aggregate_results(name, values, expected):
+    function = make_aggregate(name)
+    assert function.result(_fold(function, values)) == expected
+
+
+def test_empty_inputs():
+    assert Count().result(Count().initial()) == 0
+    assert Sum().result(Sum().initial()) == 0
+    assert Min().result(Min().initial()) is None
+    assert Average().result(Average().initial()) is None
+
+
+def test_unknown_aggregate_name():
+    with pytest.raises(ValueError):
+        make_aggregate("median_of_medians")
+
+
+@pytest.mark.parametrize("name", ["count", "sum", "min", "max", "avg", "count_distinct"])
+@given(values_lists, values_lists)
+@settings(max_examples=40, deadline=None)
+def test_property_merge_equals_single_pass(name, left, right):
+    """merge(fold(L), fold(R)) must equal fold(L + R): the invariant that
+    makes multi-phase and hierarchical aggregation correct."""
+    function = make_aggregate(name)
+    merged = function.merge(_fold(function, left), _fold(function, right))
+    assert function.result(merged) == function.result(_fold(function, left + right))
+
+
+def test_distributive_flag_matches_paper_classification():
+    assert Count().distributive_or_algebraic
+    assert Average().distributive_or_algebraic
+    assert not CountDistinct().distributive_or_algebraic
+
+
+def test_topk_orders_by_count_then_key():
+    function = TopK(k=2)
+    state = _fold(function, ["b", "a", "a", "c", "b", "a"])
+    assert function.result(state) == [("a", 3), ("b", 2)]
+
+
+@given(values_lists, values_lists)
+@settings(max_examples=40, deadline=None)
+def test_property_topk_merge_is_exact_without_capacity(left, right):
+    function = TopK(k=5)
+    merged = function.merge(_fold(function, left), _fold(function, right))
+    assert function.result(merged) == function.result(_fold(function, left + right))
+
+
+def test_topk_capacity_bounds_state_size():
+    function = TopK(k=2, capacity=3)
+    state = function.initial()
+    for value in range(50):
+        state = function.add(state, value % 7)
+    assert len(state) <= 3
+
+
+def test_aggregate_spec_builds_functions_with_params():
+    spec = AggregateSpec(function="topk", column="source", output="top", params=(("k", 3),))
+    function = spec.build()
+    assert isinstance(function, TopK) and function.k == 3

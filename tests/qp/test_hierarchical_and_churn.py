@@ -1,0 +1,130 @@
+"""Integration tests for hierarchical operators, dissemination strategies,
+and query execution under churn / malformed data."""
+
+import pytest
+
+from repro import PIERNetwork
+from repro.qp.opgraph import DisseminationSpec, QueryPlan
+from repro.qp.plans import broadcast_scan_plan, flat_aggregation_plan, hierarchical_aggregation_plan
+from repro.qp.tuples import Tuple
+from repro.runtime.churn import ChurnProcess
+
+
+def _load_events(network, rows_per_node=3, groups=4):
+    for address in range(len(network)):
+        network.register_local_table(
+            address,
+            "events",
+            [Tuple.make("events", src=f"s{address % groups}", n=1) for _ in range(rows_per_node)],
+        )
+
+
+def test_hierarchical_join_produces_each_result_once():
+    network = PIERNetwork(16, seed=31)
+    left = [Tuple.make("left", k=i % 4, a=i) for i in range(12)]
+    right = [Tuple.make("right", k=i % 4, b=i) for i in range(8)]
+    for index, tup in enumerate(left):
+        network.register_local_table(index % 16, "left", [])
+    # Place tuples as node-local tables spread over the network.
+    per_node_left = [[] for _ in range(16)]
+    per_node_right = [[] for _ in range(16)]
+    for index, tup in enumerate(left):
+        per_node_left[index % 16].append(tup)
+    for index, tup in enumerate(right):
+        per_node_right[(index * 3) % 16].append(tup)
+    network.distribute_local_table("left", per_node_left)
+    network.distribute_local_table("right", per_node_right)
+
+    plan = QueryPlan(timeout=15.0)
+    graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    graph.add_operator("scan_left", "local_table", {"table": "left"})
+    graph.add_operator("scan_right", "local_table", {"table": "right"})
+    graph.add_operator(
+        "hier_join",
+        "hierarchical_join",
+        {"namespace": "hj", "left_columns": ["k"], "right_columns": ["k"], "output_table": "j"},
+        inputs=["scan_left", "scan_right"],
+    )
+    graph.add_operator("results", "result_handler", {"batch": 8}, inputs=["hier_join"])
+    result = network.execute(plan, proxy=0)
+
+    expected_pairs = {(l["a"], r["b"]) for l in left for r in right if l["k"] == r["k"]}
+    produced = [(row["a"], row["b"]) for row in result.rows()]
+    assert len(produced) == len(set(produced)), "no duplicate join results"
+    assert set(produced) == expected_pairs
+
+
+def test_equality_dissemination_installs_on_few_nodes():
+    network = PIERNetwork(16, seed=32)
+    rows = [Tuple.make("inverted", keyword="solo", file_id=i) for i in range(3)]
+    network.publish("inverted", ["keyword"], rows)
+    network.run(3.0)
+    from repro.qp.plans import equality_lookup_plan
+
+    plan = equality_lookup_plan("inverted", "solo", timeout=8)
+    network.execute(plan, proxy=4)
+    installed_on = [
+        node
+        for node in network.nodes
+        if any(g.query_id == plan.query_id for g in node.executor.installed_graphs())
+    ]
+    assert 1 <= len(installed_on) <= 3  # owner (plus possibly the proxy), never a broadcast
+
+
+def test_malformed_rows_are_dropped_without_breaking_the_query():
+    network = PIERNetwork(10, seed=33)
+    _load_events(network)
+    # One node publishes junk rows that do not match the query's schema.
+    network.register_local_table(
+        3, "events",
+        [Tuple.make("events", completely="different", schema=1),
+         Tuple.make("events", src="s1", n=1)],
+    )
+    plan = flat_aggregation_plan("events", ["src"], [("sum", "n", "total")], timeout=12)
+    result = network.execute(plan)
+    totals = {row["src"]: row["total"] for row in result.rows()}
+    # 9 normal nodes x 3 rows + 1 valid row on node 3 = 28 rows in total.
+    assert sum(totals.values()) == 28
+
+
+def test_continuous_query_sees_newly_published_tuples():
+    network = PIERNetwork(12, seed=34)
+    plan = broadcast_scan_plan("live_table", source="dht_scan", timeout=14)
+    handle = network.submit(plan, proxy=0)
+    network.run(2.0)
+    rows = [Tuple.make("live_table", seq=i) for i in range(6)]
+    network.publish("live_table", ["seq"], rows)
+    network.run(16.0)
+    assert {row["seq"] for row in (t.as_mapping() for t in handle.results)} == set(range(6))
+
+
+def test_aggregation_under_churn_remains_close_to_truth():
+    network = PIERNetwork(24, seed=35)
+    _load_events(network, rows_per_node=2, groups=3)
+    churn = ChurnProcess(
+        network.environment, interval=2.0, session_time=60.0, protected=[0], seed=35,
+        recover=False,
+    )
+    churn.start()
+    plan = hierarchical_aggregation_plan(
+        "events", ["src"], [("count", None, "n")], timeout=16
+    )
+    result = network.execute(plan, proxy=0)
+    churn.stop()
+    total_counted = sum(row["n"] for row in result.rows())
+    total_truth = 24 * 2
+    assert 0 < total_counted <= total_truth
+    assert total_counted >= total_truth * 0.5  # most data still aggregated under churn
+
+
+def test_bamboo_router_deployment_answers_queries():
+    network = PIERNetwork(14, router="bamboo", seed=36)
+    _load_events(network)
+    plan = flat_aggregation_plan("events", ["src"], [("count", None, "n")], timeout=12)
+    result = network.execute(plan)
+    assert sum(row["n"] for row in result.rows()) == 14 * 3
+
+
+def test_unknown_router_name_rejected():
+    with pytest.raises(ValueError):
+        PIERNetwork(4, router="pastry-deluxe")

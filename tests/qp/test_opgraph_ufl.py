@@ -1,0 +1,110 @@
+"""Tests for opgraph/plan structures and the UFL text format."""
+
+import pytest
+
+from repro.qp.opgraph import DisseminationSpec, OpGraph, OperatorSpec, QueryPlan
+from repro.qp.ufl import UFLParseError, parse_ufl, to_ufl
+
+
+def _simple_plan():
+    plan = QueryPlan(timeout=12.0)
+    graph = plan.new_graph()
+    graph.add_operator("scan", "local_table", {"table": "events"})
+    graph.add_operator("select", "selection", {"predicate": ["true"]}, inputs=["scan"])
+    graph.add_operator("results", "result_handler", {}, inputs=["select"])
+    return plan
+
+
+def test_topological_order_respects_edges():
+    plan = _simple_plan()
+    order = [spec.operator_id for spec in plan.opgraphs[0].topological_order()]
+    assert order.index("scan") < order.index("select") < order.index("results")
+
+
+def test_sources_and_sinks():
+    graph = _simple_plan().opgraphs[0]
+    assert [s.operator_id for s in graph.sources()] == ["scan"]
+    assert [s.operator_id for s in graph.sinks()] == ["results"]
+
+
+def test_duplicate_operator_ids_rejected():
+    graph = OpGraph("g")
+    graph.add_operator("a", "tee")
+    with pytest.raises(ValueError):
+        graph.add_operator("a", "tee")
+
+
+def test_unknown_input_reference_rejected():
+    graph = OpGraph("g")
+    graph.add_operator("a", "selection", {"predicate": ["true"]}, inputs=["ghost"])
+    with pytest.raises(ValueError):
+        graph.validate()
+
+
+def test_cycles_are_rejected():
+    graph = OpGraph("g")
+    graph.add_operator("a", "tee", inputs=["b"])
+    graph.add_operator("b", "tee", inputs=["a"])
+    with pytest.raises(ValueError):
+        graph.validate()
+
+
+def test_dissemination_spec_validation():
+    with pytest.raises(ValueError):
+        DisseminationSpec(strategy="teleport")
+    spec = DisseminationSpec(strategy="equality", namespace="t", key="k")
+    assert spec.key == "k"
+
+
+def test_plan_dict_roundtrip():
+    plan = _simple_plan()
+    plan.opgraphs[0].dissemination = DisseminationSpec(strategy="equality", namespace="t", key=1)
+    rebuilt = QueryPlan.from_dict(plan.to_dict())
+    assert rebuilt.query_id == plan.query_id
+    assert rebuilt.timeout == plan.timeout
+    assert rebuilt.opgraphs[0].dissemination.strategy == "equality"
+    assert set(rebuilt.opgraphs[0].operators) == set(plan.opgraphs[0].operators)
+
+
+def test_query_ids_are_unique():
+    assert QueryPlan().query_id != QueryPlan().query_id
+
+
+def test_operator_spec_with_params_is_nonmutating():
+    spec = OperatorSpec("a", "selection", {"predicate": ["true"]})
+    updated = spec.with_params(limit=3)
+    assert "limit" not in spec.params and updated.params["limit"] == 3
+
+
+# -- UFL text ------------------------------------------------------------------- #
+
+def test_ufl_roundtrip():
+    plan = _simple_plan()
+    text = to_ufl(plan)
+    parsed = parse_ufl(text)
+    assert parsed.query_id == plan.query_id
+    assert [g.graph_id for g in parsed.opgraphs] == [g.graph_id for g in plan.opgraphs]
+
+
+def test_ufl_rejects_unknown_operator_types():
+    text = to_ufl(_simple_plan()).replace("local_table", "teleport_scan")
+    with pytest.raises(UFLParseError):
+        parse_ufl(text)
+
+
+def test_ufl_rejects_invalid_json_and_empty_documents():
+    with pytest.raises(UFLParseError):
+        parse_ufl("SELECT * FROM not_json")
+    with pytest.raises(UFLParseError):
+        parse_ufl("{}")
+
+
+def test_ufl_rejects_cyclic_graphs():
+    document = """
+    {"query_id": "q1", "timeout": 5,
+     "opgraphs": [{"graph_id": "g", "operators": [
+        {"id": "a", "type": "tee", "inputs": ["b"]},
+        {"id": "b", "type": "tee", "inputs": ["a"]}]}]}
+    """
+    with pytest.raises(UFLParseError):
+        parse_ufl(document)

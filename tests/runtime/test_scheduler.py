@@ -1,0 +1,124 @@
+"""Unit tests for the Main Scheduler and event ordering."""
+
+import pytest
+
+from repro.runtime.events import Event, NetworkEvent, TimerEvent
+from repro.runtime.scheduler import MainScheduler, SchedulerStopped
+
+
+def test_events_dispatch_in_time_order():
+    scheduler = MainScheduler()
+    order = []
+    scheduler.schedule_callback(2.0, lambda d: order.append(d), "late")
+    scheduler.schedule_callback(0.5, lambda d: order.append(d), "early")
+    scheduler.schedule_callback(1.0, lambda d: order.append(d), "middle")
+    scheduler.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_simultaneous_events_keep_fifo_order():
+    scheduler = MainScheduler()
+    order = []
+    for index in range(10):
+        scheduler.schedule_callback(1.0, lambda d: order.append(d), index)
+    scheduler.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    scheduler = MainScheduler()
+    seen = []
+    scheduler.schedule_callback(3.5, lambda d: seen.append(scheduler.now), None)
+    scheduler.run()
+    assert seen == [3.5]
+    assert scheduler.now == 3.5
+
+
+def test_run_until_bound_leaves_future_events_queued():
+    scheduler = MainScheduler()
+    fired = []
+    scheduler.schedule_callback(1.0, lambda d: fired.append("a"), None)
+    scheduler.schedule_callback(5.0, lambda d: fired.append("b"), None)
+    dispatched = scheduler.run(until=2.0)
+    assert dispatched == 1
+    assert fired == ["a"]
+    assert len(scheduler) == 1
+    assert scheduler.now == 2.0
+
+
+def test_run_for_advances_relative_duration():
+    scheduler = MainScheduler()
+    scheduler.schedule_callback(1.0, lambda d: None, None)
+    scheduler.run_for(0.5)
+    assert scheduler.now == 0.5
+    scheduler.run_for(1.0)
+    assert scheduler.now >= 1.0
+
+
+def test_cancelled_events_are_skipped():
+    scheduler = MainScheduler()
+    fired = []
+    event = scheduler.schedule_callback(1.0, lambda d: fired.append("cancelled"), None)
+    scheduler.schedule_callback(2.0, lambda d: fired.append("kept"), None)
+    event.cancel()
+    scheduler.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_in_past_run_at_current_time():
+    scheduler = MainScheduler()
+    scheduler.schedule_callback(5.0, lambda d: None, None)
+    scheduler.run()
+    event = Event(time=1.0, callback=lambda d: None)
+    scheduler.schedule(event)
+    assert event.time == scheduler.now
+
+
+def test_max_events_bound():
+    scheduler = MainScheduler()
+    for _ in range(10):
+        scheduler.schedule_callback(1.0, lambda d: None, None)
+    assert scheduler.run(max_events=4) == 4
+    assert len(scheduler) == 6
+
+
+def test_handler_can_schedule_followup_events():
+    scheduler = MainScheduler()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            scheduler.schedule_callback(1.0, chain, depth + 1)
+
+    scheduler.schedule_callback(0.0, chain, 0)
+    scheduler.run()
+    assert seen == [0, 1, 2, 3]
+    assert scheduler.now == 3.0
+
+
+def test_stop_halts_run():
+    scheduler = MainScheduler()
+    fired = []
+    scheduler.schedule_callback(1.0, lambda d: (fired.append("a"), scheduler.stop()), None)
+    scheduler.schedule_callback(2.0, lambda d: fired.append("b"), None)
+    scheduler.run()
+    assert fired == ["a"]
+
+
+def test_shutdown_rejects_new_events():
+    scheduler = MainScheduler()
+    scheduler.shutdown()
+    with pytest.raises(SchedulerStopped):
+        scheduler.schedule_callback(1.0, lambda d: None, None)
+
+
+def test_event_subclasses_share_one_queue():
+    scheduler = MainScheduler()
+    order = []
+    scheduler.schedule(TimerEvent(time=1.0, callback=lambda d: order.append("timer")))
+    scheduler.schedule(
+        NetworkEvent(time=0.5, callback=lambda s, p: order.append("network"))
+    )
+    scheduler.run()
+    assert order == ["network", "timer"]

@@ -1,0 +1,90 @@
+"""Tests for topology latency models and congestion models."""
+
+import pytest
+
+from repro.runtime.congestion import FairQueuingModel, FIFOQueueModel, NoCongestionModel
+from repro.runtime.topology import (
+    ExplicitTopology,
+    LinkProperties,
+    StarTopology,
+    TransitStubTopology,
+)
+
+
+def test_star_topology_latency_is_sum_of_access_links():
+    topology = StarTopology(10, min_access_latency=0.01, max_access_latency=0.05, seed=1)
+    latency = topology.latency(2, 7)
+    assert latency == pytest.approx(topology.access_latency(2) + topology.access_latency(7))
+    assert topology.latency(3, 3) == 0.0
+
+
+def test_star_topology_is_symmetric_and_deterministic():
+    a = StarTopology(20, seed=5)
+    b = StarTopology(20, seed=5)
+    for pair in [(0, 1), (4, 17), (9, 12)]:
+        assert a.latency(*pair) == b.latency(*pair)
+        assert a.latency(*pair) == a.latency(*reversed(pair))
+
+
+def test_star_topology_rejects_bad_addresses():
+    topology = StarTopology(5)
+    with pytest.raises(ValueError):
+        topology.latency(0, 5)
+    with pytest.raises(ValueError):
+        StarTopology(0)
+
+
+def test_transit_stub_local_vs_cross_domain_latency():
+    topology = TransitStubTopology(48, transit_domains=4, stubs_per_transit=3, seed=2)
+    same_stub_pair = None
+    cross_transit_pair = None
+    for a in range(48):
+        for b in range(a + 1, 48):
+            if topology.stub_of(a) == topology.stub_of(b) and same_stub_pair is None:
+                same_stub_pair = (a, b)
+            if topology.transit_of(a) != topology.transit_of(b) and cross_transit_pair is None:
+                cross_transit_pair = (a, b)
+    assert same_stub_pair and cross_transit_pair
+    assert topology.latency(*same_stub_pair) < topology.latency(*cross_transit_pair)
+
+
+def test_explicit_topology_uses_matrix():
+    matrix = [[0.0, 0.1], [0.1, 0.0]]
+    topology = ExplicitTopology(matrix)
+    assert topology.latency(0, 1) == 0.1
+    with pytest.raises(ValueError):
+        ExplicitTopology([[0.0, 0.1]])
+
+
+def test_no_congestion_adds_latency_and_serialisation():
+    model = NoCongestionModel()
+    link = LinkProperties(latency_s=0.05, bandwidth_bps=8000.0)
+    arrival = model.arrival_time(1.0, 0, 1, size_bytes=1000, link=link)
+    assert arrival == pytest.approx(1.0 + 0.05 + 1.0)  # 1000 B at 1 kB/s
+
+
+def test_fifo_queue_serialises_back_to_back_messages():
+    model = FIFOQueueModel()
+    link = LinkProperties(latency_s=0.0, bandwidth_bps=8000.0)  # 1 s per 1000 B
+    first = model.arrival_time(0.0, 0, 1, 1000, link)
+    second = model.arrival_time(0.0, 0, 2, 1000, link)
+    assert first == pytest.approx(1.0)
+    assert second == pytest.approx(2.0)  # had to wait for the first transmission
+    model.reset()
+    assert model.arrival_time(0.0, 0, 1, 1000, link) == pytest.approx(1.0)
+
+
+def test_fair_queuing_penalises_concurrent_flows():
+    model = FairQueuingModel()
+    link = LinkProperties(latency_s=0.0, bandwidth_bps=8000.0)
+    solo = model.arrival_time(0.0, 0, 1, 1000, link)
+    contended = model.arrival_time(0.0, 0, 2, 1000, link)
+    assert contended > solo
+
+
+def test_fifo_queues_are_per_source():
+    model = FIFOQueueModel()
+    link = LinkProperties(latency_s=0.0, bandwidth_bps=8000.0)
+    a = model.arrival_time(0.0, 0, 9, 1000, link)
+    b = model.arrival_time(0.0, 1, 9, 1000, link)
+    assert a == pytest.approx(b)  # different sources do not queue behind each other

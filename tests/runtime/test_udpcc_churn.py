@@ -1,0 +1,84 @@
+"""Tests for the UdpCC transport and the churn process."""
+
+from repro.runtime.churn import ChurnProcess
+from repro.runtime.simulation import SimulationEnvironment
+from repro.runtime.udpcc import UdpCCTransport
+
+
+def _transports(env, port=7100):
+    transports = [UdpCCTransport(env.runtime(address), port) for address in range(env.node_count)]
+    return transports
+
+
+def test_udpcc_delivers_and_acknowledges():
+    env = SimulationEnvironment(3)
+    transports = _transports(env)
+    received = []
+    transports[1].on_receive(lambda source, payload: received.append(payload))
+    outcomes = []
+    transports[0].send((1, 7100), {"n": 42}, callback=lambda ok, data: outcomes.append((ok, data)),
+                       callback_data="m1")
+    env.run(3.0)
+    assert received == [{"n": 42}]
+    assert outcomes == [(True, "m1")]
+
+
+def test_udpcc_reports_failure_after_retries():
+    env = SimulationEnvironment(3)
+    transports = _transports(env)
+    env.fail_node(2)
+    outcomes = []
+    transports[0].send((2, 7100), "ping", callback=lambda ok, data: outcomes.append(ok))
+    env.run(30.0)
+    assert outcomes == [False]
+    assert transports[0].messages_failed == 1
+
+
+def test_udpcc_congestion_window_grows_on_acks():
+    env = SimulationEnvironment(2)
+    transports = _transports(env)
+    transports[1].on_receive(lambda s, p: None)
+    destination = (1, 7100)
+    initial_window = transports[0]._flows[destination].window if destination in transports[0]._flows else 4.0
+    for index in range(30):
+        transports[0].send(destination, index)
+    env.run(10.0)
+    assert transports[0]._flows[destination].window > initial_window
+
+
+def test_udpcc_queues_beyond_window_and_delivers_all():
+    env = SimulationEnvironment(2)
+    transports = _transports(env)
+    received = []
+    transports[1].on_receive(lambda s, p: received.append(p))
+    for index in range(50):
+        transports[0].send((1, 7100), index)
+    env.run(20.0)
+    assert sorted(received) == list(range(50))
+
+
+def test_churn_process_fails_and_recovers_nodes():
+    env = SimulationEnvironment(10)
+    churn = ChurnProcess(env, interval=1.0, session_time=3.0, protected=[0], seed=1)
+    churn.start()
+    env.run(5.0)
+    assert churn.history, "churn should have failed at least one node"
+    assert all(event.address != 0 for event in churn.history if event.action == "fail")
+    env.run(10.0)
+    recoveries = [event for event in churn.history if event.action == "recover"]
+    assert recoveries, "failed nodes should eventually recover"
+
+
+def test_churn_callbacks_fire():
+    env = SimulationEnvironment(6)
+    churn = ChurnProcess(env, interval=0.5, session_time=100.0, recover=False, seed=2)
+    failed = []
+    churn.on_fail(failed.append)
+    churn.start()
+    env.run(3.0)
+    assert failed
+    assert set(failed) == set(churn.failed_nodes)
+    churn.stop()
+    count = len(failed)
+    env.run(3.0)
+    assert len(failed) == count

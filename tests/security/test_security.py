@@ -1,0 +1,113 @@
+"""Tests for the Section 4.1 security mechanisms."""
+
+import pytest
+
+from repro.security import (
+    ClientRateLimiter,
+    ReciprocationLedger,
+    RedundantAggregation,
+    SpotChecker,
+)
+from repro.security.spot_check import AggregatorClaim, commit_to_inputs
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_rate_limiter_throttles_over_threshold():
+    clock = _Clock()
+    limiter = ClientRateLimiter(clock, window=10.0, threshold=5.0)
+    assert all(limiter.admit("client-a") for _ in range(5))
+    assert limiter.admit("client-a") is False
+    assert limiter.throttled_requests == 1
+    assert limiter.admit("client-b") is True  # other clients unaffected
+
+
+def test_rate_limiter_window_slides():
+    clock = _Clock()
+    limiter = ClientRateLimiter(clock, window=10.0, threshold=2.0)
+    assert limiter.admit("c") and limiter.admit("c")
+    assert not limiter.admit("c")
+    clock.now = 11.0
+    assert limiter.admit("c")
+    assert limiter.consumption("c") == 1.0
+
+
+def test_rate_limiter_merges_remote_usage():
+    clock = _Clock()
+    limiter = ClientRateLimiter(clock, window=10.0, threshold=10.0)
+    limiter.admit("c", cost=3.0)
+    assert limiter.merge_remote_usage("c", 4.0) == 7.0
+
+
+def test_reciprocation_ledger_limits_imbalance():
+    ledger = ReciprocationLedger(allowance=2)
+    assert ledger.should_execute("A", "B")
+    ledger.record_execution("A", "B")
+    ledger.record_execution("A", "B")
+    assert not ledger.should_execute("A", "B")
+    ledger.record_execution("B", "A")
+    assert ledger.should_execute("A", "B")
+    assert ledger.refusals == 1
+
+
+def test_redundant_aggregation_median_masks_outlier():
+    redundancy = RedundantAggregation()
+    report = redundancy.combine([100.0, 101.0, 5000.0], reference_value=100.0)
+    assert report.combined_value == 101.0
+    assert report.relative_error == pytest.approx(0.01)
+    assert report.suspected_outliers == [2]
+
+
+def test_redundant_aggregation_other_combiners_and_validation():
+    assert RedundantAggregation("max").combine([1.0, 2.0]).combined_value == 2.0
+    assert RedundantAggregation("mean").combine([2.0, 4.0]).combined_value == 3.0
+    with pytest.raises(ValueError):
+        RedundantAggregation("mode")
+    with pytest.raises(ValueError):
+        RedundantAggregation().combine([])
+
+
+def test_suppression_fraction():
+    assert RedundantAggregation.suppression_fraction(100, 80) == pytest.approx(0.2)
+    assert RedundantAggregation.suppression_fraction(10, 20) == 0.0
+
+
+def test_spot_checker_accepts_honest_aggregator():
+    sources = {i: float(i) for i in range(10)}
+    inputs = list(sources.values())
+    claim = AggregatorClaim(
+        commitment=commit_to_inputs(inputs), claimed_result=sum(inputs), claimed_inputs=inputs
+    )
+    checker = SpotChecker(aggregate=sum, sample_size=5, seed=1)
+    assert checker.check(claim, sources).passed
+
+
+def test_spot_checker_catches_dropped_inputs():
+    sources = {i: float(i) for i in range(10)}
+    tampered = [value for key, value in sources.items() if key != 9]  # drop the largest
+    claim = AggregatorClaim(
+        commitment=commit_to_inputs(tampered), claimed_result=sum(tampered),
+        claimed_inputs=tampered,
+    )
+    checker = SpotChecker(aggregate=sum, sample_size=10, seed=2)
+    result = checker.check(claim, sources)
+    assert not result.passed and result.mismatched_sources == [9]
+    assert checker.failures_detected == 1
+
+
+def test_spot_checker_catches_result_inconsistent_with_commitment():
+    sources = {i: float(i) for i in range(5)}
+    inputs = list(sources.values())
+    claim = AggregatorClaim(
+        commitment=commit_to_inputs(inputs), claimed_result=sum(inputs) + 50.0,
+        claimed_inputs=inputs,
+    )
+    checker = SpotChecker(aggregate=sum, sample_size=3, seed=3)
+    result = checker.check(claim, sources)
+    assert result.consistent_commitment and not result.consistent_result

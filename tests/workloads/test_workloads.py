@@ -1,0 +1,93 @@
+"""Tests for the synthetic workload generators."""
+
+from collections import Counter
+
+from repro.workloads import FilesharingWorkload, FirewallWorkload
+
+
+def test_filesharing_workload_is_deterministic():
+    a = FilesharingWorkload(20, file_count=50, seed=3)
+    b = FilesharingWorkload(20, file_count=50, seed=3)
+    assert [f.filename for f in a.files] == [f.filename for f in b.files]
+    assert a.keyword_popularity == b.keyword_popularity
+
+
+def test_keyword_popularity_is_skewed_with_a_rare_tail():
+    workload = FilesharingWorkload(30, file_count=300, keyword_count=100, seed=1)
+    ranked = workload.keywords_sorted_by_popularity()
+    top = workload.keyword_popularity[ranked[0]]
+    median = workload.keyword_popularity[ranked[len(ranked) // 2]]
+    assert top > 5 * max(median, 1)
+    assert workload.rare_keywords(), "a Zipf tail must produce rare keywords"
+
+
+def test_rare_keyword_files_are_less_replicated_on_average():
+    workload = FilesharingWorkload(30, file_count=200, seed=2)
+    rare = workload.rare_keywords(max_files=1)
+    popular = workload.popular_keywords(min_files=10)
+    assert rare and popular
+
+    def mean_replication(keywords):
+        replicas = [
+            len(descriptor.hosts)
+            for keyword in keywords
+            for descriptor in workload.files_matching(keyword)
+        ]
+        return sum(replicas) / len(replicas)
+
+    assert mean_replication(rare) < mean_replication(popular)
+
+
+def test_inverted_index_rows_cover_all_keyword_file_pairs():
+    workload = FilesharingWorkload(10, file_count=40, seed=4)
+    rows = workload.inverted_index_tuples()
+    pairs = {(row["keyword"], row["file_id"]) for row in rows}
+    expected = {
+        (keyword, descriptor.file_id)
+        for descriptor in workload.files
+        for keyword in descriptor.keywords
+    }
+    assert pairs == expected
+
+
+def test_replicas_by_node_matches_hosts():
+    workload = FilesharingWorkload(12, file_count=30, seed=5)
+    holdings = workload.replicas_by_node()
+    for descriptor in workload.files:
+        for host in descriptor.hosts:
+            assert descriptor in holdings[host]
+
+
+def test_query_workload_mixes_popular_and_rare():
+    workload = FilesharingWorkload(20, file_count=150, seed=6)
+    queries = workload.query_workload(200, rare_fraction=0.5)
+    assert len(queries) == 200
+    rare = set(workload.rare_keywords())
+    assert any(q in rare for q in queries)
+    assert any(q not in rare for q in queries)
+
+
+def test_firewall_workload_heavy_hitters_dominate():
+    workload = FirewallWorkload(30, events_per_node=100, seed=7)
+    counts = workload.true_source_counts()
+    total = sum(counts.values())
+    top10 = sum(count for _ip, count in workload.true_top_k(10))
+    assert total == 30 * 100
+    assert top10 > 0.3 * total  # a few sources generate a large fraction
+
+
+def test_firewall_events_are_per_node_and_deterministic():
+    workload = FirewallWorkload(10, events_per_node=20, seed=8)
+    again = FirewallWorkload(10, events_per_node=20, seed=8)
+    for address in range(10):
+        rows_a = workload.events_for_node(address)
+        rows_b = again.events_for_node(address)
+        assert [r.as_mapping() for r in rows_a] == [r.as_mapping() for r in rows_b]
+        assert all(row["node"] == address for row in rows_a)
+
+
+def test_firewall_true_top_k_is_sorted():
+    workload = FirewallWorkload(15, events_per_node=50, seed=9)
+    top = workload.true_top_k(5)
+    counts = [count for _ip, count in top]
+    assert counts == sorted(counts, reverse=True)
