@@ -17,6 +17,7 @@ from repro.overlay.bamboo import BambooRouter
 from repro.qp.node import PIERNode
 from repro.qp.opgraph import QueryPlan
 from repro.qp.proxy import QueryHandle
+from repro.qp.stats import Statistics
 from repro.qp.tuples import Tuple
 from repro.runtime.congestion import CongestionModel
 from repro.runtime.simulation import SimulationEnvironment
@@ -67,6 +68,14 @@ class PIERNetwork:
     settle_time:
         Virtual seconds to run after start-up so distribution-tree
         advertisements propagate before the first query.
+    exchange_batch_size, exchange_flush_interval:
+        Deployment-wide defaults for the batching exchange (``put``
+        operators): same-destination tuples are coalesced into one DHT
+        message once ``exchange_batch_size`` of them accumulate, with a
+        periodic flush every ``exchange_flush_interval`` virtual seconds.
+        A batch size of 1 (the default) keeps the paper's one-message-per-
+        tuple behaviour.  Individual plans can override both knobs through
+        ``plan.metadata``.
     """
 
     def __init__(
@@ -78,6 +87,8 @@ class PIERNetwork:
         seed: int = 0,
         settle_time: float = 2.0,
         auto_start: bool = True,
+        exchange_batch_size: int = 1,
+        exchange_flush_interval: float = 0.25,
     ) -> None:
         if router not in ROUTER_FACTORIES:
             raise ValueError(f"unknown router {router!r}; options: {sorted(ROUTER_FACTORIES)}")
@@ -86,11 +97,22 @@ class PIERNetwork:
         )
         self.directory = BootstrapDirectory()
         router_factory = ROUTER_FACTORIES[router]
+        exchange_defaults = {
+            "exchange_batch_size": exchange_batch_size,
+            "exchange_flush_interval": exchange_flush_interval,
+        }
         self.nodes: List[PIERNode] = [
-            PIERNode(self.environment.runtime(address), self.directory, router_factory)
+            PIERNode(
+                self.environment.runtime(address),
+                self.directory,
+                router_factory,
+                exchange_defaults=exchange_defaults,
+            )
             for address in range(node_count)
         ]
         self.settle_time = settle_time
+        # The planner's statistics catalog, fed by publish()/local tables.
+        self.statistics = Statistics()
         self._started = False
         if auto_start:
             self.start()
@@ -147,11 +169,14 @@ class PIERNetwork:
         for index, tup in enumerate(rows):
             origin = self.nodes[(publisher + index) % len(self.nodes)] if spread else self.nodes[publisher]
             origin.publish(namespace, partitioning_columns, tup, lifetime=lifetime)
+            self.statistics.record(namespace, tup.as_mapping())
         return len(rows)
 
     def register_local_table(self, address: int, name: str, rows: Iterable[Tuple]) -> None:
         """Attach node-local rows (e.g. this node's firewall log)."""
-        self.nodes[address].register_local_table(name, list(rows))
+        rows = list(rows)
+        self.nodes[address].register_local_table(name, rows)
+        self.statistics.record_rows(name, (tup.as_mapping() for tup in rows))
 
     def distribute_local_table(self, name: str, rows_by_node: Sequence[Iterable[Tuple]]) -> None:
         """Attach per-node rows for every node at once."""
@@ -159,6 +184,14 @@ class PIERNetwork:
             raise ValueError("rows_by_node must provide one row list per node")
         for address, rows in enumerate(rows_by_node):
             self.register_local_table(address, name, rows)
+
+    # -- planning --------------------------------------------------------------------#
+    def make_planner(self, tables=None, **kwargs):
+        """A SQL planner wired to this deployment's statistics catalog."""
+        from repro.sql.planner import NaivePlanner
+
+        kwargs.setdefault("statistics", self.statistics)
+        return NaivePlanner(tables, **kwargs)
 
     # -- query execution ----------------------------------------------------------------#
     def submit(

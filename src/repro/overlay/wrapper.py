@@ -46,6 +46,8 @@ class DHTStats:
     lookups_completed: int = 0
     lookup_hops_total: int = 0
     puts: int = 0
+    batch_puts: int = 0
+    batched_objects: int = 0
     gets: int = 0
     sends: int = 0
     renews: int = 0
@@ -223,6 +225,62 @@ class OverlayNode:
 
         self._lookup(routing_id, after_lookup)
         return name
+
+    def put_batch(
+        self,
+        namespace: str,
+        key: object,
+        entries: List[Tuple[str, object]],
+        lifetime: float,
+        callback: Optional[AckCallback] = None,
+    ) -> None:
+        """Batched put: ship several objects for one partitioning key with a
+        single lookup and a single direct message.
+
+        All objects in ``entries`` (``(suffix, value)`` pairs) share the
+        same (namespace, key), so they route to the same owner; coalescing
+        them turns N per-tuple messages into one.  This is what the query
+        processor's batching exchange uses.
+        """
+        if not entries:
+            if callback is not None:
+                callback(True)
+            return
+        self.stats.puts += 1
+        self.stats.batch_puts += 1
+        self.stats.batched_objects += len(entries)
+        routing_id = ObjectName(namespace, key, entries[0][0]).routing_identifier()
+
+        def after_lookup(owner: Optional[NodeContact], _hops: int) -> None:
+            if owner is None:
+                if callback is not None:
+                    callback(False)
+                return
+            if owner.identifier == self.identifier:
+                for suffix, value in entries:
+                    self._store_locally(ObjectName(namespace, key, suffix), value, lifetime)
+                if callback is not None:
+                    callback(True)
+                return
+            request_id = None
+            if callback is not None:
+                request_id = self._register_request(
+                    callback, kind="put_batch", on_timeout=lambda: callback(False)
+                )
+            self._send_direct(
+                owner.address,
+                {
+                    "kind": "put_batch",
+                    "namespace": namespace,
+                    "key": key,
+                    "entries": [[suffix, value] for suffix, value in entries],
+                    "lifetime": lifetime,
+                    "request_id": request_id,
+                    "origin": self.address,
+                },
+            )
+
+        self._lookup(routing_id, after_lookup)
 
     def renew(
         self,
@@ -437,6 +495,15 @@ class OverlayNode:
         elif kind == "put":
             name = ObjectName(payload["namespace"], payload["key"], payload["suffix"])
             self._store_locally(name, payload["value"], payload["lifetime"])
+            if payload.get("request_id") is not None:
+                self._send_direct(
+                    payload["origin"],
+                    {"kind": "ack", "request_id": payload["request_id"], "success": True},
+                )
+        elif kind == "put_batch":
+            for suffix, value in payload["entries"]:
+                name = ObjectName(payload["namespace"], payload["key"], suffix)
+                self._store_locally(name, value, payload["lifetime"])
             if payload.get("request_id") is not None:
                 self._send_direct(
                     payload["origin"],

@@ -207,7 +207,10 @@ class PrefixHashTree:
             outstanding["count"] += 1
 
             def on_node(bucket: Optional[_LeafBucket]) -> None:
-                outstanding["count"] -= 1
+                # Expand children before decrementing this node's slot: a
+                # child read that completes synchronously (the local node
+                # owns the key) must not see the count reach zero and
+                # report completion while siblings are still unvisited.
                 if bucket is not None:
                     if bucket.is_leaf:
                         results.extend(
@@ -216,6 +219,7 @@ class PrefixHashTree:
                     elif len(prefix) < self.key_bits:
                         visit(prefix + "0")
                         visit(prefix + "1")
+                outstanding["count"] -= 1
                 finish_if_idle()
 
             self._read_node(prefix, on_node)
@@ -249,12 +253,15 @@ class PrefixHashTree:
             outstanding["count"] += 1
 
             def on_node(bucket: Optional[_LeafBucket]) -> None:
-                outstanding["count"] -= 1
+                # Same ordering as range_query: register children before
+                # decrementing, so synchronous child completions cannot
+                # finish the traversal early.
                 if bucket is None or bucket.is_leaf:
                     prefixes.append(prefix)
                 elif len(prefix) < self.key_bits:
                     visit(prefix + "0")
                     visit(prefix + "1")
+                outstanding["count"] -= 1
                 finish_if_idle()
 
             self._read_node(prefix, on_node)

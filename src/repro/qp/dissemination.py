@@ -30,11 +30,17 @@ InstallHandler = Callable[[Dict[str, Any]], None]
 
 
 def query_envelope(plan: QueryPlan, graph: OpGraph, proxy_address: Any) -> Dict[str, Any]:
-    """The wire format in which an opgraph travels to executing nodes."""
+    """The wire format in which an opgraph travels to executing nodes.
+
+    Plan metadata rides along so that query-wide execution settings (e.g.
+    the exchange batching knobs) take effect on every executing node, not
+    just the proxy that compiled the plan.
+    """
     return {
         "query_id": plan.query_id,
         "timeout": plan.timeout,
         "proxy": proxy_address,
+        "metadata": dict(plan.metadata),
         "graph": graph.to_dict(),
     }
 

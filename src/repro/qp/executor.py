@@ -40,12 +40,17 @@ class InstalledGraph:
 class QueryExecutor:
     """Installs and runs opgraphs on one PIER node."""
 
-    def __init__(self, overlay: OverlayNode) -> None:
+    def __init__(
+        self, overlay: OverlayNode, exchange_defaults: Optional[Dict[str, Any]] = None
+    ) -> None:
         self.overlay = overlay
         self._installed: Dict[str, InstalledGraph] = {}
         # Node-local data sources shared by every query on this node.
         self.local_tables: Dict[str, List[Tuple]] = {}
         self.streams: Dict[str, Callable[[float], List[Tuple]]] = {}
+        # Node-level defaults for the batching exchange (see PutExchange);
+        # per-query plan metadata overrides them.
+        self.exchange_defaults = dict(exchange_defaults or {})
         self.graphs_installed = 0
         self.graphs_completed = 0
 
@@ -69,11 +74,17 @@ class QueryExecutor:
         timeout: float,
         proxy_address: Any,
         deliver_result: Optional[Callable[[Tuple], None]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
     ) -> Optional[InstalledGraph]:
         """Instantiate and start ``graph``.  Duplicate installs are ignored."""
         install_key = f"{query_id}/{graph.graph_id}"
         if install_key in self._installed:
             return None
+        extras: Dict[str, Any] = {"local_tables": self.local_tables, "streams": self.streams}
+        for knob in ("exchange_batch_size", "exchange_flush_interval"):
+            value = (metadata or {}).get(knob, self.exchange_defaults.get(knob))
+            if value is not None:
+                extras[knob] = value
         context = ExecutionContext(
             overlay=self.overlay,
             query_id=query_id,
@@ -81,7 +92,7 @@ class QueryExecutor:
             proxy_address=proxy_address,
             deliver_result=deliver_result,
             lifetime=max(timeout * 2.0, 60.0),
-            extras={"local_tables": self.local_tables, "streams": self.streams},
+            extras=extras,
         )
         operators = {
             spec.operator_id: build_operator(spec, context)

@@ -31,11 +31,12 @@ class PIERNode:
         directory: BootstrapDirectory,
         router_factory: Callable[[NodeContact], Router] = ChordRouter,
         pht_resolver: Optional[Callable[[str, Any, Any], List[Any]]] = None,
+        exchange_defaults: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.runtime = runtime
         self.overlay = OverlayNode(runtime, directory, router_factory=router_factory)
         self.tree = DistributionTree(self.overlay)
-        self.executor = QueryExecutor(self.overlay)
+        self.executor = QueryExecutor(self.overlay, exchange_defaults=exchange_defaults)
         self.disseminator = QueryDisseminator(
             self.overlay, self.tree, self._install_envelope, pht_resolver=pht_resolver
         )
@@ -141,4 +142,5 @@ class PIERNode:
             timeout=envelope["timeout"],
             proxy_address=proxy_address,
             deliver_result=deliver,
+            metadata=envelope.get("metadata"),
         )

@@ -11,7 +11,7 @@ result handler ships answer tuples to the query's proxy node.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple as PyTuple
+from typing import Any, Deque, Dict, List, Optional, Tuple as PyTuple
 
 from repro.overlay.naming import random_suffix
 from repro.qp.operators.base import DEFAULT_PROBE_TAG, PhysicalOperator, register_operator
@@ -26,10 +26,21 @@ class PutExchange(PhysicalOperator):
 
     This is the "rehash" phase of parallel hash joins and multi-phase
     aggregation: a tuple's partitioning key decides which node receives it.
+
+    With batching enabled, same-destination tuples (same partitioning key)
+    are coalesced and shipped in one ``put_batch`` message per flush — one
+    DHT lookup and one direct message carry a whole batch instead of one
+    message per tuple.  A partition flushes when it reaches ``batch_size``
+    tuples and a periodic timer flushes stragglers every
+    ``flush_interval`` seconds; query teardown flushes whatever remains.
+
     Params: ``namespace`` (rendezvous, query-scoped by default),
     ``key_columns``, optional ``lifetime``, ``use_send`` (route the object
     hop-by-hop with upcalls — required for hierarchical operators — instead
-    of the two-phase put), ``scoped`` (default True).
+    of the two-phase put; never batched), ``scoped`` (default True),
+    ``batch_size`` and ``flush_interval`` (defaults come from the execution
+    context's ``exchange_batch_size`` / ``exchange_flush_interval`` extras,
+    i.e. the deployment-level knobs; a batch size of 1 disables batching).
     """
 
     op_type = "put"
@@ -43,7 +54,21 @@ class PutExchange(PhysicalOperator):
         self.key_columns: List[str] = list(self.require_param("key_columns"))
         self.lifetime = float(self.param("lifetime", context.lifetime))
         self.use_send = bool(self.param("use_send", False))
+        self.batch_size = int(
+            self.param("batch_size", context.extras.get("exchange_batch_size", 1))
+        )
+        self.flush_interval = float(
+            self.param("flush_interval", context.extras.get("exchange_flush_interval", 0.25))
+        )
+        if self.batch_size > 1 and self.flush_interval <= 0:
+            # Without a straggler timer, partitions below batch_size would
+            # only flush at teardown — after consumer graphs have stopped —
+            # and their tuples would be lost.  Batching always keeps a timer.
+            self.flush_interval = 0.25
         self.tuples_published = 0
+        self.batches_published = 0
+        self._buffers: Dict[Any, List[Any]] = {}
+        self._flush_timer_scheduled = False
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         key = tup.key(self.key_columns)
@@ -53,10 +78,49 @@ class PutExchange(PhysicalOperator):
             self.context.overlay.send(
                 self.namespace, partition_key, random_suffix(), tup.to_dict(), self.lifetime
             )
-        else:
+            return
+        if self.batch_size <= 1:
             self.context.overlay.put(
                 self.namespace, partition_key, random_suffix(), tup.to_dict(), self.lifetime
             )
+            return
+        bucket = self._buffers.setdefault(partition_key, [])
+        bucket.append(tup.to_dict())
+        if len(bucket) >= self.batch_size:
+            self._flush_partition(partition_key)
+        elif self.flush_interval > 0 and not self._flush_timer_scheduled:
+            self._flush_timer_scheduled = True
+            self.context.schedule(self.flush_interval, self._on_flush_timer)
+
+    def _on_flush_timer(self, _data: object) -> None:
+        self._flush_timer_scheduled = False
+        if self._stopped:
+            self._buffers.clear()
+            return
+        self.flush()
+        if self._buffers and self.flush_interval > 0 and not self._flush_timer_scheduled:
+            self._flush_timer_scheduled = True
+            self.context.schedule(self.flush_interval, self._on_flush_timer)
+
+    def _flush_partition(self, partition_key: Any) -> None:
+        values = self._buffers.pop(partition_key, None)
+        if not values:
+            return
+        self.batches_published += 1
+        self.context.overlay.put_batch(
+            self.namespace,
+            partition_key,
+            [(random_suffix(), value) for value in values],
+            self.lifetime,
+        )
+
+    def flush(self) -> None:
+        for partition_key in list(self._buffers):
+            self._flush_partition(partition_key)
+
+    @property
+    def buffered(self) -> int:
+        return sum(len(bucket) for bucket in self._buffers.values())
 
 
 @register_operator

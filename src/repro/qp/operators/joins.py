@@ -188,12 +188,17 @@ class BloomFilter:
             "size_bits": self.size_bits,
             "hash_count": self.hash_count,
             "bits": sorted(self.bits),
+            "items_added": self.items_added,
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, Any]) -> "BloomFilter":
         bloom = BloomFilter(payload["size_bits"], payload["hash_count"])
         bloom.bits = set(payload["bits"])
+        # Older serialisations lack "items_added"; infer non-emptiness from
+        # the bit set so a populated filter never reads back as empty (which
+        # made every probe a no-op).
+        bloom.items_added = int(payload.get("items_added", 1 if bloom.bits else 0))
         return bloom
 
 
@@ -212,15 +217,39 @@ class BloomFilterBuild(PhysicalOperator):
         super().__init__(spec, context)
         self.columns: List[str] = list(self.require_param("columns"))
         self.filter_namespace = context.scoped_namespace(self.require_param("filter_namespace"))
+        self.publish_delay = float(self.param("publish_delay", 0.5))
+        self._published_items = -1
         self.bloom = BloomFilter(
             size_bits=int(self.param("size_bits", 8192)),
             hash_count=int(self.param("hash_count", 3)),
         )
 
+    def start(self) -> None:
+        # Publish shortly after the initial scan so probes waiting on the
+        # filter see it early in the query, then keep republishing while new
+        # keys arrive (e.g. streamed base data) so probe refreshes converge.
+        if self.publish_delay > 0:
+            self.context.schedule(self.publish_delay, self._periodic_publish)
+
+    def _periodic_publish(self, _data: object) -> None:
+        if self._stopped:
+            return
+        if self.bloom.items_added != self._published_items:
+            self._publish()
+        self.context.schedule(self.publish_delay, self._periodic_publish)
+
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         self.bloom.add(tup.key(self.columns))
 
     def flush(self) -> None:
+        self._publish()
+
+    def _publish(self) -> None:
+        if self._stopped:
+            return
+        self._published_items = self.bloom.items_added
+        # The per-node suffix is stable, so a re-publish overwrites this
+        # node's previous filter instead of accumulating duplicates.
         self.context.overlay.put(
             self.filter_namespace,
             key="bloom",
@@ -235,7 +264,13 @@ class BloomFilterProbe(PhysicalOperator):
     """Filter the input against the Bloom filters published under
     ``filter_namespace`` (dropping tuples that cannot join).
 
-    Params: ``columns``, ``filter_namespace``.
+    The filter view is refreshed every ``wait`` seconds and refreshes merge
+    monotonically, but a tuple tested against a not-yet-complete filter is
+    dropped for good — the rewrite trades bandwidth for the same
+    best-effort semantics as the rest of the system.
+
+    Params: ``columns``, ``filter_namespace``, ``wait`` (seconds before the
+    first filter fetch and between refreshes).
     """
 
     op_type = "bloom_probe"
@@ -244,6 +279,7 @@ class BloomFilterProbe(PhysicalOperator):
         super().__init__(spec, context)
         self.columns: List[str] = list(self.require_param("columns"))
         self.filter_namespace = context.scoped_namespace(self.require_param("filter_namespace"))
+        self.wait = float(self.param("wait", 2.5))
         self._bloom: Optional[BloomFilter] = None
         self._pending: List[PyTuple[Tuple, str]] = []
         self.tuples_filtered = 0
@@ -256,12 +292,31 @@ class BloomFilterProbe(PhysicalOperator):
                     continue
                 piece = BloomFilter.from_dict(payload)
                 bloom = piece if bloom is None else bloom.merge(piece)
-            self._bloom = bloom if bloom is not None else BloomFilter()
+            if bloom is not None and self._bloom is not None:
+                # Refresh: merging is monotone, so tuples already passed
+                # stay valid; the refreshed filter only admits more.
+                bloom = bloom.merge(self._bloom)
+            self._bloom = bloom if bloom is not None else (self._bloom or BloomFilter())
             pending, self._pending = self._pending, []
             for tup, tag in pending:
                 self.on_receive(tup, 0, tag)
 
-        self.context.overlay.get(self.filter_namespace, "bloom", on_get)
+        def fetch(_data: object) -> None:
+            if self._stopped:
+                return
+            self.context.overlay.get(self.filter_namespace, "bloom", on_get)
+            # Keep refreshing so filters from late-starting builders (or
+            # keys streamed into the build side mid-query) are picked up,
+            # narrowing the false-negative window for later inner tuples.
+            if self.wait > 0:
+                self.context.schedule(self.wait, fetch)
+
+        # Give builders elsewhere in the network time to publish their
+        # filters; input tuples buffer until the merged filter arrives.
+        if self.wait > 0:
+            self.context.schedule(self.wait, fetch)
+        else:
+            fetch(None)
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         if self._bloom is None:
@@ -271,3 +326,12 @@ class BloomFilterProbe(PhysicalOperator):
             self.emit(tup, tag)
         else:
             self.tuples_filtered += 1
+
+    def flush(self) -> None:
+        # If the filter never arrived (query ended first), fall back to
+        # passing the buffered tuples through unfiltered.
+        if self._bloom is not None:
+            return
+        pending, self._pending = self._pending, []
+        for tup, tag in pending:
+            self.emit(tup, tag)

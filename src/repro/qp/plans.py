@@ -11,6 +11,7 @@ hand; these builders just capture the recurring patterns.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.qp.opgraph import DisseminationSpec, OpGraph, QueryPlan
@@ -188,6 +189,7 @@ def symmetric_hash_join_plan(
     timeout: float = 20.0,
     output_table: Optional[str] = None,
     rendezvous: str = "join_rehash",
+    predicate: Optional[Any] = None,
 ) -> QueryPlan:
     """Distributed equi-join by rehashing both inputs on the join key.
 
@@ -260,7 +262,16 @@ def symmetric_hash_join_plan(
         },
         inputs=["split_left", "split_right"],
     )
-    consumer.add_operator("results", "result_handler", {"batch": 16}, inputs=["join"])
+    upstream = "join"
+    if predicate is not None:
+        # The residual WHERE predicate runs over the joined tuple, which
+        # carries both inputs' columns, so it is correct regardless of which
+        # side the predicate references.
+        consumer.add_operator(
+            "filter_where", "selection", {"predicate": predicate}, inputs=[upstream]
+        )
+        upstream = "filter_where"
+    consumer.add_operator("results", "result_handler", {"batch": 16}, inputs=[upstream])
     return plan
 
 
@@ -298,6 +309,189 @@ def fetch_matches_join_plan(
         inputs=[upstream],
     )
     graph.add_operator("results", "result_handler", {"batch": 16}, inputs=["fetch_join"])
+    return plan
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One edge of a left-deep multi-join plan.
+
+    ``left_column`` belongs to the accumulated left side (the base table or
+    a previous join's output); ``right_column`` to the ``table`` being
+    joined in.  ``strategy`` selects the data-movement algorithm:
+
+    * ``"rehash"`` — symmetric hash join after rehashing both sides into a
+      query-scoped rendezvous namespace;
+    * ``"fetch"``  — Fetch Matches index join against the table's primary
+      DHT index (no exchange needed);
+    * ``"bloom"``  — rehash preceded by a Bloom-filter round that prunes
+      the inner table's tuples (first edge only, where the left side is a
+      base table whose keys a filter can summarise up front).
+    """
+
+    table: str
+    left_column: str
+    right_column: str
+    strategy: str = "rehash"
+    source: str = "dht_scan"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in {"rehash", "fetch", "bloom"}:
+            raise ValueError(f"unknown join strategy {self.strategy!r}")
+
+
+def multi_join_plan(
+    base_table: str,
+    steps: Sequence[JoinStep],
+    base_source: str = "dht_scan",
+    predicate: Optional[Any] = None,
+    predicate_pushdown: bool = False,
+    timeout: float = 25.0,
+    output_table: Optional[str] = None,
+    rendezvous_prefix: str = "join_rehash",
+) -> QueryPlan:
+    """A left-deep multi-join pipeline over any number of join edges.
+
+    Each ``rehash``/``bloom`` edge contributes an exchange: the current
+    left-side stream and the inner table are republished into a
+    query-scoped rendezvous namespace partitioned on the join key, and a
+    new consumer opgraph joins them there.  ``fetch`` edges stay inside the
+    current opgraph — each left tuple probes the inner table's primary DHT
+    index directly.  Edges pipeline: a tuple can flow through every stage
+    without waiting for any input to complete.
+
+    ``predicate`` is the residual WHERE clause.  With
+    ``predicate_pushdown`` it filters the base-table scan (valid only when
+    it references base-table columns — the planner checks that against its
+    statistics catalog); otherwise it runs over the final joined tuples.
+    """
+    if not steps:
+        raise ValueError("multi_join_plan requires at least one join step")
+    plan = QueryPlan(timeout=timeout)
+    graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+    base_scan_type = "local_table" if base_source == "local_table" else "dht_scan"
+    base_params = (
+        {"table": base_table} if base_scan_type == "local_table" else {"namespace": base_table}
+    )
+    graph.add_operator("scan_base", base_scan_type, base_params)
+    stream = "scan_base"
+    if predicate is not None and predicate_pushdown:
+        graph.add_operator("filter_base", "selection", {"predicate": predicate}, inputs=[stream])
+        stream = "filter_base"
+    last = len(steps) - 1
+    for index, step in enumerate(steps):
+        step_output = output_table if index == last else None
+        if step.strategy == "fetch":
+            graph.add_operator(
+                f"fetch_join_{index}",
+                "fetch_matches_join",
+                {
+                    "outer_columns": [step.left_column],
+                    "inner_namespace": step.table,
+                    "output_table": step_output,
+                },
+                inputs=[stream],
+            )
+            stream = f"fetch_join_{index}"
+            continue
+        if step.strategy == "bloom":
+            if index != 0:
+                raise ValueError("bloom strategy is only supported on the first join edge")
+            build = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+            build.add_operator("scan_build", base_scan_type, base_params)
+            build.add_operator(
+                "bloom",
+                "bloom_build",
+                {"columns": [step.left_column], "filter_namespace": f"bloom_{index}"},
+                inputs=["scan_build"],
+            )
+        # The left stream's tuples are tagged with a step-private marker so
+        # the consumer can split them from the inner table's (which may have
+        # any name, including the base table's in a self-join).
+        rendezvous = f"{rendezvous_prefix}_{index}"
+        left_marker = f"__left_{index}__"
+        graph.add_operator(
+            f"extend_left_{index}",
+            "projection",
+            {
+                "keep_all": True,
+                "computed": {
+                    "__join_key__": _key_expression([step.left_column]),
+                    "__source_table__": ["lit", left_marker],
+                },
+            },
+            inputs=[stream],
+        )
+        graph.add_operator(
+            f"rehash_left_{index}",
+            "put",
+            {"namespace": rendezvous, "key_columns": ["__join_key__"]},
+            inputs=[f"extend_left_{index}"],
+        )
+        inner_scan_type = "local_table" if step.source == "local_table" else "dht_scan"
+        inner_params = (
+            {"table": step.table} if inner_scan_type == "local_table" else {"namespace": step.table}
+        )
+        graph.add_operator(f"scan_inner_{index}", inner_scan_type, inner_params)
+        inner_stream = f"scan_inner_{index}"
+        if step.strategy == "bloom":
+            graph.add_operator(
+                f"probe_inner_{index}",
+                "bloom_probe",
+                {"columns": [step.right_column], "filter_namespace": f"bloom_{index}"},
+                inputs=[inner_stream],
+            )
+            inner_stream = f"probe_inner_{index}"
+        graph.add_operator(
+            f"extend_inner_{index}",
+            "projection",
+            {
+                "keep_all": True,
+                "computed": {
+                    "__join_key__": _key_expression([step.right_column]),
+                    "__source_table__": ["lit", step.table],
+                },
+            },
+            inputs=[inner_stream],
+        )
+        graph.add_operator(
+            f"rehash_inner_{index}",
+            "put",
+            {"namespace": rendezvous, "key_columns": ["__join_key__"]},
+            inputs=[f"extend_inner_{index}"],
+        )
+        consumer = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
+        consumer.add_operator(
+            f"scan_rehash_{index}", "dht_scan", {"namespace": rendezvous, "scoped": True}
+        )
+        consumer.add_operator(
+            f"split_left_{index}",
+            "selection",
+            {"predicate": ["eq", ["col", "__source_table__"], ["lit", left_marker]]},
+            inputs=[f"scan_rehash_{index}"],
+        )
+        consumer.add_operator(
+            f"split_right_{index}",
+            "selection",
+            {"predicate": ["eq", ["col", "__source_table__"], ["lit", step.table]]},
+            inputs=[f"scan_rehash_{index}"],
+        )
+        consumer.add_operator(
+            f"join_{index}",
+            "symmetric_hash_join",
+            {
+                "left_columns": ["__join_key__"],
+                "right_columns": ["__join_key__"],
+                "output_table": step_output,
+            },
+            inputs=[f"split_left_{index}", f"split_right_{index}"],
+        )
+        graph = consumer
+        stream = f"join_{index}"
+    if predicate is not None and not predicate_pushdown:
+        graph.add_operator("filter_where", "selection", {"predicate": predicate}, inputs=[stream])
+        stream = "filter_where"
+    graph.add_operator("results", "result_handler", {"batch": 16}, inputs=[stream])
     return plan
 
 

@@ -1,0 +1,184 @@
+"""A lightweight statistics catalog for the cost-aware planner.
+
+The paper's planner is "intentionally naive" because PIER has no catalog
+to keep statistics in.  This module adds the minimum viable substitute: a
+per-deployment :class:`Statistics` object that observes tuples as they are
+published (``PIERNetwork.publish`` / ``register_local_table``) and keeps,
+per table:
+
+* an exact row count (``cardinality``),
+* the set of column names seen so far, and
+* a per-column distinct-value estimate from a KMV (k-minimum-values)
+  sketch — constant space per column, no external dependencies.
+
+The planner uses these to order multi-join plans (smallest estimated
+inputs first), to choose between rehash, Fetch-Matches, and Bloom-join
+strategies per join edge, and to decide when a WHERE predicate can be
+pushed below a join.  Everything degrades gracefully: a table the catalog
+has never seen simply reports ``None`` and the planner falls back to the
+paper's naive behaviour.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
+
+_HASH_SPACE = float(2**64)
+
+
+def _hash64(value: Any) -> int:
+    """A stable 64-bit hash of an arbitrary (repr-able) value."""
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class DistinctSketch:
+    """KMV (k-minimum-values) distinct-count estimator.
+
+    Keeps the ``k`` smallest 64-bit hashes seen; with fewer than ``k``
+    distinct values the count is exact, beyond that the k-th minimum's
+    position in the hash space estimates the total distinct count as
+    ``(k - 1) / (kth_min / 2^64)``.
+    """
+
+    __slots__ = ("k", "_minima", "_members")
+
+    def __init__(self, k: int = 256) -> None:
+        if k < 2:
+            raise ValueError("sketch size k must be at least 2")
+        self.k = k
+        self._minima: list = []  # sorted ascending, at most k entries
+        self._members: set = set()
+
+    def add(self, value: Any) -> None:
+        hashed = _hash64(value)
+        if hashed in self._members:
+            return
+        if len(self._minima) < self.k:
+            self._members.add(hashed)
+            bisect.insort(self._minima, hashed)
+            return
+        if hashed < self._minima[-1]:
+            self._members.discard(self._minima.pop())
+            self._members.add(hashed)
+            bisect.insort(self._minima, hashed)
+
+    def estimate(self) -> int:
+        if len(self._minima) < self.k:
+            return len(self._minima)
+        return max(self.k, int((self.k - 1) / (self._minima[-1] / _HASH_SPACE)))
+
+    def __len__(self) -> int:
+        return len(self._minima)
+
+
+@dataclass
+class TableStatistics:
+    """Observed statistics for one table (DHT namespace or local table)."""
+
+    name: str
+    row_count: int = 0
+    sketch_size: int = 256
+    column_sketches: Dict[str, DistinctSketch] = field(default_factory=dict)
+
+    def observe(self, values: Mapping[str, Any]) -> None:
+        self.row_count += 1
+        for column, value in values.items():
+            sketch = self.column_sketches.get(column)
+            if sketch is None:
+                sketch = self.column_sketches[column] = DistinctSketch(self.sketch_size)
+            sketch.add(value)
+
+    @property
+    def columns(self) -> FrozenSet[str]:
+        return frozenset(self.column_sketches)
+
+    def distinct(self, column: str) -> Optional[int]:
+        sketch = self.column_sketches.get(column)
+        if sketch is None:
+            return None
+        return sketch.estimate()
+
+
+class Statistics:
+    """The deployment-wide catalog: one :class:`TableStatistics` per table."""
+
+    def __init__(self, sketch_size: int = 256) -> None:
+        self.sketch_size = sketch_size
+        self._tables: Dict[str, TableStatistics] = {}
+
+    # -- maintenance ------------------------------------------------------- #
+    def record(self, table: str, values: Mapping[str, Any]) -> None:
+        """Fold one published row into the table's statistics."""
+        stats = self._tables.get(table)
+        if stats is None:
+            stats = self._tables[table] = TableStatistics(table, sketch_size=self.sketch_size)
+        stats.observe(values)
+
+    def record_rows(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.record(table, values)
+            count += 1
+        return count
+
+    def forget(self, table: str) -> None:
+        self._tables.pop(table, None)
+
+    # -- lookups ------------------------------------------------------------ #
+    def table(self, name: str) -> Optional[TableStatistics]:
+        return self._tables.get(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def cardinality(self, table: str) -> Optional[int]:
+        stats = self._tables.get(table)
+        return stats.row_count if stats is not None else None
+
+    def columns(self, table: str) -> Optional[FrozenSet[str]]:
+        stats = self._tables.get(table)
+        return stats.columns if stats is not None else None
+
+    def distinct(self, table: str, column: str) -> Optional[int]:
+        stats = self._tables.get(table)
+        return stats.distinct(column) if stats is not None else None
+
+    # -- estimates ------------------------------------------------------------ #
+    def equality_selectivity(self, table: str, column: str) -> Optional[float]:
+        """Estimated fraction of rows an equality predicate on ``column`` keeps."""
+        distinct = self.distinct(table, column)
+        if not distinct:
+            return None
+        return 1.0 / distinct
+
+    def join_cardinality(
+        self,
+        left_rows: Optional[int],
+        left_distinct: Optional[int],
+        right_table: str,
+        right_column: str,
+    ) -> Optional[int]:
+        """Standard equi-join estimate: |L| * |R| / max(d(L.key), d(R.key))."""
+        right_rows = self.cardinality(right_table)
+        right_distinct = self.distinct(right_table, right_column)
+        if left_rows is None or right_rows is None:
+            return None
+        denominator = max(left_distinct or 1, right_distinct or 1, 1)
+        return max(1, (left_rows * right_rows) // denominator)
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """A plain-data snapshot, convenient for debugging and docs examples."""
+        return {
+            name: {
+                "rows": stats.row_count,
+                "columns": {
+                    column: sketch.estimate()
+                    for column, sketch in stats.column_sketches.items()
+                },
+            }
+            for name, stats in self._tables.items()
+        }

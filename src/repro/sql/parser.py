@@ -3,7 +3,7 @@
 Supported grammar (a deliberately small but useful subset)::
 
     SELECT select_list
-    FROM table [alias] [JOIN table [alias] ON col = col]
+    FROM table [alias] {JOIN table [alias] ON col = col}
     [WHERE predicate]
     [GROUP BY col {, col}]
     [ORDER BY col [ASC|DESC]]
@@ -60,12 +60,17 @@ class SelectStatement:
     select_items: List[SelectItem]
     table: str
     alias: str
-    join: Optional[JoinClause] = None
+    joins: List[JoinClause] = field(default_factory=list)
     where: Optional[Any] = None  # predicate in repro.qp.expressions form
     group_by: List[str] = field(default_factory=list)
     order_by: Optional[Tuple[str, bool]] = None  # (column, descending)
     limit: Optional[int] = None
     timeout: Optional[float] = None
+
+    @property
+    def join(self) -> Optional[JoinClause]:
+        """The first join clause (kept for single-join callers)."""
+        return self.joins[0] if self.joins else None
 
     @property
     def has_aggregates(self) -> bool:
@@ -114,9 +119,9 @@ class _Parser:
         select_items = self._select_list()
         self._expect("keyword", "FROM")
         table, alias = self._table_reference()
-        join = None
-        if self._accept("keyword", "JOIN"):
-            join = self._join_clause()
+        joins: List[JoinClause] = []
+        while self._accept("keyword", "JOIN"):
+            joins.append(self._join_clause())
         where = None
         if self._accept("keyword", "WHERE"):
             where = self._predicate()
@@ -144,7 +149,7 @@ class _Parser:
             select_items=select_items,
             table=table,
             alias=alias,
-            join=join,
+            joins=joins,
             where=where,
             group_by=group_by,
             order_by=order_by,

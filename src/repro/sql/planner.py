@@ -1,37 +1,57 @@
-"""The naive SQL optimizer (paper Section 4.2).
+"""The SQL optimizer (paper Section 4.2, grown a statistics-aware stage).
 
 The planner compiles a parsed :class:`SelectStatement` into a UFL query
-plan.  It is intentionally naive: no cost model, no join reordering, no
-statistics (there is nowhere to keep them).  What it does pick up on:
+plan.  The paper's planner is intentionally naive — no cost model, no join
+reordering, no statistics (there is nowhere to keep them).  This version
+keeps the naive behaviour as its fallback, but when the application hands
+it a :class:`~repro.qp.stats.Statistics` catalog (maintained by
+``PIERNetwork.publish``) it becomes cost-aware:
 
-* an equality predicate on a table's partitioning key becomes an
-  equality-dissemination lookup (touching one node) instead of a broadcast;
-* GROUP BY / aggregate queries become multi-phase aggregation — flat
-  rehash by default, or hierarchical when the application asks for it;
-* a single equi-join becomes either a rehash symmetric-hash join or, when
-  the inner table is partitioned on the join key, a Fetch Matches index
-  join.
+* multiple ``JOIN`` clauses compile into a left-deep multi-join pipeline,
+  greedily ordered so cheaper (smaller estimated) joins run first;
+* each join edge independently picks its data-movement strategy —
+  Fetch-Matches when the inner table's primary DHT index is partitioned on
+  the join key, a Bloom-filtered rehash when the left side's key set is
+  estimated to prune most of the inner table, and a plain rehash
+  symmetric-hash join otherwise;
+* the WHERE predicate is pushed below the first join when the catalog can
+  prove it only references base-table columns, and otherwise runs over the
+  joined tuples (the naive planner used to drop it on the rehash path).
 
-Because PIER has no catalog, table placement metadata comes from the
-application via :class:`TableInfo` (Section 4.2.1's "out-of-band
-metadata").
+What survives from the naive planner: an equality predicate on a table's
+partitioning key becomes an equality-dissemination lookup, and GROUP BY /
+aggregate queries become multi-phase aggregation (flat rehash by default,
+hierarchical when the application asks for it).
+
+Because PIER has no system catalog, table placement metadata still comes
+from the application via :class:`TableInfo` (Section 4.2.1's "out-of-band
+metadata"); the statistics catalog is likewise out-of-band, fed by the
+publishing side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.qp.opgraph import QueryPlan
 from repro.qp.plans import (
+    JoinStep,
     broadcast_scan_plan,
     equality_lookup_plan,
     fetch_matches_join_plan,
     flat_aggregation_plan,
     hierarchical_aggregation_plan,
+    multi_join_plan,
     symmetric_hash_join_plan,
 )
-from repro.sql.parser import SelectStatement, parse_sql
+from repro.qp.expressions import column_references
+from repro.qp.stats import Statistics
+from repro.sql.parser import JoinClause, SelectStatement, parse_sql
+
+# A Bloom round only pays off when the filter is expected to prune at least
+# this fraction of the inner relation's tuples.
+BLOOM_PRUNE_THRESHOLD = 0.5
 
 
 class PlanningError(ValueError):
@@ -57,19 +77,26 @@ class TableInfo:
 
 
 class NaivePlanner:
-    """Compile SQL text (or parsed statements) into UFL query plans."""
+    """Compile SQL text (or parsed statements) into UFL query plans.
+
+    Pass ``statistics`` (see :mod:`repro.qp.stats`) to enable cost-aware
+    join ordering, per-edge strategy selection, and predicate pushdown;
+    without it the planner keeps the paper's naive single-strategy rules.
+    """
 
     def __init__(
         self,
         tables: Optional[Dict[str, TableInfo]] = None,
         default_timeout: float = 20.0,
         aggregation_strategy: str = "flat",
+        statistics: Optional[Statistics] = None,
     ) -> None:
         self.tables = dict(tables or {})
         self.default_timeout = default_timeout
         if aggregation_strategy not in {"flat", "hierarchical"}:
             raise ValueError("aggregation_strategy must be 'flat' or 'hierarchical'")
         self.aggregation_strategy = aggregation_strategy
+        self.statistics = statistics
 
     # -- metadata ---------------------------------------------------------- #
     def register_table(self, info: TableInfo) -> None:
@@ -89,7 +116,7 @@ class NaivePlanner:
 
     def plan(self, statement: SelectStatement) -> QueryPlan:
         timeout = statement.timeout or self.default_timeout
-        if statement.join is not None:
+        if statement.joins:
             plan = self._plan_join(statement, timeout)
         elif statement.has_aggregates or statement.group_by:
             plan = self._plan_aggregate(statement, timeout)
@@ -153,29 +180,161 @@ class NaivePlanner:
     # -- joins -----------------------------------------------------------------------#
     def _plan_join(self, statement: SelectStatement, timeout: float) -> QueryPlan:
         if statement.has_aggregates or statement.group_by:
-            raise PlanningError("joins combined with aggregation are not supported by the naive planner")
-        join = statement.join
+            raise PlanningError("joins combined with aggregation are not supported by this planner")
+        joins = self._order_joins(statement.table, statement.joins)
         outer_info = self._info(statement.table)
-        inner_info = self._info(join.table)
-        # If the inner table's DHT index is partitioned on its join column,
-        # use the distributed index join (Fetch Matches).
-        if inner_info.source == "dht" and inner_info.partitioning == [join.right_column]:
-            return fetch_matches_join_plan(
-                outer_table=statement.table,
-                inner_namespace=join.table,
-                outer_columns=[join.left_column],
-                source="local_table" if outer_info.source == "local" else "dht_scan",
-                outer_predicate=statement.where,
-                timeout=timeout,
+        base_source = "local_table" if outer_info.source == "local" else "dht_scan"
+
+        if len(joins) == 1 and statement.where is None:
+            # Preserve the compact single-join plan shapes when there is no
+            # residual predicate to thread through.
+            single = self._plan_single_join(statement.table, outer_info, joins[0], timeout)
+            if single is not None:
+                return single
+
+        steps: List[JoinStep] = []
+        for index, join in enumerate(joins):
+            inner_info = self._info(join.table)
+            steps.append(
+                JoinStep(
+                    table=join.table,
+                    left_column=join.left_column,
+                    right_column=join.right_column,
+                    strategy=self._edge_strategy(
+                        statement.table, join, inner_info, first_edge=(index == 0)
+                    ),
+                    source="local_table" if inner_info.source == "local" else "dht_scan",
+                )
             )
-        return symmetric_hash_join_plan(
-            left_table=statement.table,
-            right_table=join.table,
-            left_columns=[join.left_column],
-            right_columns=[join.right_column],
-            source="local_table" if outer_info.source == "local" else "dht_scan",
+        return multi_join_plan(
+            base_table=statement.table,
+            steps=steps,
+            base_source=base_source,
+            predicate=statement.where,
+            predicate_pushdown=self._can_push_down(statement.table, statement.where),
             timeout=timeout,
         )
+
+    def _plan_single_join(
+        self,
+        outer_table: str,
+        outer_info: TableInfo,
+        join: JoinClause,
+        timeout: float,
+    ) -> Optional[QueryPlan]:
+        inner_info = self._info(join.table)
+        strategy = self._edge_strategy(outer_table, join, inner_info, first_edge=True)
+        source = "local_table" if outer_info.source == "local" else "dht_scan"
+        if strategy == "fetch":
+            return fetch_matches_join_plan(
+                outer_table=outer_table,
+                inner_namespace=join.table,
+                outer_columns=[join.left_column],
+                source=source,
+                timeout=timeout,
+            )
+        if strategy == "rehash":
+            return symmetric_hash_join_plan(
+                left_table=outer_table,
+                right_table=join.table,
+                left_columns=[join.left_column],
+                right_columns=[join.right_column],
+                source=source,
+                timeout=timeout,
+            )
+        return None  # bloom: let the multi-join builder assemble the filter round
+
+    # -- cost-aware decisions ------------------------------------------------------- #
+    def _order_joins(self, base_table: str, joins: List[JoinClause]) -> List[JoinClause]:
+        """Greedy left-deep join ordering: cheapest eligible edge first.
+
+        A join clause is eligible once its left column is known (from the
+        statistics catalog) to exist among the columns accumulated so far —
+        reordering it any earlier could turn it into a cross product.
+        Without statistics, or for tables the catalog has never seen, the
+        written order is preserved.
+        """
+        if self.statistics is None or len(joins) < 2:
+            return list(joins)
+        available = self.statistics.columns(base_table)
+        if available is None:
+            return list(joins)
+        available = set(available)
+        # Per-column distinct estimates for the accumulated left side; the
+        # base table seeds it and each joined table contributes its columns
+        # (first writer wins: a column's distribution comes from the
+        # relation that introduced it).
+        column_distinct: Dict[str, int] = {}
+        for column in available:
+            distinct = self.statistics.distinct(base_table, column)
+            if distinct is not None:
+                column_distinct[column] = distinct
+        left_rows = self.statistics.cardinality(base_table)
+        remaining = list(joins)
+        ordered: List[JoinClause] = []
+        while remaining:
+            eligible = [join for join in remaining if join.left_column in available]
+            if not eligible:
+                ordered.extend(remaining)
+                break
+            best = min(eligible, key=lambda join: self._edge_cost(left_rows, join))
+            ordered.append(best)
+            remaining.remove(best)
+            available.add(best.right_column)
+            available.update(self.statistics.columns(best.table) or ())
+            for column in self.statistics.columns(best.table) or ():
+                if column not in column_distinct:
+                    distinct = self.statistics.distinct(best.table, column)
+                    if distinct is not None:
+                        column_distinct[column] = distinct
+            left_rows = self.statistics.join_cardinality(
+                left_rows,
+                column_distinct.get(best.left_column),
+                best.table,
+                best.right_column,
+            )
+        return ordered
+
+    def _edge_cost(self, left_rows: Optional[int], join: JoinClause) -> Tuple[int, int]:
+        """Estimated tuples moved for one rehash edge (the dominant cost)."""
+        assert self.statistics is not None
+        inner_rows = self.statistics.cardinality(join.table)
+        if inner_rows is None:
+            # Unknown tables sort last among eligible candidates.
+            return (1, 0)
+        return (0, (left_rows or 0) + inner_rows)
+
+    def _edge_strategy(
+        self,
+        left_table: str,
+        join: JoinClause,
+        inner_info: TableInfo,
+        first_edge: bool,
+    ) -> str:
+        # A matching primary index makes Fetch-Matches strictly cheaper than
+        # rehashing: only the outer side's probes travel.
+        if inner_info.source == "dht" and inner_info.partitioning == [join.right_column]:
+            return "fetch"
+        if first_edge and self.statistics is not None:
+            left_distinct = self.statistics.distinct(left_table, join.left_column)
+            inner_distinct = self.statistics.distinct(join.table, join.right_column)
+            if (
+                left_distinct is not None
+                and inner_distinct
+                and left_distinct <= BLOOM_PRUNE_THRESHOLD * inner_distinct
+            ):
+                return "bloom"
+        return "rehash"
+
+    def _can_push_down(self, base_table: str, predicate: Any) -> bool:
+        """True when the catalog proves ``predicate`` only touches base columns."""
+        if predicate is None or self.statistics is None:
+            return False
+        known = self.statistics.columns(base_table)
+        if not known:
+            return False
+        references = column_references(predicate)
+        return bool(references) and all(column in known for column in references)
 
     # -- helpers ------------------------------------------------------------------------#
     def _projection_columns(self, statement: SelectStatement) -> Optional[List[str]]:
@@ -206,10 +365,12 @@ class NaivePlanner:
                 left, right = node[1], node[2]
                 if (
                     isinstance(left, list)
-                    and left[:1] == ["col"]
+                    and len(left) == 2
+                    and left[0] == "col"
                     and left[1] == partition_column
                     and isinstance(right, list)
-                    and right[:1] == ["lit"]
+                    and len(right) == 2
+                    and right[0] == "lit"
                 ):
                     return right[1]
             return None
@@ -217,12 +378,21 @@ class NaivePlanner:
         return find(predicate)
 
 
+# The statistics-aware behaviour lives in the same class; this alias names
+# what the planner has become for callers that opt in with a catalog.
+CostAwarePlanner = NaivePlanner
+
+
 def apply_result_clauses(plan_metadata: Dict[str, Any], rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Apply ORDER BY / LIMIT (recorded in plan metadata) at the proxy side."""
     order_by = plan_metadata.get("sql_order_by")
     if order_by:
         column, descending = order_by
-        rows = sorted(rows, key=lambda row: (row.get(column) is None, row.get(column)), reverse=descending)
+        # SQL NULLS LAST semantics in both directions: sort only the rows
+        # that have the column, then append the NULL rows.
+        null_rows = [row for row in rows if row.get(column) is None]
+        value_rows = [row for row in rows if row.get(column) is not None]
+        rows = sorted(value_rows, key=lambda row: row[column], reverse=descending) + null_rows
     limit = plan_metadata.get("sql_limit")
     if limit is not None:
         rows = rows[: int(limit)]

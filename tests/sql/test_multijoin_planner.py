@@ -1,0 +1,278 @@
+"""Tests for multi-join SQL, the statistics catalog, and cost-aware planning."""
+
+import pytest
+
+from repro import PIERNetwork
+from repro.qp.stats import DistinctSketch, Statistics
+from repro.qp.tuples import Tuple
+from repro.sql.parser import parse_sql
+from repro.sql.planner import NaivePlanner, TableInfo, apply_result_clauses
+
+
+def _op_types(plan):
+    return {spec.op_type for graph in plan.opgraphs for spec in graph.operators.values()}
+
+
+def _op_ids(plan):
+    return {spec.operator_id for graph in plan.opgraphs for spec in graph.operators.values()}
+
+
+# -- parsing -------------------------------------------------------------------- #
+
+def test_parse_multiple_join_clauses_round_trip():
+    statement = parse_sql(
+        "SELECT name FROM orders o "
+        "JOIN users u ON user_id = user_id "
+        "JOIN items i ON item_id = item_id "
+        "WHERE price > 10 LIMIT 3"
+    )
+    assert statement.table == "orders"
+    assert [join.table for join in statement.joins] == ["users", "items"]
+    assert [(join.left_column, join.right_column) for join in statement.joins] == [
+        ("user_id", "user_id"),
+        ("item_id", "item_id"),
+    ]
+    # The single-join compatibility view exposes the first clause.
+    assert statement.join is statement.joins[0]
+    assert statement.limit == 3
+
+
+def test_parse_single_join_still_works():
+    statement = parse_sql("SELECT a FROM t JOIN s ON x = y")
+    assert len(statement.joins) == 1
+    assert statement.join.table == "s"
+
+
+# -- statistics catalog ----------------------------------------------------------- #
+
+def test_distinct_sketch_exact_below_k_and_close_above():
+    sketch = DistinctSketch(k=256)
+    for value in range(100):
+        sketch.add(value)
+    assert sketch.estimate() == 100
+    big = DistinctSketch(k=256)
+    for value in range(10_000):
+        big.add(("v", value))
+    assert abs(big.estimate() - 10_000) / 10_000 < 0.25
+
+
+def test_statistics_records_cardinality_columns_and_distinct():
+    stats = Statistics()
+    for index in range(50):
+        stats.record("events", {"src": f"ip{index % 5}", "bytes": index})
+    assert stats.cardinality("events") == 50
+    assert stats.columns("events") == frozenset({"src", "bytes"})
+    assert stats.distinct("events", "src") == 5
+    assert stats.cardinality("unknown") is None
+    assert stats.distinct("events", "missing") is None
+    assert stats.equality_selectivity("events", "src") == pytest.approx(0.2)
+
+
+def test_network_publish_maintains_statistics():
+    net = PIERNetwork(4, seed=9)
+    net.publish(
+        "files", ["file_id"], [Tuple.make("files", file_id=i, size_kb=i * 7) for i in range(12)]
+    )
+    assert net.statistics.cardinality("files") == 12
+    assert net.statistics.distinct("files", "file_id") == 12
+    net.register_local_table(0, "logs", [Tuple.make("logs", src="a")])
+    assert net.statistics.cardinality("logs") == 1
+
+
+# -- cost-aware planning ----------------------------------------------------------- #
+
+@pytest.fixture
+def stats_catalog():
+    stats = Statistics()
+    for index in range(1000):
+        stats.record("big", {"k": index % 400, "x": index, "z": index % 7})
+    for index in range(10):
+        stats.record("tiny", {"x": index})
+    for index in range(100):
+        stats.record("mid", {"z": index % 7, "w": index})
+    return stats
+
+
+def test_planner_reorders_joins_cheapest_first(stats_catalog):
+    planner = NaivePlanner(
+        {name: TableInfo(name, "dht", []) for name in ("big", "tiny", "mid")},
+        statistics=stats_catalog,
+    )
+    statement = parse_sql("SELECT x FROM big JOIN mid ON z = z JOIN tiny ON x = x")
+    ordered = planner._order_joins("big", statement.joins)
+    assert [join.table for join in ordered] == ["tiny", "mid"]
+
+
+def test_planner_keeps_order_without_statistics():
+    planner = NaivePlanner({name: TableInfo(name, "dht", []) for name in ("a", "b", "c")})
+    statement = parse_sql("SELECT x FROM a JOIN b ON x = y JOIN c ON z = w")
+    ordered = planner._order_joins("a", statement.joins)
+    assert [join.table for join in ordered] == ["b", "c"]
+
+
+def test_planner_compiles_three_way_rehash_pipeline():
+    planner = NaivePlanner({name: TableInfo(name, "dht", []) for name in ("a", "b", "c")})
+    plan = planner.plan_sql("SELECT x FROM a JOIN b ON x = y JOIN c ON z = w")
+    # Two rehash edges: producer graph + two join consumer graphs.
+    assert len(plan.opgraphs) == 3
+    ids = _op_ids(plan)
+    assert {"join_0", "join_1", "rehash_left_0", "rehash_inner_1", "results"} <= ids
+
+
+def test_planner_chooses_fetch_matches_per_edge():
+    planner = NaivePlanner(
+        {
+            "orders": TableInfo("orders", "dht", ["order_id"]),
+            "users": TableInfo("users", "dht", ["user_id"]),
+            "items": TableInfo("items", "dht", []),
+        }
+    )
+    plan = planner.plan_sql(
+        "SELECT a FROM orders JOIN users ON user_id = user_id JOIN items ON item_id = item_id"
+    )
+    ids = _op_ids(plan)
+    # users is partitioned on its join key -> Fetch Matches, no exchange;
+    # items is not -> rehash edge.
+    assert "fetch_join_0" in ids
+    assert "join_1" in ids and "rehash_left_1" in ids
+
+
+def test_planner_picks_bloom_rewrite_when_left_keys_are_selective(stats_catalog):
+    planner = NaivePlanner(
+        {"tiny": TableInfo("tiny", "dht", []), "big": TableInfo("big", "dht", [])},
+        statistics=stats_catalog,
+    )
+    # tiny.x has ~10 distinct keys, big.x has ~400: the filter prunes most
+    # of big, so the planner should pick the Bloom rewrite.
+    plan = planner.plan_sql("SELECT x FROM tiny JOIN big ON x = x")
+    types = _op_types(plan)
+    assert "bloom_build" in types and "bloom_probe" in types
+
+
+def test_planner_threads_where_through_rehash_path():
+    planner = NaivePlanner({name: TableInfo(name, "dht", []) for name in ("a", "b")})
+    plan = planner.plan_sql("SELECT x FROM a JOIN b ON x = y WHERE x = 1")
+    ids = _op_ids(plan)
+    assert "filter_where" in ids, "WHERE must survive on the symmetric-hash path"
+
+
+def test_planner_pushes_predicate_below_join_with_statistics(stats_catalog):
+    planner = NaivePlanner(
+        {"big": TableInfo("big", "dht", []), "mid": TableInfo("mid", "dht", [])},
+        statistics=stats_catalog,
+    )
+    plan = planner.plan_sql("SELECT x FROM big JOIN mid ON z = z WHERE x = 1")
+    ids = _op_ids(plan)
+    assert "filter_base" in ids and "filter_where" not in ids
+    # A predicate referencing a non-base column cannot be pushed down.
+    plan = planner.plan_sql("SELECT x FROM big JOIN mid ON z = z WHERE w = 1")
+    ids = _op_ids(plan)
+    assert "filter_where" in ids and "filter_base" not in ids
+
+
+def test_partitioning_equality_survives_malformed_col_node():
+    planner = NaivePlanner({"t": TableInfo("t", "dht", ["k"])})
+    # A one-element ["col"] node used to raise IndexError inside find().
+    malformed = ["eq", ["col"], ["lit", 5]]
+    assert planner._partitioning_equality(malformed, planner._info("t")) is None
+    plan = planner.plan(parse_sql("SELECT a FROM t"))
+    assert plan.opgraphs[0].dissemination.strategy == "broadcast"
+
+
+# -- ORDER BY null handling --------------------------------------------------------- #
+
+def test_order_by_desc_keeps_nulls_last():
+    rows = [{"n": 3}, {"n": None}, {"n": 7}, {"n": 1}, {"n": None}]
+    descending = apply_result_clauses({"sql_order_by": ("n", True)}, rows)
+    assert [row["n"] for row in descending] == [7, 3, 1, None, None]
+    ascending = apply_result_clauses({"sql_order_by": ("n", False)}, rows)
+    assert [row["n"] for row in ascending] == [1, 3, 7, None, None]
+
+
+# -- end-to-end over a 20-node deployment -------------------------------------------- #
+
+@pytest.fixture
+def shop_network():
+    net = PIERNetwork(20, seed=13)
+    users = [Tuple.make("users", user_id=u, name=f"user{u}") for u in range(6)]
+    items = [Tuple.make("items", item_id=i, price=i * 10) for i in range(4)]
+    orders = [
+        Tuple.make("orders", order_id=o, user_id=o % 6, item_id=o % 4) for o in range(12)
+    ]
+    net.publish("users", ["user_id"], users)
+    net.publish("items", ["item_id"], items)
+    net.publish("orders", ["order_id"], orders)
+    net.run(2.0)
+    return net
+
+
+def test_three_way_join_sql_end_to_end(shop_network):
+    net = shop_network
+    planner = net.make_planner(
+        {
+            "orders": TableInfo("orders", "dht", ["order_id"]),
+            "users": TableInfo("users", "dht", []),
+            "items": TableInfo("items", "dht", []),
+        }
+    )
+    plan = planner.plan_sql(
+        "SELECT name FROM orders "
+        "JOIN users ON user_id = user_id "
+        "JOIN items ON item_id = item_id TIMEOUT 15"
+    )
+    result = net.execute(plan)
+    rows = result.rows()
+    assert len(rows) == 12  # every order matches exactly one user and one item
+    for row in rows:
+        assert row["name"] == f"user{row['user_id']}"
+        assert row["price"] == row["item_id"] * 10
+
+
+def test_three_way_join_with_fetch_edges_and_where(shop_network):
+    net = shop_network
+    planner = net.make_planner(
+        {
+            "orders": TableInfo("orders", "dht", ["order_id"]),
+            "users": TableInfo("users", "dht", ["user_id"]),
+            "items": TableInfo("items", "dht", ["item_id"]),
+        }
+    )
+    plan = planner.plan_sql(
+        "SELECT name FROM orders "
+        "JOIN users ON user_id = user_id "
+        "JOIN items ON item_id = item_id "
+        "WHERE price > 10 TIMEOUT 15"
+    )
+    result = net.execute(plan)
+    rows = result.rows()
+    assert rows, "fetch-matches pipeline must produce rows"
+    assert all(row["price"] > 10 for row in rows)
+    expected = sum(1 for o in range(12) if (o % 4) * 10 > 10)
+    assert len(rows) == expected
+
+
+def test_where_filters_on_rehash_join_end_to_end():
+    net = PIERNetwork(16, seed=21)
+    net.publish(
+        "inverted", ["keyword"],
+        [Tuple.make("inverted", keyword=f"kw{i % 3}", file_id=i) for i in range(9)],
+    )
+    net.publish(
+        "files", ["file_id"],
+        [Tuple.make("files", file_id=i, size_kb=i * 7) for i in range(9)],
+    )
+    net.run(2.0)
+    # files is declared unpartitioned, forcing the rehash path.
+    planner = NaivePlanner(
+        {"inverted": TableInfo("inverted", "dht", []), "files": TableInfo("files", "dht", [])}
+    )
+    plan = planner.plan_sql(
+        "SELECT file_id FROM inverted JOIN files ON file_id = file_id "
+        "WHERE keyword = 'kw1' TIMEOUT 12"
+    )
+    types = _op_types(plan)
+    assert "symmetric_hash_join" in types
+    result = net.execute(plan)
+    rows = result.rows()
+    assert len(rows) == 3
+    assert all(row["keyword"] == "kw1" for row in rows)
