@@ -19,7 +19,6 @@ from conftest import print_table
 
 from repro import PIERNetwork
 from repro.qp.tuples import Tuple
-from repro.sql.planner import NaivePlanner, TableInfo
 
 SEED = 808
 NODES = 20
@@ -30,30 +29,25 @@ BATCH_SIZE = 8
 
 
 def _workload(network: PIERNetwork) -> None:
-    # A star schema: a fact table joined to two small dimensions.  The fact
-    # side's join keys repeat heavily, which is exactly the shape the rehash
-    # strategy serves (no dimension index on the fact's foreign keys) and
-    # where same-destination coalescing pays off.
+    # A star schema: a fact table joined to two small dimensions.  Each
+    # table is declared in the catalog with its real primary-key
+    # partitioning — none of the join columns (k, j) — so every join edge
+    # is a rehash, which is exactly where same-destination coalescing pays
+    # off.  The planner reads the same catalog; no hand-built TableInfo.
+    network.create_table("bench_r", partitioning=["r_id"])
+    network.create_table("bench_s", partitioning=["s_id"])
+    network.create_table("bench_t", partitioning=["t_id"])
     network.publish(
-        "bench_r", ["r_id"],
+        "bench_r",
         [Tuple.make("bench_r", r_id=i, k=i % K_KEYS, j=i % J_KEYS) for i in range(FACT_ROWS)],
     )
     network.publish(
-        "bench_s", ["s_id"],
-        [Tuple.make("bench_s", s_id=i, k=i, s_val=i * 3) for i in range(K_KEYS)],
+        "bench_s", [Tuple.make("bench_s", s_id=i, k=i, s_val=i * 3) for i in range(K_KEYS)]
     )
     network.publish(
-        "bench_t", ["t_id"],
-        [Tuple.make("bench_t", t_id=i, j=i, t_val=i * 5) for i in range(J_KEYS)],
+        "bench_t", [Tuple.make("bench_t", t_id=i, j=i, t_val=i * 5) for i in range(J_KEYS)]
     )
     network.run(4.0)
-
-
-def _planner(network: PIERNetwork) -> NaivePlanner:
-    # All tables unpartitioned on the join keys, forcing rehash edges.
-    return network.make_planner(
-        {name: TableInfo(name, "dht", []) for name in ("bench_r", "bench_s", "bench_t")}
-    )
 
 
 def _run_one(sql: str, batch_size: int) -> dict:
@@ -61,13 +55,11 @@ def _run_one(sql: str, batch_size: int) -> dict:
         NODES, seed=SEED, exchange_batch_size=batch_size, exchange_flush_interval=0.25
     )
     _workload(network)
-    plan = _planner(network).plan_sql(sql)
-    messages_before = network.environment.stats.messages_sent
     puts_before = sum(node.overlay.stats.puts for node in network.nodes)
-    result = network.execute(plan)
+    result = network.query(sql, include_explain=False)
     return {
         "rows": len(result),
-        "messages": network.environment.stats.messages_sent - messages_before,
+        "messages": result.messages_sent,
         "puts": sum(node.overlay.stats.puts for node in network.nodes) - puts_before,
         "first_result_latency": result.first_result_latency,
     }

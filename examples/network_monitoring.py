@@ -1,8 +1,9 @@
 """Endpoint network monitoring (the Figure 2 application).
 
-Every node holds its own firewall log; a distributed aggregation query
-reports the top-10 sources of firewall events network-wide, using the
-hierarchical in-network aggregation tree.
+Every node holds its own firewall log; the monitoring app now issues its
+distributed aggregations through the catalog-backed ``network.query`` API
+(the SQL is compiled against the deployment catalog — no hand-built
+placement metadata anywhere).
 
 Run with:  python examples/network_monitoring.py
 """
@@ -32,6 +33,22 @@ def main() -> None:
     print("\nEvents per destination port (flat rehash aggregation):")
     for port, count in sorted(ports.items(), key=lambda item: -item[1]):
         print(f"  port {port:<5} {count} events")
+
+    # A live monitoring feed: matching events stream to the client as each
+    # node's scan produces them, long before the query timeout.
+    stream = network.stream(
+        "SELECT source_ip, destination_port FROM firewall_events "
+        "WHERE destination_port = 22 TIMEOUT 12"
+    )
+    first_at = None
+    for tup in stream:
+        if first_at is None:
+            first_at = stream.first_result_latency
+    if first_at is None:
+        print("\nstreaming monitor: no ssh-probe events observed")
+    else:
+        print(f"\nstreaming monitor: first ssh-probe event after {first_at:.2f}s, "
+              f"{len(stream.results)} events in total")
 
 
 if __name__ == "__main__":

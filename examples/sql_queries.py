@@ -1,12 +1,16 @@
-"""SQL-like queries over PIER via the naive optimizer (Section 4.2).
+"""SQL queries over PIER via the catalog-backed session API.
+
+The deployment catalog is the single source of truth for placement
+metadata: declare each table once, and publish / plan / execute all agree.
+``network.query`` is the one-call path (parse -> plan -> disseminate ->
+execute -> ORDER BY/LIMIT); ``network.explain`` shows the planner's
+strategy choices.
 
 Run with:  python examples/sql_queries.py
 """
 
 from repro import PIERNetwork
 from repro.qp.tuples import Tuple
-from repro.sql import NaivePlanner, TableInfo
-from repro.sql.planner import apply_result_clauses
 from repro.workloads.firewall import FirewallWorkload
 
 NODES = 25
@@ -15,21 +19,16 @@ NODES = 25
 def main() -> None:
     network = PIERNetwork(NODES, seed=13)
 
-    # Per-node firewall logs plus a DHT-published machine inventory table.
+    # Per-node firewall logs plus a DHT-published machine inventory table,
+    # both declared in the deployment catalog.
+    network.create_table("firewall_events", source="local")
+    network.create_table("machines", partitioning=["node"])
+
     workload = FirewallWorkload(NODES, events_per_node=40, seed=13)
     for address, rows in enumerate(workload.events_by_node()):
         network.register_local_table(address, "firewall_events", rows)
-    machines = [Tuple.make("machines", node=i, site=f"site{i % 5}") for i in range(NODES)]
-    network.publish("machines", ["node"], machines)
+    network.publish("machines", [Tuple.make("machines", node=i, site=f"site{i % 5}") for i in range(NODES)])
     network.run(3.0)
-
-    # The application supplies the placement metadata PIER has no catalog for.
-    planner = NaivePlanner(
-        {
-            "firewall_events": TableInfo("firewall_events", "local"),
-            "machines": TableInfo("machines", "dht", ["node"]),
-        }
-    )
 
     queries = [
         "SELECT source_ip, COUNT(*) AS events FROM firewall_events "
@@ -39,14 +38,19 @@ def main() -> None:
         "SELECT site FROM machines WHERE node = 7 TIMEOUT 8",
     ]
     for sql in queries:
-        plan = planner.plan_sql(sql)
-        result = network.execute(plan)
-        rows = apply_result_clauses(plan.metadata, result.rows())
+        result = network.query(sql)
         print(f"\nSQL> {sql}")
-        print(f"  dissemination: {[g.dissemination.strategy for g in plan.opgraphs]}")
-        for row in rows[:5]:
+        for row in result.rows()[:5]:
             print(f"  {row}")
-        print(f"  ({len(result)} rows before ORDER BY/LIMIT)")
+        print(f"  ({len(result)} rows, {result.messages_sent} messages)")
+
+    # EXPLAIN a join: the catalog knows machines is partitioned on "node",
+    # so the planner picks a Fetch-Matches index join over a rehash.
+    join_sql = (
+        "SELECT source_ip, site FROM firewall_events "
+        "JOIN machines ON node = node TIMEOUT 12"
+    )
+    print(f"\n{network.explain(join_sql)}")
 
 
 if __name__ == "__main__":

@@ -26,7 +26,17 @@ builds a simulated PIER deployment and exposes publish/query helpers.
 """
 
 from repro.api import PIERNetwork, QueryResult
+from repro.catalog import Catalog, CatalogError, TableDescriptor
+from repro.session import StreamingQuery
 
 __version__ = "1.0.0"
 
-__all__ = ["PIERNetwork", "QueryResult", "__version__"]
+__all__ = [
+    "PIERNetwork",
+    "QueryResult",
+    "Catalog",
+    "CatalogError",
+    "TableDescriptor",
+    "StreamingQuery",
+    "__version__",
+]

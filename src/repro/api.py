@@ -3,15 +3,34 @@
 :class:`PIERNetwork` wires the full stack together — simulation
 environment, DHT overlay, distribution trees, executors, and proxies — so
 applications, examples, tests, and benchmarks can publish data and execute
-UFL plans with a few calls.  It corresponds to operating a PIER deployment
+queries with a few calls.  It corresponds to operating a PIER deployment
 under the paper's "native simulation" harness.
+
+Unlike the paper's system, the deployment owns a :class:`~repro.catalog.Catalog`:
+declare a table once with :meth:`PIERNetwork.create_table` and every later
+step — publishing, planning, execution — consults the same metadata, so the
+one-call SQL path works end to end::
+
+    network = PIERNetwork(30)
+    network.create_table("machines", partitioning=["node"])
+    network.publish("machines", rows)
+    result = network.query(
+        "SELECT site, COUNT(*) AS n FROM machines GROUP BY site "
+        "ORDER BY n DESC LIMIT 3 TIMEOUT 8"
+    )
+
+``stream(sql)`` returns a :class:`~repro.session.StreamingQuery` for
+incremental consumption, and ``explain(sql)`` renders the compiled plan
+with the planner's strategy choices.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.catalog import Catalog, TableDescriptor
 from repro.overlay.router import BootstrapDirectory, ChordRouter, NodeContact, Router
 from repro.overlay.bamboo import BambooRouter
 from repro.qp.node import PIERNode
@@ -31,7 +50,13 @@ ROUTER_FACTORIES: Dict[str, Callable[[NodeContact], Router]] = {
 
 @dataclass
 class QueryResult:
-    """What a client gets back from :meth:`PIERNetwork.execute`."""
+    """What a client gets back from :meth:`PIERNetwork.query` / ``execute``.
+
+    ``sql`` is the originating statement (when the query came in as SQL),
+    ``explain`` the rendered plan report, and ``messages_sent`` /
+    ``bytes_sent`` the network traffic attributable to this query (the
+    simulator-wide counters sampled around its execution window).
+    """
 
     query_id: str
     tuples: List[Tuple] = field(default_factory=list)
@@ -39,6 +64,10 @@ class QueryResult:
     completed: bool = False
     submitted_at: float = 0.0
     finished_at: Optional[float] = None
+    sql: Optional[str] = None
+    explain: Optional[str] = None
+    messages_sent: Optional[int] = None
+    bytes_sent: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -49,6 +78,57 @@ class QueryResult:
 
     def column(self, name: str) -> List[Any]:
         return [tup.get(name) for tup in self.tuples]
+
+    @classmethod
+    def from_handle(
+        cls,
+        handle: QueryHandle,
+        plan: QueryPlan,
+        stats: Any,
+        messages_before: int,
+        bytes_before: int,
+    ) -> "QueryResult":
+        """Package a finished (or cancelled) proxy handle.
+
+        The single construction site shared by ``PIERNetwork.execute`` and
+        ``StreamingQuery.result``, so the two paths cannot diverge.
+        """
+        return cls(
+            query_id=handle.query_id,
+            tuples=list(handle.results),
+            first_result_latency=handle.first_result_latency,
+            completed=handle.finished and not handle.cancelled,
+            submitted_at=handle.submitted_at,
+            finished_at=handle.finished_at,
+            sql=plan.metadata.get("sql"),
+            messages_sent=stats.messages_sent - messages_before,
+            bytes_sent=stats.bytes_sent - bytes_before,
+        )
+
+    def finalize_sql(self, plan: QueryPlan, include_explain: bool = True) -> "QueryResult":
+        """The statement-level tail shared by ``PIERNetwork.query`` and
+        ``StreamingQuery.result``: apply ORDER BY / LIMIT and attach the
+        rendered explain report."""
+        from repro.sql.explain import render_explain
+        from repro.sql.planner import apply_result_clauses_to_tuples
+
+        self.tuples = apply_result_clauses_to_tuples(plan.metadata, self.tuples)
+        if include_explain:
+            self.explain = render_explain(plan)
+        return self
+
+
+def _looks_like_rows(value: Any) -> bool:
+    """Distinguish a rows iterable from a partitioning-column list.
+
+    Legacy ``publish(ns, ["col"], rows)`` passes a list of strings second;
+    the catalog-era ``publish(ns, rows)`` passes Tuples (or an arbitrary
+    iterable).  A sequence of strings is the only ambiguous shape, and it
+    can only mean columns.
+    """
+    if isinstance(value, (list, tuple)):
+        return not all(isinstance(item, str) for item in value) or not value
+    return True
 
 
 class PIERNetwork:
@@ -76,6 +156,9 @@ class PIERNetwork:
         A batch size of 1 (the default) keeps the paper's one-message-per-
         tuple behaviour.  Individual plans can override both knobs through
         ``plan.metadata``.
+    catalog:
+        The deployment's system catalog; a fresh :class:`Catalog` (with its
+        own statistics) by default.
     """
 
     def __init__(
@@ -89,6 +172,7 @@ class PIERNetwork:
         auto_start: bool = True,
         exchange_batch_size: int = 1,
         exchange_flush_interval: float = 0.25,
+        catalog: Optional[Catalog] = None,
     ) -> None:
         if router not in ROUTER_FACTORIES:
             raise ValueError(f"unknown router {router!r}; options: {sorted(ROUTER_FACTORIES)}")
@@ -111,8 +195,9 @@ class PIERNetwork:
             for address in range(node_count)
         ]
         self.settle_time = settle_time
-        # The planner's statistics catalog, fed by publish()/local tables.
-        self.statistics = Statistics()
+        # The deployment-owned catalog: placement metadata plus the
+        # planner's statistics, fed by publish()/local tables.
+        self.catalog = catalog if catalog is not None else Catalog()
         self._started = False
         if auto_start:
             self.start()
@@ -146,37 +231,131 @@ class PIERNetwork:
     def now(self) -> float:
         return self.environment.now
 
+    @property
+    def statistics(self) -> Statistics:
+        """The planner's statistics catalog (lives on :attr:`catalog`)."""
+        return self.catalog.statistics
+
     def run(self, duration: float) -> int:
         """Advance the simulation by ``duration`` virtual seconds."""
         return self.environment.run(duration)
+
+    # -- catalog ---------------------------------------------------------------- #
+    def create_table(
+        self,
+        name: str,
+        source: str = "dht",
+        partitioning: Optional[Sequence[str]] = None,
+        schema: Optional[Sequence[str]] = None,
+        lifetime: float = 600.0,
+        replace: bool = False,
+    ) -> TableDescriptor:
+        """Declare a table in the deployment catalog.
+
+        Once declared, ``publish(name, rows)`` / ``query(sql)`` need no
+        placement metadata from the caller — publisher and planner both
+        read the catalog.
+        """
+        return self.catalog.create_table(
+            name,
+            source=source,
+            partitioning=partitioning,
+            schema=schema,
+            lifetime=lifetime,
+            replace=replace,
+        )
 
     # -- data placement -------------------------------------------------------------#
     def publish(
         self,
         namespace: str,
-        partitioning_columns: List[str],
-        rows: Iterable[Tuple],
+        partitioning_columns: Optional[Union[List[str], Iterable[Tuple]]] = None,
+        rows: Optional[Iterable[Tuple]] = None,
         publisher: int = 0,
-        lifetime: float = 600.0,
+        lifetime: Optional[float] = None,
         spread: bool = True,
     ) -> int:
         """Publish tuples into the DHT (the table's primary index).
 
+        The catalog-era call is ``publish(namespace, rows)``: the table's
+        partitioning columns and tuple lifetime come from the catalog
+        (declare them with :meth:`create_table`).  The legacy call
+        ``publish(namespace, partitioning_columns, rows)`` still works —
+        an undeclared table is auto-registered from it, while an explicit
+        column list for a *declared* table raises a ``DeprecationWarning``
+        (and, when it differs, overrides the declaration and updates the
+        catalog so the planner keeps targeting the real index).
+
         With ``spread=True`` rows are published round-robin from every node,
         modelling data that originates all over the network.
         """
+        if rows is None and _looks_like_rows(partitioning_columns):
+            rows, partitioning_columns = partitioning_columns, None
+        if rows is None:
+            rows = []
+        descriptor = self.catalog.describe(namespace)
+        if partitioning_columns is not None:
+            columns = list(partitioning_columns)
+            if descriptor is None or descriptor.source != "dht":
+                # ensure_table registers the table, or raises CatalogError
+                # on a source conflict (the name is already a local table).
+                descriptor = self.catalog.ensure_table(
+                    namespace,
+                    source="dht",
+                    partitioning=columns,
+                    lifetime=lifetime if lifetime is not None else 600.0,
+                )
+            else:
+                overrides = descriptor.partitioning != columns
+                if descriptor.origin == "declared":
+                    detail = (
+                        f"overrides the declared partitioning {descriptor.partitioning!r}"
+                        if overrides
+                        else "is deprecated and redundant"
+                    )
+                    warnings.warn(
+                        f"passing partitioning columns to publish() for the declared "
+                        f"table {namespace!r} {detail}; the catalog owns placement "
+                        f"metadata",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                elif overrides:
+                    warnings.warn(
+                        f"publish() changes the partitioning of table {namespace!r} "
+                        f"from {descriptor.partitioning!r} to {columns!r}; catalog "
+                        f"updated, but previously published rows keep their old keys",
+                        UserWarning,
+                        stacklevel=2,
+                    )
+                if overrides:
+                    # Explicit columns win, and the catalog follows: the
+                    # planner must target the index the publisher actually
+                    # built.  Rows published under the old partitioning stay
+                    # under their old keys.
+                    descriptor.partitioning = list(columns)
+        else:
+            descriptor = self.catalog.require(namespace)
+            if descriptor.source != "dht":
+                raise ValueError(
+                    f"table {namespace!r} is a {descriptor.source!r} table; "
+                    f"use register_local_table() for per-node rows"
+                )
+            columns = list(descriptor.partitioning)
+        effective_lifetime = lifetime if lifetime is not None else descriptor.lifetime
         rows = list(rows)
         for index, tup in enumerate(rows):
             origin = self.nodes[(publisher + index) % len(self.nodes)] if spread else self.nodes[publisher]
-            origin.publish(namespace, partitioning_columns, tup, lifetime=lifetime)
-            self.statistics.record(namespace, tup.as_mapping())
+            origin.publish(namespace, columns, tup, lifetime=effective_lifetime)
+            self.catalog.record(namespace, tup.as_mapping())
         return len(rows)
 
     def register_local_table(self, address: int, name: str, rows: Iterable[Tuple]) -> None:
         """Attach node-local rows (e.g. this node's firewall log)."""
+        self.catalog.ensure_table(name, source="local")
         rows = list(rows)
         self.nodes[address].register_local_table(name, rows)
-        self.statistics.record_rows(name, (tup.as_mapping() for tup in rows))
+        self.catalog.record_rows(name, (tup.as_mapping() for tup in rows))
 
     def distribute_local_table(self, name: str, rows_by_node: Sequence[Iterable[Tuple]]) -> None:
         """Attach per-node rows for every node at once."""
@@ -187,11 +366,21 @@ class PIERNetwork:
 
     # -- planning --------------------------------------------------------------------#
     def make_planner(self, tables=None, **kwargs):
-        """A SQL planner wired to this deployment's statistics catalog."""
+        """A SQL planner wired to this deployment's catalog and statistics.
+
+        ``tables`` defaults to the deployment catalog; passing a dict of
+        ``TableInfo`` still works (the paper-era out-of-band shim).
+        """
         from repro.sql.planner import NaivePlanner
 
+        if tables is None:
+            tables = self.catalog
         kwargs.setdefault("statistics", self.statistics)
         return NaivePlanner(tables, **kwargs)
+
+    def plan_sql(self, sql: str, **planner_opts: Any) -> QueryPlan:
+        """Compile SQL text against the deployment catalog."""
+        return self.make_planner(**planner_opts).plan_sql(sql)
 
     # -- query execution ----------------------------------------------------------------#
     def submit(
@@ -205,17 +394,80 @@ class PIERNetwork:
         return self.nodes[proxy].submit(plan, result_callback, done_callback)
 
     def execute(self, plan: QueryPlan, proxy: int = 0, extra_time: float = 3.0) -> QueryResult:
-        """Submit a plan and run the simulation until it completes."""
+        """Submit a plan and run the simulation until it completes.
+
+        The simulator stops stepping as soon as the proxy reports the query
+        finished (instead of always burning ``plan.timeout + extra_time``
+        virtual seconds); ``extra_time`` only bounds how long to wait past
+        the timeout for the completion event.
+        """
+        stats = self.environment.stats
+        messages_before = stats.messages_sent
+        bytes_before = stats.bytes_sent
         handle = self.submit(plan, proxy=proxy)
-        self.run(plan.timeout + extra_time)
-        return QueryResult(
-            query_id=handle.query_id,
-            tuples=list(handle.results),
-            first_result_latency=handle.first_result_latency,
-            completed=handle.finished,
-            submitted_at=handle.submitted_at,
-            finished_at=handle.finished_at,
+        self.environment.run(
+            plan.timeout + extra_time, stop_condition=lambda: handle.finished
         )
+        return QueryResult.from_handle(handle, plan, stats, messages_before, bytes_before)
+
+    def query(
+        self,
+        sql: str,
+        proxy: int = 0,
+        extra_time: float = 3.0,
+        include_explain: bool = True,
+        **planner_opts: Any,
+    ) -> QueryResult:
+        """The one-call SQL path: parse -> plan (catalog + statistics) ->
+        disseminate -> execute -> ORDER BY / LIMIT.
+
+        ``planner_opts`` are forwarded to the planner (e.g.
+        ``aggregation_strategy="hierarchical"``).  The returned
+        :class:`QueryResult` carries the originating SQL, the rendered
+        ``explain`` report, and per-query message counts.
+        """
+        plan = self.plan_sql(sql, **planner_opts)
+        result = self.execute(plan, proxy=proxy, extra_time=extra_time)
+        return result.finalize_sql(plan, include_explain=include_explain)
+
+    def stream(
+        self,
+        sql: Union[str, QueryPlan],
+        proxy: int = 0,
+        extra_time: float = 3.0,
+        **planner_opts: Any,
+    ):
+        """Submit a query and return a :class:`~repro.session.StreamingQuery`.
+
+        Accepts SQL text (planned against the catalog) or a pre-built
+        :class:`QueryPlan`.  The stream delivers tuples incrementally via
+        callbacks or iteration and supports ``cancel()``.
+        """
+        from repro.session import StreamingQuery
+
+        plan = sql if isinstance(sql, QueryPlan) else self.plan_sql(sql, **planner_opts)
+        return StreamingQuery(self, plan, proxy=proxy, extra_time=extra_time)
+
+    def explain(self, sql: str, **planner_opts: Any) -> str:
+        """Compile ``sql`` and render the plan — opgraph trees plus the
+        planner's strategy choices (fetch/rehash/bloom, pushdown) — without
+        executing anything."""
+        from repro.sql.explain import render_explain
+
+        return render_explain(self.plan_sql(sql, **planner_opts))
+
+    def cancel(self, query: Union[str, QueryHandle]) -> bool:
+        """Cancel a running query everywhere in the deployment.
+
+        Finishes the proxy handle (its done callback fires) and aborts the
+        query's opgraphs on every node without flushing, so the query stops
+        producing traffic immediately.
+        """
+        query_id = query if isinstance(query, str) else query.query_id
+        cancelled = False
+        for node in self.nodes:
+            cancelled = node.cancel(query_id) or cancelled
+        return cancelled
 
     # -- fault injection --------------------------------------------------------------------#
     def fail_node(self, address: int) -> None:

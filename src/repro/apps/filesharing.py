@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.api import PIERNetwork, QueryResult
-from repro.qp.plans import equality_lookup_plan, fetch_matches_join_plan
+from repro.qp.plans import fetch_matches_join_plan
 from repro.qp.tuples import Tuple
 from repro.workloads.filesharing import FilesharingWorkload
 
@@ -53,22 +53,29 @@ class FilesharingSearchApp:
         """Publish the inverted index and the base file table.
 
         Each (keyword, file) posting is published by one of the nodes that
-        actually hosts the file, matching how a real deployment works.
+        actually hosts the file, matching how a real deployment works.  The
+        three tables are declared in the deployment catalog first, so SQL
+        searches plan against the same partitioning the publisher used.
         """
+        for name, partitioning in (
+            (FILES_TABLE, ["file_id"]),
+            (INVERTED_INDEX, ["keyword"]),
+            (POSTINGS_BY_FILE, ["file_id"]),
+        ):
+            if name not in self.network.catalog:
+                self.network.create_table(name, partitioning=partitioning)
         published = 0
         for descriptor in workload.files:
-            publisher = self.network.node(descriptor.hosts[0] % len(self.network))
-            publisher.publish(
+            host = descriptor.hosts[0] % len(self.network)
+            file_row = Tuple.make(
                 FILES_TABLE,
-                ["file_id"],
-                Tuple.make(
-                    FILES_TABLE,
-                    file_id=descriptor.file_id,
-                    filename=descriptor.filename,
-                    size_kb=descriptor.size_kb,
-                ),
+                file_id=descriptor.file_id,
+                filename=descriptor.filename,
+                size_kb=descriptor.size_kb,
             )
-            published += 1
+            published += self.network.publish(
+                FILES_TABLE, [file_row], publisher=host, spread=False
+            )
             for keyword in descriptor.keywords:
                 posting = Tuple.make(
                     INVERTED_INDEX,
@@ -78,23 +85,32 @@ class FilesharingSearchApp:
                     host=descriptor.hosts[0],
                     size_kb=descriptor.size_kb,
                 )
-                publisher.publish(INVERTED_INDEX, ["keyword"], posting)
-                publisher.publish(POSTINGS_BY_FILE, ["file_id"], posting)
-                published += 2
+                published += self.network.publish(
+                    INVERTED_INDEX, [posting], publisher=host, spread=False
+                )
+                published += self.network.publish(
+                    POSTINGS_BY_FILE, [posting], publisher=host, spread=False
+                )
         self.published += published
         self.network.run(settle)
         return published
 
     # -- searching ------------------------------------------------------------ #
     def search(self, keyword: str, proxy: int = 0, timeout: Optional[float] = None) -> SearchOutcome:
-        """Single-keyword search: an equality lookup on the inverted index."""
-        plan = equality_lookup_plan(
-            INVERTED_INDEX,
-            keyword,
-            timeout=timeout or self.query_timeout,
-            predicate=["eq", ["col", "keyword"], ["lit", keyword]],
+        """Single-keyword search, via the one-call SQL path.
+
+        The catalog knows the inverted index is partitioned on ``keyword``,
+        so the planner compiles the statement to an equality lookup
+        disseminated to exactly one node — the same plan the app used to
+        build by hand.
+        """
+        literal = keyword.replace("'", "''")
+        result = self.network.query(
+            f"SELECT * FROM {INVERTED_INDEX} WHERE keyword = '{literal}' "
+            f"TIMEOUT {timeout or self.query_timeout}",
+            proxy=proxy,
+            include_explain=False,
         )
-        result = self.network.execute(plan, proxy=proxy)
         return self._outcome(keyword, result)
 
     def search_conjunction(

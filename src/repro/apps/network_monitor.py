@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple as PyTuple
 
 from repro.api import PIERNetwork, QueryResult
-from repro.qp.plans import flat_aggregation_plan, hierarchical_aggregation_plan
 from repro.workloads.firewall import FirewallWorkload
 
 FIREWALL_TABLE = "firewall_events"
@@ -45,6 +44,8 @@ class NetworkMonitorApp:
         """Attach each node's synthetic firewall log as a local table."""
         if workload.node_count != len(self.network):
             raise ValueError("workload node_count must match the network size")
+        if FIREWALL_TABLE not in self.network.catalog:
+            self.network.create_table(FIREWALL_TABLE, source="local")
         total = 0
         for address, rows in enumerate(workload.events_by_node()):
             self.network.register_local_table(address, FIREWALL_TABLE, rows)
@@ -60,43 +61,30 @@ class NetworkMonitorApp:
         timeout: Optional[float] = None,
     ) -> TopKReport:
         """The Figure 2 query: top-k sources of firewall events, network-wide."""
-        aggregates = [("count", None, "events")]
-        timeout = timeout or self.query_timeout
-        if strategy == "hierarchical":
-            plan = hierarchical_aggregation_plan(
-                FIREWALL_TABLE,
-                group_columns=["source_ip"],
-                aggregates=aggregates,
-                source="local_table",
-                timeout=timeout,
-            )
-        elif strategy == "flat":
-            plan = flat_aggregation_plan(
-                FIREWALL_TABLE,
-                group_columns=["source_ip"],
-                aggregates=aggregates,
-                source="local_table",
-                timeout=timeout,
-            )
-        else:
-            raise ValueError(f"unknown aggregation strategy {strategy!r}")
-        result = self.network.execute(plan, proxy=proxy)
+        result = self.network.query(
+            f"SELECT source_ip, COUNT(*) AS events FROM {FIREWALL_TABLE} "
+            f"GROUP BY source_ip ORDER BY events DESC "
+            f"TIMEOUT {timeout or self.query_timeout}",
+            proxy=proxy,
+            aggregation_strategy=strategy,
+            include_explain=False,
+        )
+        # Ranking happens app-side rather than via LIMIT k: under churn a
+        # group may arrive more than once, and deduplication must precede
+        # the cut-off.
         return self._rank(result, k, strategy)
 
     def events_per_port(
         self, proxy: int = 0, strategy: str = "flat", timeout: Optional[float] = None
     ) -> Dict[int, int]:
         """A second monitoring query: event counts per destination port."""
-        aggregates = [("count", None, "events")]
-        builder = hierarchical_aggregation_plan if strategy == "hierarchical" else flat_aggregation_plan
-        plan = builder(
-            FIREWALL_TABLE,
-            group_columns=["destination_port"],
-            aggregates=aggregates,
-            source="local_table",
-            timeout=timeout or self.query_timeout,
+        result = self.network.query(
+            f"SELECT destination_port, COUNT(*) AS events FROM {FIREWALL_TABLE} "
+            f"GROUP BY destination_port TIMEOUT {timeout or self.query_timeout}",
+            proxy=proxy,
+            aggregation_strategy=strategy,
+            include_explain=False,
         )
-        result = self.network.execute(plan, proxy=proxy)
         counts: Dict[int, int] = {}
         for row in result.rows():
             if "destination_port" in row and "events" in row:

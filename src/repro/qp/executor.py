@@ -24,6 +24,11 @@ from repro.qp.operators.base import ExecutionContext, PhysicalOperator, build_op
 from repro.qp.operators.control import ControlFlowManager
 from repro.qp.tuples import Tuple
 
+# How long a cancelled query's tombstone lives.  It only needs to outlast
+# dissemination envelopes still in flight (whose lifetime is the query
+# timeout); matching the default soft-state lifetime is comfortably enough.
+CANCEL_TOMBSTONE_LIFETIME = 600.0
+
 
 @dataclass
 class InstalledGraph:
@@ -51,6 +56,9 @@ class QueryExecutor:
         # Node-level defaults for the batching exchange (see PutExchange);
         # per-query plan metadata overrides them.
         self.exchange_defaults = dict(exchange_defaults or {})
+        # Queries cancelled on this node: envelopes still in flight when the
+        # cancellation arrived must not install after the fact.
+        self._cancelled_queries: set = set()
         self.graphs_installed = 0
         self.graphs_completed = 0
 
@@ -76,12 +84,15 @@ class QueryExecutor:
         deliver_result: Optional[Callable[[Tuple], None]] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> Optional[InstalledGraph]:
-        """Instantiate and start ``graph``.  Duplicate installs are ignored."""
+        """Instantiate and start ``graph``.  Duplicate installs are ignored,
+        as are opgraphs of queries already cancelled on this node."""
+        if query_id in self._cancelled_queries:
+            return None
         install_key = f"{query_id}/{graph.graph_id}"
         if install_key in self._installed:
             return None
         extras: Dict[str, Any] = {"local_tables": self.local_tables, "streams": self.streams}
-        for knob in ("exchange_batch_size", "exchange_flush_interval"):
+        for knob in ("exchange_batch_size", "exchange_flush_interval", "result_flush_interval"):
             value = (metadata or {}).get(knob, self.exchange_defaults.get(knob))
             if value is not None:
                 extras[knob] = value
@@ -143,17 +154,38 @@ class QueryExecutor:
             return
         self.finish(installed)
 
-    def finish(self, installed: InstalledGraph) -> None:
-        """Flush buffered state bottom-up, stop operators, release DHT state."""
+    def finish(self, installed: InstalledGraph, flush: bool = True) -> None:
+        """Flush buffered state bottom-up, stop operators, release DHT state.
+
+        ``flush=False`` aborts instead (query cancellation): buffered
+        partial state is discarded rather than pushed downstream, so a
+        cancelled query stops generating network traffic.
+        """
         if installed.finished:
             return
         installed.finished = True
-        for spec in installed.graph.topological_order():
-            installed.operators[spec.operator_id].flush()
+        if flush:
+            for spec in installed.graph.topological_order():
+                installed.operators[spec.operator_id].flush()
         for operator in installed.operators.values():
             operator.stop()
         self._release_query_state(installed)
         self.graphs_completed += 1
+
+    def cancel_query(self, query_id: str) -> int:
+        """Abort every opgraph of ``query_id`` running on this node, and
+        refuse any of its opgraphs that are still in flight."""
+        if query_id not in self._cancelled_queries:
+            self._cancelled_queries.add(query_id)
+            self.overlay.runtime.schedule_event(
+                CANCEL_TOMBSTONE_LIFETIME, query_id, self._cancelled_queries.discard
+            )
+        cancelled = 0
+        for installed in self._installed.values():
+            if installed.query_id == query_id and not installed.finished:
+                self.finish(installed, flush=False)
+                cancelled += 1
+        return cancelled
 
     def _release_query_state(self, installed: InstalledGraph) -> None:
         prefix = f"{installed.query_id}:"

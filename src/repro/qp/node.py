@@ -125,6 +125,12 @@ class PIERNode:
     ) -> QueryHandle:
         return self.proxy.submit(plan, result_callback, done_callback)
 
+    def cancel(self, query_id: str) -> bool:
+        """Cancel a query this node proxies and abort its local opgraphs."""
+        cancelled = self.proxy.cancel(query_id)
+        self.executor.cancel_query(query_id)
+        return cancelled
+
     # -- dissemination sink ---------------------------------------------------------- #
     def _install_envelope(self, envelope: Dict[str, Any]) -> None:
         """Install an opgraph that arrived via dissemination."""

@@ -20,8 +20,38 @@ from repro.qp.tuples import Tuple
 RESULT_NAMESPACE = "__results__"
 
 
+class _StragglerFlushTimer:
+    """Shared straggler-timer behaviour for buffering operators.
+
+    Keeps at most one pending flush callback: :meth:`_arm_flush_timer`
+    schedules it, and when it fires the operator's ``flush()`` ships
+    whatever is buffered (or, after teardown, :meth:`_discard_buffered`
+    drops it).  Mixed into operators that also derive from
+    :class:`PhysicalOperator` (which supplies ``context``, ``flush`` and
+    ``_stopped``).
+    """
+
+    flush_interval: float = 0.0
+    _flush_timer_scheduled: bool = False
+
+    def _arm_flush_timer(self) -> None:
+        if self.flush_interval > 0 and not self._flush_timer_scheduled:
+            self._flush_timer_scheduled = True
+            self.context.schedule(self.flush_interval, self._on_flush_timer)
+
+    def _on_flush_timer(self, _data: object) -> None:
+        self._flush_timer_scheduled = False
+        if self._stopped:
+            self._discard_buffered()
+            return
+        self.flush()
+
+    def _discard_buffered(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
 @register_operator
-class PutExchange(PhysicalOperator):
+class PutExchange(_StragglerFlushTimer, PhysicalOperator):
     """Publish each input tuple into the DHT, partitioned by key columns.
 
     This is the "rehash" phase of parallel hash joins and multi-phase
@@ -68,7 +98,6 @@ class PutExchange(PhysicalOperator):
         self.tuples_published = 0
         self.batches_published = 0
         self._buffers: Dict[Any, List[Any]] = {}
-        self._flush_timer_scheduled = False
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         key = tup.key(self.key_columns)
@@ -88,19 +117,11 @@ class PutExchange(PhysicalOperator):
         bucket.append(tup.to_dict())
         if len(bucket) >= self.batch_size:
             self._flush_partition(partition_key)
-        elif self.flush_interval > 0 and not self._flush_timer_scheduled:
-            self._flush_timer_scheduled = True
-            self.context.schedule(self.flush_interval, self._on_flush_timer)
+        else:
+            self._arm_flush_timer()
 
-    def _on_flush_timer(self, _data: object) -> None:
-        self._flush_timer_scheduled = False
-        if self._stopped:
-            self._buffers.clear()
-            return
-        self.flush()
-        if self._buffers and self.flush_interval > 0 and not self._flush_timer_scheduled:
-            self._flush_timer_scheduled = True
-            self.context.schedule(self.flush_interval, self._on_flush_timer)
+    def _discard_buffered(self) -> None:
+        self._buffers.clear()
 
     def _flush_partition(self, partition_key: Any) -> None:
         values = self._buffers.pop(partition_key, None)
@@ -168,13 +189,18 @@ class Queue(PhysicalOperator):
 
 
 @register_operator
-class ResultHandler(PhysicalOperator):
+class ResultHandler(_StragglerFlushTimer, PhysicalOperator):
     """Forward answer tuples to the client's proxy node.
 
     When this node *is* the proxy, results are delivered through the
     context's ``deliver_result`` hook; otherwise they are sent directly to
     the proxy's address, tagged with the query id, optionally in batches.
-    Params: optional ``batch`` (default 1), ``table`` (rename of results).
+    Params: optional ``batch`` (default 1), ``table`` (rename of results),
+    ``flush_interval`` (seconds; default from the execution context's
+    ``result_flush_interval`` extra, 0 disables).  A flush interval ships
+    partially filled batches periodically, so sparse per-node results reach
+    the client stream long before the query-timeout flush — streaming
+    sessions (``PIERNetwork.stream``) turn it on through plan metadata.
     """
 
     op_type = "result_handler"
@@ -182,6 +208,9 @@ class ResultHandler(PhysicalOperator):
     def __init__(self, spec, context) -> None:  # noqa: ANN001
         super().__init__(spec, context)
         self.batch = int(self.param("batch", 1))
+        self.flush_interval = float(
+            self.param("flush_interval", context.extras.get("result_flush_interval", 0.0))
+        )
         self._pending: List[Tuple] = []
         self.results_shipped = 0
 
@@ -191,6 +220,11 @@ class ResultHandler(PhysicalOperator):
         self._pending.append(tup)
         if len(self._pending) >= self.batch:
             self._ship()
+        else:
+            self._arm_flush_timer()
+
+    def _discard_buffered(self) -> None:
+        self._pending.clear()
 
     def flush(self) -> None:
         self._ship()

@@ -33,6 +33,7 @@ class QueryHandle:
     result_callback: Optional[ResultCallback] = None
     done_callback: Optional[DoneCallback] = None
     finished: bool = False
+    cancelled: bool = False
     first_result_at: Optional[float] = None
     finished_at: Optional[float] = None
 
@@ -95,6 +96,23 @@ class ProxyService:
 
     def query(self, query_id: str) -> Optional[QueryHandle]:
         return self._queries.get(query_id)
+
+    def cancel(self, query_id: str) -> bool:
+        """Terminate a running query at the client's request.
+
+        The handle stops accepting results immediately and the completion
+        callback fires; tearing down the opgraphs installed across the
+        network is the caller's concern (see ``PIERNetwork.cancel``).
+        """
+        handle = self._queries.get(query_id)
+        if handle is None or handle.finished:
+            return False
+        handle.finished = True
+        handle.cancelled = True
+        handle.finished_at = self.overlay.runtime.get_current_time()
+        if handle.done_callback is not None:
+            handle.done_callback(handle)
+        return True
 
     # -- result delivery -------------------------------------------------------- #
     def deliver_local_result(self, query_id: str, tup: Tuple) -> None:

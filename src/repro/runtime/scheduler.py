@@ -92,17 +92,27 @@ class MainScheduler:
         event.dispatch()
         return event
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Dispatch events until the queue drains or a bound is hit.
 
         ``until`` is an absolute virtual-time horizon; events with a later
         timestamp remain queued.  ``max_events`` bounds the number of
-        dispatches.  Returns the number of events dispatched by this call.
+        dispatches.  ``stop_condition`` is re-evaluated between events and
+        ends the run as soon as it returns true (e.g. "this query's handle
+        reports completion"), leaving later events queued for the next run.
+        Returns the number of events dispatched by this call.
         """
         dispatched = 0
         self._running = True
         try:
             while self._running:
+                if stop_condition is not None and stop_condition():
+                    break
                 self._drop_cancelled()
                 if not self._queue:
                     break

@@ -401,15 +401,21 @@ class SimulationEnvironment:
         self._tcp_pipes.remove(pipe)
 
     # -- simulation control ---------------------------------------------------#
-    def run(self, duration: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self,
+        duration: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Run the discrete-event loop.
 
         ``duration`` bounds virtual time (seconds from now); ``max_events``
-        bounds the number of dispatched events; with neither, the loop runs
-        until the event queue drains.
+        bounds the number of dispatched events; ``stop_condition`` ends the
+        run early as soon as it returns true; with no bound at all, the
+        loop runs until the event queue drains.
         """
         until = None if duration is None else self.scheduler.now + duration
-        return self.scheduler.run(until=until, max_events=max_events)
+        return self.scheduler.run(until=until, max_events=max_events, stop_condition=stop_condition)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,184 @@
+"""The query-session layer: streaming handles over running queries.
+
+The proxy layer (:mod:`repro.qp.proxy`) already delivers result tuples
+incrementally, but until this module existed the only client surface was
+``PIERNetwork.execute``, which blocks until the query timeout and returns
+everything at once.  :class:`StreamingQuery` exposes the incremental
+behaviour to clients:
+
+* ``on_result`` / ``on_done`` callbacks (a continuous-query subscription),
+* iteration that interleaves simulator steps with yielded tuples, so the
+  client observes first-result latency instead of end-to-end latency, and
+* ``cancel()``, which tears the query down across the deployment instead
+  of letting it run to its timeout.
+
+``PIERNetwork.stream(sql)`` is the usual way to obtain one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
+
+from repro.qp.opgraph import QueryPlan
+from repro.qp.tuples import Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports session)
+    from repro.api import PIERNetwork, QueryResult
+
+ResultCallback = Callable[[Tuple], None]
+DoneCallback = Callable[["StreamingQuery"], None]
+
+# How much virtual time one iteration step advances the simulator while
+# waiting for the next tuple.  Small enough that first-result latency is
+# observed at sub-second resolution, large enough not to thrash.
+DEFAULT_STEP = 0.25
+
+
+class StreamingQuery:
+    """A client-side handle on one running query, delivering tuples as they arrive."""
+
+    def __init__(
+        self,
+        network: "PIERNetwork",
+        plan: QueryPlan,
+        proxy: int = 0,
+        extra_time: float = 3.0,
+        step: float = DEFAULT_STEP,
+    ) -> None:
+        self.network = network
+        self.plan = plan
+        self.proxy = proxy
+        self.sql: Optional[str] = plan.metadata.get("sql")
+        self._extra_time = extra_time
+        self._step = step
+        # Ship partially filled result batches periodically so the stream
+        # observes first-result latency, not the query-timeout flush.  The
+        # knob travels in the dissemination envelope like the exchange knobs.
+        plan.metadata.setdefault("result_flush_interval", max(step, 0.25))
+        self._result_callbacks: List[ResultCallback] = []
+        self._done_callbacks: List[DoneCallback] = []
+        self._yielded = 0
+        # Sampled at submission so result() can attribute traffic to this
+        # query's execution window, matching PIERNetwork.execute().
+        self._messages_before = network.environment.stats.messages_sent
+        self._bytes_before = network.environment.stats.bytes_sent
+        self.handle = network.submit(
+            plan,
+            proxy=proxy,
+            result_callback=self._dispatch_result,
+            done_callback=self._dispatch_done,
+        )
+
+    # -- subscription ------------------------------------------------------- #
+    def on_result(self, callback: ResultCallback) -> "StreamingQuery":
+        """Invoke ``callback(tuple)`` for every result; replays past results
+        so late registration misses nothing.  Returns self for chaining."""
+        for tup in self.handle.results:
+            callback(tup)
+        self._result_callbacks.append(callback)
+        return self
+
+    def on_done(self, callback: DoneCallback) -> "StreamingQuery":
+        """Invoke ``callback(stream)`` once, when the query terminates."""
+        if self.handle.finished:
+            callback(self)
+        else:
+            self._done_callbacks.append(callback)
+        return self
+
+    def _dispatch_result(self, tup: Tuple) -> None:
+        for callback in self._result_callbacks:
+            callback(tup)
+
+    def _dispatch_done(self, _handle: object) -> None:
+        for callback in self._done_callbacks:
+            callback(self)
+        self._done_callbacks.clear()
+
+    # -- state ---------------------------------------------------------------- #
+    @property
+    def query_id(self) -> str:
+        return self.handle.query_id
+
+    @property
+    def finished(self) -> bool:
+        return self.handle.finished
+
+    @property
+    def cancelled(self) -> bool:
+        return self.handle.cancelled
+
+    @property
+    def results(self) -> List[Tuple]:
+        return self.handle.results
+
+    @property
+    def first_result_latency(self) -> Optional[float]:
+        return self.handle.first_result_latency
+
+    @property
+    def _deadline(self) -> float:
+        return self.handle.submitted_at + self.plan.timeout + self._extra_time
+
+    # -- consumption ------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Tuple]:
+        """Yield result tuples as they arrive, stepping the simulator in
+        between.  The first tuple is yielded as soon as it reaches the
+        proxy — first-result latency is directly visible to the client.
+
+        ORDER BY / LIMIT cannot apply to a stream; use
+        :meth:`result` (or ``PIERNetwork.query``) for ordered snapshots.
+        """
+        while True:
+            while self._yielded < len(self.handle.results):
+                tup = self.handle.results[self._yielded]
+                self._yielded += 1
+                yield tup
+            if self.handle.finished or self.network.now >= self._deadline:
+                break
+            before = self.network.now
+            dispatched = self.network.run(min(self._step, self._deadline - self.network.now))
+            if dispatched == 0 and self.network.now <= before:
+                # The event queue drained without advancing virtual time
+                # (e.g. the proxy node died mid-query): nothing can ever
+                # finish this handle, so stop instead of spinning forever.
+                break
+        # Drain anything the final steps produced.
+        while self._yielded < len(self.handle.results):
+            tup = self.handle.results[self._yielded]
+            self._yielded += 1
+            yield tup
+
+    def run_to_completion(self) -> "StreamingQuery":
+        """Advance the simulation until the query terminates."""
+        remaining = self._deadline - self.network.now
+        if not self.handle.finished and remaining > 0:
+            self.network.environment.run(
+                remaining, stop_condition=lambda: self.handle.finished
+            )
+        return self
+
+    def result(self) -> "QueryResult":
+        """Run to completion and package a :class:`~repro.api.QueryResult`
+        with the same contract as ``PIERNetwork.query``: ORDER BY / LIMIT
+        applied, rendered explain, and per-query traffic counts."""
+        from repro.api import QueryResult
+
+        self.run_to_completion()
+        result = QueryResult.from_handle(
+            self.handle,
+            self.plan,
+            self.network.environment.stats,
+            self._messages_before,
+            self._bytes_before,
+        )
+        return result.finalize_sql(self.plan)
+
+    # -- termination -------------------------------------------------------------- #
+    def cancel(self) -> bool:
+        """Stop the query now: the proxy handle finishes (``on_done`` fires)
+        and every node aborts the query's opgraphs instead of running them
+        to the timeout."""
+        if self.handle.finished:
+            return False
+        return self.network.cancel(self.handle)

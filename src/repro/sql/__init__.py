@@ -1,16 +1,23 @@
-"""SQL-like frontend with a naive optimizer (paper Section 4.2).
+"""SQL-like frontend with a statistics-aware optimizer (paper Section 4.2).
 
 PIER's native language is UFL, but "many users far prefer the compact
-syntax of SQL", so the system grew a SQL-like language compiled by a very
-naive optimizer.  Because PIER has no catalog, the application supplies the
-table metadata the optimizer needs (where each table lives and how it is
-partitioned) — the "bake the metadata into the application logic"
-workaround discussed in Section 4.2.1.
+syntax of SQL", so the system grew a SQL-like language compiled by an
+optimizer.  Placement metadata preferably comes from the deployment's
+:class:`~repro.catalog.Catalog` (``PIERNetwork.query`` wires it through
+automatically); the paper-era alternative — the application supplying
+:class:`TableInfo` dicts by hand, Section 4.2.1's "bake the metadata into
+the application logic" workaround — is kept as a compatibility shim.
 """
 
 from repro.sql.lexer import tokenize, Token
 from repro.sql.parser import parse_sql, SelectStatement
-from repro.sql.planner import NaivePlanner, TableInfo
+from repro.sql.planner import (
+    NaivePlanner,
+    TableInfo,
+    apply_result_clauses,
+    apply_result_clauses_to_tuples,
+)
+from repro.sql.explain import render_explain
 
 __all__ = [
     "tokenize",
@@ -19,4 +26,7 @@ __all__ = [
     "SelectStatement",
     "NaivePlanner",
     "TableInfo",
+    "apply_result_clauses",
+    "apply_result_clauses_to_tuples",
+    "render_explain",
 ]

@@ -1,0 +1,155 @@
+"""Render a compiled query plan for ``EXPLAIN`` output.
+
+:func:`render_explain` turns a :class:`~repro.qp.opgraph.QueryPlan` into a
+human-readable report: the planner's strategy decisions (scan access
+method, per-edge join strategy — fetch / rehash / bloom — with the reason
+each was chosen, predicate placement) followed by every opgraph rendered
+as an operator tree, sinks first, the way the tuples flow bottom-up.
+
+The planner records its decisions in ``plan.metadata["planner"]`` (see
+:mod:`repro.sql.planner`); plans built directly from the UFL builders
+still render — they just have no decision section.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.qp.opgraph import OpGraph, OperatorSpec, QueryPlan
+
+# Human names for the join strategies the planner chooses between.
+STRATEGY_LABELS = {
+    "fetch": "fetch-matches (index join against the inner table's primary DHT index)",
+    "rehash": "rehash (symmetric hash join after repartitioning both sides)",
+    "bloom": "bloom (Bloom-filtered rehash; the filter prunes the inner table first)",
+}
+
+# Which operator params are worth showing in the tree, per operator type.
+_INTERESTING_PARAMS = (
+    "namespace",
+    "table",
+    "columns",
+    "key_columns",
+    "group_columns",
+    "outer_columns",
+    "inner_namespace",
+    "filter_namespace",
+    "aggregates",
+)
+
+
+def render_explain(plan: QueryPlan) -> str:
+    """A multi-line EXPLAIN report for one compiled plan."""
+    lines: List[str] = []
+    sql = plan.metadata.get("sql")
+    if sql:
+        lines.append(f"EXPLAIN {sql}")
+    decisions: Mapping[str, Any] = plan.metadata.get("planner") or {}
+    kind = decisions.get("kind", "ufl")
+    lines.append(
+        f"plan {plan.query_id}: {kind} over {len(plan.opgraphs)} opgraph(s), "
+        f"timeout {plan.timeout:g}s"
+    )
+    lines.extend(_render_decisions(decisions))
+    clauses = _render_result_clauses(plan.metadata)
+    if clauses:
+        lines.append(clauses)
+    for graph in plan.opgraphs:
+        lines.extend(_render_graph(graph))
+    return "\n".join(lines)
+
+
+def _render_decisions(decisions: Mapping[str, Any]) -> List[str]:
+    lines: List[str] = []
+    detail = decisions.get("detail")
+    if detail:
+        lines.append(f"strategy: {detail}")
+    joins = decisions.get("joins") or []
+    if joins:
+        lines.append("join strategy (left-deep, in execution order):")
+        for index, edge in enumerate(joins, start=1):
+            label = STRATEGY_LABELS.get(edge["strategy"], edge["strategy"])
+            lines.append(
+                f"  {index}. JOIN {edge['table']} "
+                f"ON {edge['left_column']} = {edge['right_column']}  ->  {label}"
+            )
+            reason = edge.get("reason")
+            if reason:
+                lines.append(f"     because {reason}")
+        if decisions.get("reordered"):
+            lines.append("  (joins reordered by estimated cost, cheapest edge first)")
+    pushdown = decisions.get("predicate_pushdown")
+    if pushdown is not None:
+        lines.append(
+            "WHERE: pushed below the first join (references base-table columns only)"
+            if pushdown
+            else "WHERE: applied after the final join"
+        )
+    return lines
+
+
+def _render_result_clauses(metadata: Mapping[str, Any]) -> str:
+    parts: List[str] = []
+    order_by = metadata.get("sql_order_by")
+    if order_by:
+        column, descending = order_by
+        parts.append(f"ORDER BY {column} {'DESC' if descending else 'ASC'}")
+    limit = metadata.get("sql_limit")
+    if limit is not None:
+        parts.append(f"LIMIT {limit}")
+    if not parts:
+        return ""
+    return "proxy-side result clauses: " + ", ".join(parts)
+
+
+def _render_graph(graph: OpGraph) -> List[str]:
+    spec = graph.dissemination
+    target = ""
+    if spec.strategy == "equality":
+        target = f" {spec.namespace}={spec.key!r}"
+    elif spec.strategy == "range":
+        target = f" {spec.namespace} in [{spec.low!r}, {spec.high!r}]"
+    lines = [f"opgraph {graph.graph_id} [dissemination={spec.strategy}{target}]"]
+    rendered: set = set()
+    for sink in graph.sinks():
+        _render_operator(graph, sink, prefix="", last=True, lines=lines, rendered=rendered)
+    return lines
+
+
+def _render_operator(
+    graph: OpGraph,
+    spec: OperatorSpec,
+    prefix: str,
+    last: bool,
+    lines: List[str],
+    rendered: set,
+) -> None:
+    connector = "`- " if last else "|- "
+    lines.append(f"{prefix}{connector}{_describe(spec)}")
+    if spec.operator_id in rendered:
+        # A shared input (e.g. one scan feeding both sides of a split) is
+        # shown once in full; later references just point back.
+        lines[-1] += "  (see above)"
+        return
+    rendered.add(spec.operator_id)
+    child_prefix = prefix + ("   " if last else "|  ")
+    for index, input_id in enumerate(spec.inputs):
+        child = graph.operators[input_id]
+        _render_operator(
+            graph,
+            child,
+            prefix=child_prefix,
+            last=(index == len(spec.inputs) - 1),
+            lines=lines,
+            rendered=rendered,
+        )
+
+
+def _describe(spec: OperatorSpec) -> str:
+    params: Dict[str, Any] = {
+        key: spec.params[key] for key in _INTERESTING_PARAMS if spec.params.get(key)
+    }
+    if spec.params.get("predicate") not in (None, ["true"]):
+        params["predicate"] = "..."
+    summary = ", ".join(f"{key}={value!r}" for key, value in params.items())
+    return f"{spec.operator_id}: {spec.op_type}({summary})"

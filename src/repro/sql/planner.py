@@ -23,17 +23,26 @@ partitioning key becomes an equality-dissemination lookup, and GROUP BY /
 aggregate queries become multi-phase aggregation (flat rehash by default,
 hierarchical when the application asks for it).
 
-Because PIER has no system catalog, table placement metadata still comes
-from the application via :class:`TableInfo` (Section 4.2.1's "out-of-band
-metadata"); the statistics catalog is likewise out-of-band, fed by the
-publishing side.
+Placement metadata comes from either of two places: the deployment-owned
+:class:`~repro.catalog.Catalog` (pass it as ``tables`` — the preferred
+path, used by ``PIERNetwork.query``), or an application-built dict of
+:class:`TableInfo` (the paper's Section 4.2.1 "out-of-band metadata"
+workaround, kept as a compatibility shim).  With a catalog the planner's
+statistics default to the catalog's own, so publisher and planner can
+never disagree.
+
+Every compiled plan records the planner's choices — scan access method,
+per-edge join strategy with its reason, predicate placement — in
+``plan.metadata["planner"]``, which :func:`repro.sql.explain.render_explain`
+renders for ``EXPLAIN`` output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.catalog import Catalog
 from repro.qp.opgraph import QueryPlan
 from repro.qp.plans import (
     JoinStep,
@@ -86,12 +95,18 @@ class NaivePlanner:
 
     def __init__(
         self,
-        tables: Optional[Dict[str, TableInfo]] = None,
+        tables: Optional[Any] = None,
         default_timeout: float = 20.0,
         aggregation_strategy: str = "flat",
         statistics: Optional[Statistics] = None,
     ) -> None:
-        self.tables = dict(tables or {})
+        self.catalog: Optional[Catalog] = None
+        if isinstance(tables, Catalog):
+            self.catalog = tables
+            if statistics is None:
+                statistics = tables.statistics
+            tables = None
+        self.tables: Dict[str, TableInfo] = dict(tables or {})
         self.default_timeout = default_timeout
         if aggregation_strategy not in {"flat", "hierarchical"}:
             raise ValueError("aggregation_strategy must be 'flat' or 'hierarchical'")
@@ -103,16 +118,35 @@ class NaivePlanner:
         self.tables[info.name] = info
 
     def _info(self, table: str) -> TableInfo:
+        if self.catalog is not None:
+            descriptor = self.catalog.describe(table)
+            if descriptor is not None:
+                return TableInfo(
+                    name=descriptor.name,
+                    source=descriptor.source,
+                    partitioning=list(descriptor.partitioning),
+                )
+            if table not in self.tables:
+                # With a catalog, an unknown name is almost certainly a typo;
+                # a silent local broadcast scan would return an empty result
+                # that looks like success.
+                raise PlanningError(
+                    f"unknown table {table!r}: not in the deployment catalog "
+                    f"(declare it with create_table(), publish it, or register "
+                    f"local rows first)"
+                )
         info = self.tables.get(table)
         if info is None:
-            # No catalog: default to a broadcast-scanned local table, the
-            # safest assumption for unknown names.
+            # No catalog at all: default to a broadcast-scanned local table,
+            # the safest assumption without metadata.
             info = TableInfo(name=table, source="local")
         return info
 
     # -- entry points --------------------------------------------------------- #
     def plan_sql(self, text: str) -> QueryPlan:
-        return self.plan(parse_sql(text))
+        plan = self.plan(parse_sql(text))
+        plan.metadata["sql"] = text
+        return plan
 
     def plan(self, statement: SelectStatement) -> QueryPlan:
         timeout = statement.timeout or self.default_timeout
@@ -129,6 +163,13 @@ class NaivePlanner:
                 "sql_select": [item.output_name for item in statement.select_items],
             }
         )
+        plan.metadata.setdefault("planner", {}).update(
+            {
+                "base_table": statement.table,
+                "timeout": timeout,
+                "statistics": self.statistics is not None,
+            }
+        )
         return plan
 
     # -- scans -------------------------------------------------------------------#
@@ -137,20 +178,35 @@ class NaivePlanner:
         columns = self._projection_columns(statement)
         equality = self._partitioning_equality(statement.where, info)
         if info.source == "dht" and equality is not None:
-            return equality_lookup_plan(
+            plan = equality_lookup_plan(
                 statement.table,
                 equality,
                 timeout=timeout,
                 predicate=statement.where,
                 columns=columns,
             )
-        return broadcast_scan_plan(
+            plan.metadata["planner"] = {
+                "kind": "equality-lookup",
+                "source": "dht",
+                "detail": (
+                    f"equality on partitioning key {info.partitioning[0]!r} = {equality!r} "
+                    f"disseminates to one partition"
+                ),
+            }
+            return plan
+        plan = broadcast_scan_plan(
             statement.table,
             source="local_table" if info.source == "local" else "dht_scan",
             predicate=statement.where,
             columns=columns,
             timeout=timeout,
         )
+        plan.metadata["planner"] = {
+            "kind": "broadcast-scan",
+            "source": info.source,
+            "detail": f"broadcast scan of {info.source} table {statement.table!r}",
+        }
+        return plan
 
     # -- aggregation -----------------------------------------------------------------#
     def _plan_aggregate(self, statement: SelectStatement, timeout: float) -> QueryPlan:
@@ -168,7 +224,7 @@ class NaivePlanner:
             if self.aggregation_strategy == "hierarchical"
             else flat_aggregation_plan
         )
-        return builder(
+        plan = builder(
             statement.table,
             group_columns=statement.group_by,
             aggregates=aggregates,
@@ -176,6 +232,17 @@ class NaivePlanner:
             predicate=statement.where,
             timeout=timeout,
         )
+        plan.metadata["planner"] = {
+            "kind": "aggregation",
+            "source": info.source,
+            "aggregation_strategy": self.aggregation_strategy,
+            "detail": (
+                "hierarchical in-network aggregation over the aggregation tree"
+                if self.aggregation_strategy == "hierarchical"
+                else "flat multi-phase aggregation (rehash on the group key)"
+            ),
+        }
+        return plan
 
     # -- joins -----------------------------------------------------------------------#
     def _plan_join(self, statement: SelectStatement, timeout: float) -> QueryPlan:
@@ -185,45 +252,67 @@ class NaivePlanner:
         outer_info = self._info(statement.table)
         base_source = "local_table" if outer_info.source == "local" else "dht_scan"
 
+        edges: List[Tuple[JoinClause, TableInfo, str, str]] = []
+        for index, join in enumerate(joins):
+            inner_info = self._info(join.table)
+            strategy, reason = self._edge_strategy(
+                statement.table, join, inner_info, first_edge=(index == 0)
+            )
+            edges.append((join, inner_info, strategy, reason))
+        pushdown = self._can_push_down(statement.table, statement.where)
+        decisions = {
+            "kind": "join",
+            "source": outer_info.source,
+            "join_order": [join.table for join, _info, _strategy, _reason in edges],
+            "reordered": [join.table for join in joins] != [join.table for join in statement.joins],
+            "joins": [
+                {
+                    "table": join.table,
+                    "left_column": join.left_column,
+                    "right_column": join.right_column,
+                    "strategy": strategy,
+                    "reason": reason,
+                }
+                for join, _info, strategy, reason in edges
+            ],
+            "predicate_pushdown": pushdown if statement.where is not None else None,
+        }
+
+        plan: Optional[QueryPlan] = None
         if len(joins) == 1 and statement.where is None:
             # Preserve the compact single-join plan shapes when there is no
             # residual predicate to thread through.
-            single = self._plan_single_join(statement.table, outer_info, joins[0], timeout)
-            if single is not None:
-                return single
-
-        steps: List[JoinStep] = []
-        for index, join in enumerate(joins):
-            inner_info = self._info(join.table)
-            steps.append(
+            plan = self._plan_single_join(statement.table, outer_info, edges[0], timeout)
+        if plan is None:
+            steps = [
                 JoinStep(
                     table=join.table,
                     left_column=join.left_column,
                     right_column=join.right_column,
-                    strategy=self._edge_strategy(
-                        statement.table, join, inner_info, first_edge=(index == 0)
-                    ),
+                    strategy=strategy,
                     source="local_table" if inner_info.source == "local" else "dht_scan",
                 )
+                for join, inner_info, strategy, _reason in edges
+            ]
+            plan = multi_join_plan(
+                base_table=statement.table,
+                steps=steps,
+                base_source=base_source,
+                predicate=statement.where,
+                predicate_pushdown=pushdown,
+                timeout=timeout,
             )
-        return multi_join_plan(
-            base_table=statement.table,
-            steps=steps,
-            base_source=base_source,
-            predicate=statement.where,
-            predicate_pushdown=self._can_push_down(statement.table, statement.where),
-            timeout=timeout,
-        )
+        plan.metadata["planner"] = decisions
+        return plan
 
     def _plan_single_join(
         self,
         outer_table: str,
         outer_info: TableInfo,
-        join: JoinClause,
+        edge: Tuple[JoinClause, TableInfo, str, str],
         timeout: float,
     ) -> Optional[QueryPlan]:
-        inner_info = self._info(join.table)
-        strategy = self._edge_strategy(outer_table, join, inner_info, first_edge=True)
+        join, _inner_info, strategy, _reason = edge
         source = "local_table" if outer_info.source == "local" else "dht_scan"
         if strategy == "fetch":
             return fetch_matches_join_plan(
@@ -310,11 +399,16 @@ class NaivePlanner:
         join: JoinClause,
         inner_info: TableInfo,
         first_edge: bool,
-    ) -> str:
+    ) -> Tuple[str, str]:
+        """Pick the data-movement strategy for one join edge, with a reason."""
         # A matching primary index makes Fetch-Matches strictly cheaper than
         # rehashing: only the outer side's probes travel.
         if inner_info.source == "dht" and inner_info.partitioning == [join.right_column]:
-            return "fetch"
+            return (
+                "fetch",
+                f"{join.table!r} primary index is partitioned on the join key "
+                f"{join.right_column!r}; only outer probes travel",
+            )
         if first_edge and self.statistics is not None:
             left_distinct = self.statistics.distinct(left_table, join.left_column)
             inner_distinct = self.statistics.distinct(join.table, join.right_column)
@@ -323,8 +417,15 @@ class NaivePlanner:
                 and inner_distinct
                 and left_distinct <= BLOOM_PRUNE_THRESHOLD * inner_distinct
             ):
-                return "bloom"
-        return "rehash"
+                return (
+                    "bloom",
+                    f"left keys ({left_distinct} distinct) prune most of "
+                    f"{join.table!r} ({inner_distinct} distinct join values)",
+                )
+        return (
+            "rehash",
+            "no matching primary index; rehash both sides on the join key",
+        )
 
     def _can_push_down(self, base_table: str, predicate: Any) -> bool:
         """True when the catalog proves ``predicate`` only touches base columns."""
@@ -383,17 +484,38 @@ class NaivePlanner:
 CostAwarePlanner = NaivePlanner
 
 
-def apply_result_clauses(plan_metadata: Dict[str, Any], rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Apply ORDER BY / LIMIT (recorded in plan metadata) at the proxy side."""
+def _order_and_limit(plan_metadata: Dict[str, Any], items: Sequence[Any], get: Any) -> List[Any]:
+    """Shared ORDER BY / LIMIT logic over any row representation.
+
+    ``get(item, column)`` extracts a column value (``None`` for SQL NULL).
+    SQL NULLS LAST semantics in both directions: sort only the items that
+    have the column, then append the NULL items.
+    """
+    items = list(items)
     order_by = plan_metadata.get("sql_order_by")
     if order_by:
         column, descending = order_by
-        # SQL NULLS LAST semantics in both directions: sort only the rows
-        # that have the column, then append the NULL rows.
-        null_rows = [row for row in rows if row.get(column) is None]
-        value_rows = [row for row in rows if row.get(column) is not None]
-        rows = sorted(value_rows, key=lambda row: row[column], reverse=descending) + null_rows
+        null_items = [item for item in items if get(item, column) is None]
+        value_items = [item for item in items if get(item, column) is not None]
+        items = (
+            sorted(value_items, key=lambda item: get(item, column), reverse=descending)
+            + null_items
+        )
     limit = plan_metadata.get("sql_limit")
     if limit is not None:
-        rows = rows[: int(limit)]
-    return rows
+        items = items[: int(limit)]
+    return items
+
+
+def apply_result_clauses(plan_metadata: Dict[str, Any], rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Apply ORDER BY / LIMIT (recorded in plan metadata) at the proxy side."""
+    return _order_and_limit(plan_metadata, rows, lambda row, column: row.get(column))
+
+
+def apply_result_clauses_to_tuples(plan_metadata: Dict[str, Any], tuples: Sequence[Any]) -> List[Any]:
+    """The same ORDER BY / LIMIT pass over :class:`~repro.qp.tuples.Tuple` objects.
+
+    ``PIERNetwork.query`` uses this so clients get ordered, limited tuples
+    without converting to dictionaries first.
+    """
+    return _order_and_limit(plan_metadata, tuples, lambda tup, column: tup.get(column))

@@ -1,0 +1,320 @@
+"""Tests for the deployment catalog and the query-session API:
+catalog round-trips, deprecation shims, the one-call ``query()`` path,
+``StreamingQuery`` iteration/cancel, ``explain()``, and the early-stop
+``execute()`` loop."""
+
+import pytest
+
+from repro import Catalog, CatalogError, PIERNetwork
+from repro.qp.tuples import Tuple
+from repro.sql.explain import render_explain
+from repro.sql.planner import NaivePlanner, TableInfo
+
+
+# -- catalog round-trips -------------------------------------------------------- #
+
+def test_register_publish_plan_query_agree_on_partitioning():
+    """create_table -> publish -> plan -> query all read the same catalog."""
+    net = PIERNetwork(16, seed=3)
+    net.create_table("inv", partitioning=["keyword"])
+    rows = [Tuple.make("inv", keyword=f"kw{i % 3}", file_id=i) for i in range(9)]
+    net.publish("inv", rows)  # no placement metadata at the call site
+    net.run(2.0)
+
+    plan = net.plan_sql("SELECT file_id FROM inv WHERE keyword = 'kw1' TIMEOUT 8")
+    # The planner saw the catalog's partitioning: equality dissemination.
+    assert plan.opgraphs[0].dissemination.strategy == "equality"
+    assert plan.opgraphs[0].dissemination.key == "kw1"
+
+    # And the publisher used the same partitioning, so the single-partition
+    # lookup finds every matching row.
+    result = net.query("SELECT file_id FROM inv WHERE keyword = 'kw1' TIMEOUT 8")
+    assert sorted(result.column("file_id")) == [1, 4, 7]
+    assert result.completed
+
+
+def test_publish_requires_catalog_entry_or_explicit_columns():
+    net = PIERNetwork(4, seed=4)
+    with pytest.raises(CatalogError):
+        net.publish("never_declared", [Tuple.make("never_declared", a=1)])
+
+
+def test_legacy_publish_auto_registers_table():
+    net = PIERNetwork(4, seed=5)
+    net.publish("legacy", ["k"], [Tuple.make("legacy", k=1, v=2)])
+    descriptor = net.catalog.describe("legacy")
+    assert descriptor is not None
+    assert descriptor.source == "dht"
+    assert descriptor.partitioning == ["k"]
+    assert descriptor.origin == "auto"
+    # Statistics flowed through the catalog too.
+    assert net.statistics.cardinality("legacy") == 1
+
+
+def test_local_table_auto_registers_and_source_conflicts_raise():
+    net = PIERNetwork(4, seed=6)
+    net.register_local_table(0, "logs", [Tuple.make("logs", src="a")])
+    assert net.catalog.describe("logs").source == "local"
+    # The same name cannot be used as a DHT table afterwards.
+    with pytest.raises(CatalogError):
+        net.publish("logs", ["src"], [Tuple.make("logs", src="b")])
+
+
+def test_catalog_validates_descriptors():
+    catalog = Catalog()
+    with pytest.raises(CatalogError):
+        catalog.create_table("t", source="martian")
+    with pytest.raises(CatalogError):
+        catalog.create_table("t", source="local", partitioning=["a"])
+    catalog.create_table("t", partitioning=["a"])
+    with pytest.raises(CatalogError):
+        catalog.create_table("t", partitioning=["b"])  # duplicate, no replace
+    replaced = catalog.create_table("t", partitioning=["b"], replace=True)
+    assert replaced.partitioning == ["b"]
+    catalog.drop_table("t")
+    assert "t" not in catalog
+
+
+# -- deprecation shims ------------------------------------------------------------ #
+
+def test_explicit_partitioning_over_declared_table_warns():
+    net = PIERNetwork(4, seed=7)
+    net.create_table("declared", partitioning=["k"])
+    with pytest.warns(DeprecationWarning):
+        net.publish("declared", ["k"], [Tuple.make("declared", k=1)])
+
+
+def test_explicit_override_keeps_catalog_and_planner_in_sync():
+    """An overriding publish() updates the catalog, so equality lookups
+    target the index the publisher actually built."""
+    net = PIERNetwork(8, seed=9)
+    net.create_table("m", partitioning=["k"])
+    with pytest.warns(DeprecationWarning):
+        net.publish("m", ["other"], [Tuple.make("m", k=i, other=i * 2) for i in range(6)])
+    net.run(2.0)
+    assert net.catalog.describe("m").partitioning == ["other"]
+    result = net.query("SELECT k FROM m WHERE other = 4 TIMEOUT 8")
+    assert result.column("k") == [2]
+
+
+def test_auto_registered_repartition_warns_and_updates_catalog():
+    net = PIERNetwork(4, seed=10)
+    net.publish("t", ["a"], [Tuple.make("t", a=1, b=2)])
+    with pytest.warns(UserWarning, match="changes the partitioning"):
+        net.publish("t", ["b"], [Tuple.make("t", a=3, b=4)])
+    assert net.catalog.describe("t").partitioning == ["b"]
+
+
+def test_make_planner_with_tableinfo_dict_still_works():
+    net = PIERNetwork(4, seed=8)
+    shim = net.make_planner({"inv": TableInfo("inv", "dht", ["keyword"])})
+    plan = shim.plan_sql("SELECT file_id FROM inv WHERE keyword = 'x'")
+    assert plan.opgraphs[0].dissemination.strategy == "equality"
+    # The catalog-backed planner produces the same strategy from the same facts.
+    net.create_table("inv", partitioning=["keyword"])
+    plan = net.plan_sql("SELECT file_id FROM inv WHERE keyword = 'x'")
+    assert plan.opgraphs[0].dissemination.strategy == "equality"
+
+
+# -- the one-call query path -------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def machines_network():
+    net = PIERNetwork(25, seed=13)
+    net.create_table("machines", partitioning=["node"])
+    net.publish(
+        "machines", [Tuple.make("machines", node=i, site=f"site{i % 5}") for i in range(25)]
+    )
+    net.run(2.0)
+    return net
+
+
+def test_query_group_order_limit_one_call(machines_network):
+    """The acceptance-criteria query: ordered, limited rows, no TableInfo."""
+    sql = (
+        "SELECT site, COUNT(*) AS n FROM machines GROUP BY site "
+        "ORDER BY n DESC LIMIT 3 TIMEOUT 8"
+    )
+    result = machines_network.query(sql)
+    rows = result.rows()
+    assert len(rows) == 3
+    assert all(row["n"] == 5 for row in rows)  # 25 nodes over 5 sites
+    assert result.sql == sql
+    assert result.completed
+
+
+def test_query_result_carries_explain_and_message_counts(machines_network):
+    result = machines_network.query(
+        "SELECT site FROM machines WHERE node = 7 TIMEOUT 6"
+    )
+    assert result.rows() == [{"site": "site2"}]
+    assert "equality" in result.explain
+    assert result.messages_sent is not None and result.messages_sent >= 0
+    assert result.bytes_sent is not None
+
+
+# -- explain ------------------------------------------------------------------------- #
+
+def test_explain_names_each_join_strategy():
+    net = PIERNetwork(8, seed=14)
+    net.create_table("orders", partitioning=["order_id"])
+    net.create_table("users", partitioning=["user_id"])
+    net.create_table("items", partitioning=["item_id"])
+    report = net.explain(
+        "SELECT name FROM orders "
+        "JOIN users ON user_id = user_id "
+        "JOIN items ON price = price"
+    )
+    # users is partitioned on its join key -> fetch; items is not -> rehash.
+    assert "fetch-matches" in report
+    assert "rehash" in report
+    assert "JOIN users" in report and "JOIN items" in report
+
+
+def test_explain_names_bloom_strategy_from_statistics():
+    catalog = Catalog()
+    catalog.create_table("tiny", partitioning=["id"])
+    catalog.create_table("big", partitioning=["id"])
+    for index in range(10):
+        catalog.record("tiny", {"id": index, "x": index})
+    for index in range(1000):
+        catalog.record("big", {"id": index, "x": index % 400})
+    planner = NaivePlanner(catalog)
+    plan = planner.plan_sql("SELECT x FROM tiny JOIN big ON x = x")
+    report = render_explain(plan)
+    assert "bloom" in report
+    assert "prune" in report
+
+
+def test_explain_renders_plans_without_planner_metadata():
+    from repro.qp.plans import broadcast_scan_plan
+
+    report = render_explain(broadcast_scan_plan("events", timeout=5.0))
+    assert "broadcast" in report and "result_handler" in report
+
+
+# -- streaming ------------------------------------------------------------------------ #
+
+@pytest.fixture
+def events_network():
+    net = PIERNetwork(12, seed=15)
+    for address in range(len(net)):
+        net.register_local_table(
+            address, "events", [Tuple.make("events", node=address, level="info")] * 2
+        )
+    return net
+
+
+def test_stream_yields_tuples_before_completion(events_network):
+    stream = events_network.stream("SELECT node FROM events TIMEOUT 8")
+    seen_unfinished = False
+    tuples = []
+    for tup in stream:
+        if not stream.finished:
+            seen_unfinished = True
+        tuples.append(tup)
+    assert len(tuples) == 24
+    assert seen_unfinished, "iteration must interleave execution with delivery"
+    assert stream.finished
+    assert stream.first_result_latency is not None
+    assert stream.first_result_latency < 8.0  # well before the timeout
+
+
+def test_stream_callbacks_fire_and_replay(events_network):
+    stream = events_network.stream("SELECT node FROM events TIMEOUT 8")
+    received = []
+    done = []
+    stream.on_result(received.append).on_done(lambda s: done.append(s.query_id))
+    events_network.run(10.0)
+    assert len(received) == 24
+    assert done == [stream.query_id]
+    # Late registration replays history instead of missing it.
+    late = []
+    stream.on_result(late.append)
+    assert len(late) == 24
+
+
+def test_stream_result_applies_order_and_limit(events_network):
+    stream = events_network.stream(
+        "SELECT node FROM events ORDER BY node DESC LIMIT 4 TIMEOUT 8"
+    )
+    result = stream.result()
+    assert result.completed
+    assert [row["node"] for row in result.rows()] == [11, 11, 10, 10]
+    # Same contract as network.query(): traffic counts and explain attached.
+    assert result.messages_sent is not None and result.messages_sent > 0
+    assert result.bytes_sent is not None
+    assert "broadcast" in result.explain
+
+
+def test_query_unknown_table_raises_instead_of_empty_success(events_network):
+    from repro.sql.planner import PlanningError
+
+    with pytest.raises(PlanningError, match="unknown table"):
+        events_network.query("SELECT x FROM evnts TIMEOUT 5")  # typo'd name
+
+
+def test_cancel_refuses_in_flight_opgraph_installs(events_network):
+    """Cancelling while dissemination envelopes are still in flight must
+    prevent late installs — the query stops producing traffic for good."""
+    net = events_network
+    stream = net.stream("SELECT node FROM events TIMEOUT 60")
+    stream.cancel()  # before the envelopes reach any node
+    net.run(5.0)
+    for node in net.nodes:
+        for installed in node.executor.installed_graphs():
+            assert installed.query_id != stream.query_id or installed.finished
+    assert stream.results == []
+
+
+def test_stream_cancel_stops_the_query_everywhere(events_network):
+    net = events_network
+    stream = net.stream("SELECT node FROM events TIMEOUT 60")
+    net.run(2.0)
+    count_at_cancel = len(stream.results)
+    assert stream.cancel()
+    assert stream.finished and stream.handle.cancelled
+    # The opgraphs are torn down across the deployment...
+    for node in net.nodes:
+        for installed in node.executor.installed_graphs():
+            if installed.query_id == stream.query_id:
+                assert installed.finished
+    # ...and no further results arrive.
+    net.run(10.0)
+    assert len(stream.results) == count_at_cancel
+    # Cancelling twice is a no-op.
+    assert not stream.cancel()
+
+
+def test_stream_iteration_terminates_when_deployment_dies(events_network):
+    """If every node fails mid-query the event queue can drain without the
+    proxy ever reporting completion; iteration must stop, not spin."""
+    net = events_network
+    stream = net.stream("SELECT node FROM events TIMEOUT 30")
+    for address in range(len(net)):
+        net.fail_node(address)
+    consumed = list(stream)
+    assert consumed == []  # nothing arrived, and — crucially — we returned
+
+
+def test_stream_done_callback_fires_on_cancel(events_network):
+    stream = events_network.stream("SELECT node FROM events TIMEOUT 60")
+    done = []
+    stream.on_done(lambda s: done.append(True))
+    stream.cancel()
+    assert done == [True]
+
+
+# -- execute() early stop --------------------------------------------------------------- #
+
+def test_execute_stops_stepping_once_query_finishes(events_network):
+    from repro.qp.plans import broadcast_scan_plan
+
+    net = events_network
+    plan = broadcast_scan_plan("events", timeout=6.0)
+    started = net.now
+    result = net.execute(plan, extra_time=30.0)
+    assert result.completed
+    # The proxy reports completion at timeout + 1s; the simulator must stop
+    # there instead of burning the remaining extra_time.
+    assert net.now - started <= 6.0 + 1.0 + 0.5
