@@ -52,16 +52,26 @@ class HierarchicalAggregate(_BaseGroupBy):
         self.hold = float(self.param("hold", 1.0))
         self.namespace = context.scoped_namespace("__hierarchical_aggregate__")
         self.root_identifier = object_identifier(self.namespace, "root")
+        # Merge functions are stateless combiners shared by every merge on
+        # this node; building them per merged partial was hot-path waste and
+        # broke aggregates whose build() carries state.
+        self._merge_functions = [spec.build() for spec in self.aggregate_specs]
         # Partial states intercepted from (or terminating at) other nodes.
         self._held: Dict[PyTuple[Any, ...], List[Any]] = {}
         self._hold_scheduled = False
         self._root_states: Dict[PyTuple[Any, ...], List[Any]] = {}
+        # Root ownership is captured once at start: evaluating
+        # is_responsible() per enqueue let partials split across two
+        # "roots" when ownership moved mid-query, and some groups were
+        # never emitted.
+        self._is_root_owner = False
         self.partials_sent = 0
         self.partials_intercepted = 0
 
     # -- lifecycle --------------------------------------------------------- #
     def start(self) -> None:
         super().start()
+        self._is_root_owner = self._is_root()
         self.context.overlay.upcall(self.namespace, self._on_upcall)
         self.context.overlay.new_data(self.namespace, self._on_root_arrival)
         # Catch up on partial aggregates that reached this node before the
@@ -83,7 +93,7 @@ class HierarchicalAggregate(_BaseGroupBy):
 
     def _enqueue_partial(self, key: PyTuple[Any, ...], states: List[Any]) -> None:
         """Fold a partial state into the held buffer and arm the hold timer."""
-        if self._is_root():
+        if self._is_root_owner:
             self._merge_into(self._root_states, key, states)
             return
         self._merge_into(self._held, key, states)
@@ -97,14 +107,13 @@ class HierarchicalAggregate(_BaseGroupBy):
         key: PyTuple[Any, ...],
         states: List[Any],
     ) -> None:
-        functions = [spec.build() for spec in self.aggregate_specs]
         existing = buffer.get(key)
         if existing is None:
             buffer[key] = list(states)
             return
         buffer[key] = [
             function.merge(left, right)
-            for function, left, right in zip(functions, existing, states)
+            for function, left, right in zip(self._merge_functions, existing, states)
         ]
 
     # -- upcall (intermediate hop) ------------------------------------------- #
@@ -153,13 +162,17 @@ class HierarchicalAggregate(_BaseGroupBy):
             self._enqueue_partial(key, state.states)
         if self._held:
             self._forward_held(None)
-        if not self._is_root():
+        # The captured owner emits; a node that *became* responsible after
+        # the captured root failed (routing re-delivered partials here) also
+        # emits what it accumulated, so those groups are not silently lost.
+        if not (self._is_root_owner or self._is_root()):
             return
-        functions = [spec.build() for spec in self.aggregate_specs]
         for key, states in self._root_states.items():
             payload = {
                 spec.output: function.result(state)
-                for spec, function, state in zip(self.aggregate_specs, functions, states)
+                for spec, function, state in zip(
+                    self.aggregate_specs, self._merge_functions, states
+                )
             }
             self.emit(self._group_tuple(key, payload))
 

@@ -46,6 +46,18 @@ class _StragglerFlushTimer:
             return
         self.flush()
 
+    def stop(self) -> None:
+        """Discard buffered tuples and disarm the straggler timer.
+
+        A cancelled query must stop generating network traffic immediately:
+        without this, tuples buffered at cancel time would be shipped by a
+        later ``flush()`` call (or sit armed behind ``_flush_timer_scheduled``
+        forever), leaking post-cancel ``put_batch`` traffic onto the DHT.
+        """
+        super().stop()
+        self._discard_buffered()
+        self._flush_timer_scheduled = False
+
     def _discard_buffered(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
@@ -136,6 +148,9 @@ class PutExchange(_StragglerFlushTimer, PhysicalOperator):
         )
 
     def flush(self) -> None:
+        if self._stopped:
+            self._discard_buffered()
+            return
         for partition_key in list(self._buffers):
             self._flush_partition(partition_key)
 
@@ -230,6 +245,9 @@ class ResultHandler(_StragglerFlushTimer, PhysicalOperator):
         self._ship()
 
     def _ship(self) -> None:
+        if self._stopped:
+            self._pending.clear()
+            return
         if not self._pending:
             return
         batch, self._pending = self._pending, []

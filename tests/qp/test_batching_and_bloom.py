@@ -219,3 +219,45 @@ def test_topk_without_capacity_is_exact():
     for value in ["x"] * 3 + ["y"] * 2 + ["z"]:
         state = topk.add(state, value)
     assert topk.result(state) == [("x", 3), ("y", 2), ("z", 1)]
+
+
+# -- teardown of buffering operators (regression) ------------------------------ #
+
+def test_put_exchange_stop_discards_buffer_and_disarms_timer():
+    """Regression: cancelling a query with tuples buffered in a batching
+    exchange used to leave the buffer (and an armed straggler timer) behind;
+    a later flush shipped post-cancel put_batch traffic onto the DHT."""
+    harness = OperatorHarness(node_count=2, seed=21)
+    put = harness.build(
+        "put",
+        {"namespace": "cancel_ns", "key_columns": ["k"], "batch_size": 8,
+         "flush_interval": 0.5},
+    )
+    for index in range(3):
+        put.receive(Tuple.make("t", k="same", n=index))
+    assert put.buffered == 3
+
+    put.stop()
+    assert put.buffered == 0, "stop() must discard buffered tuples"
+    assert not put._flush_timer_scheduled
+
+    # An explicit post-stop flush must not publish either.
+    put.flush()
+    batches_before = put.batches_published
+    harness.run(2.0)  # let any stray timer fire
+    assert put.batches_published == batches_before == 0
+    overlay = harness.context.overlay
+    assert overlay.stats.batch_puts == 0, "no post-cancel put_batch traffic"
+
+
+def test_result_handler_stop_discards_pending_batch():
+    harness = OperatorHarness(node_count=2, seed=22)
+    handler = harness.build("result_handler", {"batch": 10, "flush_interval": 0.5})
+    for index in range(4):
+        handler.receive(Tuple.make("r", n=index))
+    assert handler.results_shipped == 0
+    handler.stop()
+    handler.flush()
+    harness.run(2.0)
+    assert handler.results_shipped == 0
+    assert handler._pending == []

@@ -99,16 +99,32 @@ def test_continuous_query_sees_newly_published_tuples():
 
 
 def test_aggregation_under_churn_remains_close_to_truth():
+    """Publisher churn only: the proxy and the aggregation-tree root are
+    shielded, so the assertion is about losing *publishers'* data
+    gracefully.  (Without resilience the result is a seed lottery when the
+    root itself is churned away mid-query — it dies holding every merged
+    partial; root failure with handoff is covered by
+    tests/runtime/test_churn_queries.py.)"""
     network = PIERNetwork(24, seed=35)
     _load_events(network, rows_per_node=2, groups=3)
-    churn = ChurnProcess(
-        network.environment, interval=2.0, session_time=60.0, protected=[0], seed=35,
-        recover=False,
-    )
-    churn.start()
     plan = hierarchical_aggregation_plan(
         "events", ["src"], [("count", None, "n")], timeout=16
     )
+    from repro.overlay.identifiers import object_identifier
+
+    root_identifier = object_identifier(
+        f"{plan.query_id}:__hierarchical_aggregate__", "root"
+    )
+    root_owner = next(
+        node.address
+        for node in network.nodes
+        if node.overlay.router.is_responsible(root_identifier)
+    )
+    churn = ChurnProcess(
+        network.environment, interval=2.0, session_time=60.0,
+        protected=[0, root_owner], seed=35, recover=False,
+    )
+    churn.start()
     result = network.execute(plan, proxy=0)
     churn.stop()
     total_counted = sum(row["n"] for row in result.rows())
@@ -128,3 +144,47 @@ def test_bamboo_router_deployment_answers_queries():
 def test_unknown_router_name_rejected():
     with pytest.raises(ValueError):
         PIERNetwork(4, router="pastry-deluxe")
+
+
+def test_hierarchical_merge_functions_built_once(monkeypatch):
+    """Regression: _merge_into rebuilt [spec.build() ...] for every merged
+    partial — hot-path waste that also broke stateful build() aggregates."""
+    from operator_harness import OperatorHarness
+    from repro.qp.aggregates import AggregateSpec
+
+    calls = {"n": 0}
+    original = AggregateSpec.build
+
+    def counting(self):
+        calls["n"] += 1
+        return original(self)
+
+    monkeypatch.setattr(AggregateSpec, "build", counting)
+    harness = OperatorHarness(node_count=1, seed=41)
+    operator = harness.build(
+        "hierarchical_aggregate",
+        {"aggregates": [("sum", "n", "total")], "group_columns": ["g"]},
+    )
+    operator.start()
+    built_before_merges = calls["n"]
+    for index in range(10):
+        operator._merge_into(operator._root_states, ("g1",), [index])
+    assert calls["n"] == built_before_merges, "merges must reuse the functions"
+
+
+def test_hierarchical_root_ownership_captured_at_start():
+    """Regression: _is_root() was evaluated per enqueue, so partials enqueued
+    before and after an ownership change split across two 'roots'."""
+    from operator_harness import OperatorHarness
+
+    harness = OperatorHarness(node_count=1, seed=42)
+    operator = harness.build(
+        "hierarchical_aggregate", {"aggregates": [("count", None, "n")]}
+    )
+    operator.start()
+    assert operator._is_root_owner  # single node owns everything
+    # Even if the router's view flips mid-query, enqueues keep using the
+    # captured ownership instead of splitting across two buckets.
+    harness.context.overlay.router.is_responsible = lambda target: False
+    operator._enqueue_partial((), [3])
+    assert operator._root_states and not operator._held
