@@ -27,6 +27,7 @@ builds a simulated PIER deployment and exposes publish/query helpers.
 
 from repro.api import PIERNetwork, QueryResult
 from repro.catalog import Catalog, CatalogError, TableDescriptor
+from repro.qp.resilience import ResiliencePolicy
 from repro.session import StreamingQuery
 
 __version__ = "1.0.0"
@@ -38,5 +39,6 @@ __all__ = [
     "CatalogError",
     "TableDescriptor",
     "StreamingQuery",
+    "ResiliencePolicy",
     "__version__",
 ]

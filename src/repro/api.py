@@ -28,7 +28,20 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.churn import ChurnProcess
 
 from repro.catalog import Catalog, TableDescriptor
 from repro.overlay.router import BootstrapDirectory, ChordRouter, NodeContact, Router
@@ -36,6 +49,7 @@ from repro.overlay.bamboo import BambooRouter
 from repro.qp.node import PIERNode
 from repro.qp.opgraph import QueryPlan
 from repro.qp.proxy import QueryHandle
+from repro.qp.resilience import ResiliencePolicy, resolve_resilience
 from repro.qp.stats import Statistics
 from repro.qp.tuples import Tuple
 from repro.runtime.congestion import CongestionModel
@@ -56,6 +70,13 @@ class QueryResult:
     ``explain`` the rendered plan report, and ``messages_sent`` /
     ``bytes_sent`` the network traffic attributable to this query (the
     simulator-wide counters sampled around its execution window).
+
+    ``coverage`` makes the paper's relaxed semantics visible instead of
+    silently returning partial answers: it is the fraction of the query's
+    participants (the proxy's membership view at submission) still
+    believed live when the query finished, with ``down_nodes`` naming the
+    participants believed down and ``redisseminations`` counting rejoin
+    re-installations performed for this query.
     """
 
     query_id: str
@@ -68,6 +89,9 @@ class QueryResult:
     explain: Optional[str] = None
     messages_sent: Optional[int] = None
     bytes_sent: Optional[int] = None
+    coverage: float = 1.0
+    down_nodes: List[Any] = field(default_factory=list)
+    redisseminations: int = 0
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -103,6 +127,9 @@ class QueryResult:
             sql=plan.metadata.get("sql"),
             messages_sent=stats.messages_sent - messages_before,
             bytes_sent=stats.bytes_sent - bytes_before,
+            coverage=handle.coverage,
+            down_nodes=sorted(handle.down_nodes),
+            redisseminations=handle.redisseminations,
         )
 
     def finalize_sql(self, plan: QueryPlan, include_explain: bool = True) -> "QueryResult":
@@ -198,6 +225,17 @@ class PIERNetwork:
         # The deployment-owned catalog: placement metadata plus the
         # planner's statistics, fed by publish()/local tables.
         self.catalog = catalog if catalog is not None else Catalog()
+        # Deployment-wide resilience default (None = off); attach_churn()
+        # turns it on, and query()/execute()/stream() accept per-query
+        # overrides.
+        self.default_resilience: Optional[ResiliencePolicy] = None
+        # Failure/recovery notifications: the stand-in for the failure
+        # detection a stabilization layer performs.  Failures reach the
+        # proxies' coverage tracking; recoveries additionally restart the
+        # recovered node's overlay timers and purge its orphaned opgraphs
+        # so rejoin re-dissemination can reinstall them.
+        self.environment.on_failure(self._on_node_failure)
+        self.environment.on_recovery(self._on_node_recovery)
         self._started = False
         if auto_start:
             self.start()
@@ -383,17 +421,43 @@ class PIERNetwork:
         return self.make_planner(**planner_opts).plan_sql(sql)
 
     # -- query execution ----------------------------------------------------------------#
+    def _apply_resilience(self, plan: QueryPlan, resilience: Any) -> None:
+        """Stamp the effective resilience policy into ``plan.metadata`` so
+        it travels to every executing node in the dissemination envelope.
+
+        An explicit ``resilience`` argument is always stamped — including
+        an all-off policy (``resilience=False``), so an opt-out survives
+        the later ``submit()`` call instead of being re-resolved back to
+        the deployment default."""
+        if resilience is None:
+            if "resilience" in plan.metadata:
+                return  # an earlier call already stamped a per-query policy
+            policy = self.default_resilience
+            if policy is None or not policy.active:
+                return
+        else:
+            policy = resolve_resilience(resilience)
+        plan.metadata["resilience"] = policy.to_metadata()
+
     def submit(
         self,
         plan: QueryPlan,
         proxy: int = 0,
         result_callback: Optional[Callable[[Tuple], None]] = None,
         done_callback: Optional[Callable[[QueryHandle], None]] = None,
+        resilience: Any = None,
     ) -> QueryHandle:
         """Submit a plan at the given proxy node without advancing time."""
+        self._apply_resilience(plan, resilience)
         return self.nodes[proxy].submit(plan, result_callback, done_callback)
 
-    def execute(self, plan: QueryPlan, proxy: int = 0, extra_time: float = 3.0) -> QueryResult:
+    def execute(
+        self,
+        plan: QueryPlan,
+        proxy: int = 0,
+        extra_time: float = 3.0,
+        resilience: Any = None,
+    ) -> QueryResult:
         """Submit a plan and run the simulation until it completes.
 
         The simulator stops stepping as soon as the proxy reports the query
@@ -404,7 +468,7 @@ class PIERNetwork:
         stats = self.environment.stats
         messages_before = stats.messages_sent
         bytes_before = stats.bytes_sent
-        handle = self.submit(plan, proxy=proxy)
+        handle = self.submit(plan, proxy=proxy, resilience=resilience)
         self.environment.run(
             plan.timeout + extra_time, stop_condition=lambda: handle.finished
         )
@@ -416,18 +480,24 @@ class PIERNetwork:
         proxy: int = 0,
         extra_time: float = 3.0,
         include_explain: bool = True,
+        resilience: Any = None,
         **planner_opts: Any,
     ) -> QueryResult:
         """The one-call SQL path: parse -> plan (catalog + statistics) ->
         disseminate -> execute -> ORDER BY / LIMIT.
 
         ``planner_opts`` are forwarded to the planner (e.g.
-        ``aggregation_strategy="hierarchical"``).  The returned
+        ``aggregation_strategy="hierarchical"``).  ``resilience`` selects
+        the churn behaviour for this query — ``True`` for the everything-on
+        :class:`~repro.qp.resilience.ResiliencePolicy`, a policy/dict for
+        fine-grained knobs; the default is the deployment's
+        ``default_resilience`` (set by :meth:`attach_churn`).  The returned
         :class:`QueryResult` carries the originating SQL, the rendered
-        ``explain`` report, and per-query message counts.
+        ``explain`` report, per-query message counts, and the ``coverage``
+        metric.
         """
         plan = self.plan_sql(sql, **planner_opts)
-        result = self.execute(plan, proxy=proxy, extra_time=extra_time)
+        result = self.execute(plan, proxy=proxy, extra_time=extra_time, resilience=resilience)
         return result.finalize_sql(plan, include_explain=include_explain)
 
     def stream(
@@ -435,17 +505,20 @@ class PIERNetwork:
         sql: Union[str, QueryPlan],
         proxy: int = 0,
         extra_time: float = 3.0,
+        resilience: Any = None,
         **planner_opts: Any,
     ):
         """Submit a query and return a :class:`~repro.session.StreamingQuery`.
 
         Accepts SQL text (planned against the catalog) or a pre-built
         :class:`QueryPlan`.  The stream delivers tuples incrementally via
-        callbacks or iteration and supports ``cancel()``.
+        callbacks or iteration, supports ``cancel()``, and exposes the live
+        ``coverage`` / ``down_nodes`` view while the query runs.
         """
         from repro.session import StreamingQuery
 
         plan = sql if isinstance(sql, QueryPlan) else self.plan_sql(sql, **planner_opts)
+        self._apply_resilience(plan, resilience)
         return StreamingQuery(self, plan, proxy=proxy, extra_time=extra_time)
 
     def explain(self, sql: str, **planner_opts: Any) -> str:
@@ -469,12 +542,60 @@ class PIERNetwork:
             cancelled = node.cancel(query_id) or cancelled
         return cancelled
 
-    # -- fault injection --------------------------------------------------------------------#
+    # -- fault injection / churn integration --------------------------------------------#
     def fail_node(self, address: int) -> None:
         self.environment.fail_node(address)
 
     def recover_node(self, address: int) -> None:
         self.environment.recover_node(address)
+
+    def _on_node_failure(self, address: int) -> None:
+        """Propagate a node failure to every live proxy's coverage view."""
+        for node in self.nodes:
+            if node.address != address and self.environment.is_alive(node.address):
+                node.proxy.note_failure(address)
+
+    def _on_node_recovery(self, address: int) -> None:
+        """Bring a recovered node back into running queries.
+
+        Order matters: first the node's own timers and orphaned opgraphs
+        are reset (its in-flight state died with it), then its overlay
+        rejoins (clearing the peers' suspicion), and only then do the
+        proxies learn about the recovery — their rejoin re-dissemination
+        lands on a node that is ready to install fresh opgraphs.
+        """
+        recovered = self.nodes[address]
+        recovered.executor.on_node_recovered()
+        recovered.overlay.rejoin()
+        for node in self.nodes:
+            if self.environment.is_alive(node.address):
+                node.proxy.note_recovery(address)
+
+    def attach_churn(self, churn: "ChurnProcess", protect_proxies: bool = True):
+        """Wire a :class:`~repro.runtime.churn.ChurnProcess` into this
+        deployment.
+
+        Failure/recovery propagation to the proxies is always on (it hooks
+        the simulation environment, so direct ``fail_node`` calls are seen
+        too); attaching additionally (a) shields the proxy nodes of
+        currently-running queries from being churned away (the paper's
+        experiments likewise never kill the client's proxy), and (b) turns
+        on ``default_resilience`` so queries submitted under churn get
+        failure-aware execution unless they opt out.  Returns ``churn`` for
+        chaining.
+        """
+        if churn.environment is not self.environment:
+            raise ValueError("churn process drives a different simulation environment")
+        if protect_proxies:
+            churn.register_protected_provider(self._active_proxy_addresses)
+        if self.default_resilience is None:
+            self.default_resilience = ResiliencePolicy.enabled()
+        return churn
+
+    def _active_proxy_addresses(self) -> List[int]:
+        return [
+            node.address for node in self.nodes if node.proxy.active_query_count() > 0
+        ]
 
     # -- telemetry ---------------------------------------------------------------------------#
     def network_stats(self):

@@ -88,6 +88,20 @@ class Router:
     def is_suspected_dead(self, identifier: int) -> bool:
         return identifier in self._suspected_dead
 
+    def live_members(self, members: Sequence[NodeContact]) -> List[NodeContact]:
+        """This node's membership view: ``members`` minus suspected-dead.
+
+        Failure-aware components (the query proxies' coverage tracking)
+        read liveness through this, rather than asking the simulator — the
+        router is the one place a real node learns who is reachable.
+        """
+        return [
+            member
+            for member in members
+            if member.identifier == self.identifier
+            or member.identifier not in self._suspected_dead
+        ]
+
     # -- routing ------------------------------------------------------------ #
     def is_responsible(self, target: int) -> bool:
         """Does this node own ``target`` given its current neighbor view?"""

@@ -52,6 +52,8 @@ class DHTStats:
     sends: int = 0
     renews: int = 0
     renew_failures: int = 0
+    pings: int = 0
+    ping_failures: int = 0
     messages_routed: int = 0
     messages_received: int = 0
     upcalls_delivered: int = 0
@@ -75,6 +77,30 @@ class _PendingRequest:
 class _RouteAttempt:
     message: Dict[str, Any]
     excluded: Set[int] = field(default_factory=set)
+
+
+class _LivenessProbe:
+    """Transport-ack adapter for :meth:`OverlayNode.probe_liveness`.
+
+    The simulator's UDP layer acknowledges delivery (UdpCC semantics), so a
+    direct ping tells the sender whether the peer is reachable without any
+    application-level reply message.
+    """
+
+    def __init__(self, node: "OverlayNode", identifier: int, callback: AckCallback) -> None:
+        self.node = node
+        self.identifier = identifier
+        self.callback = callback
+
+    def handle_udp_ack(self, _callback_data: Any, success: bool) -> None:
+        if success:
+            self.node.router.mark_alive(self.identifier)
+        else:
+            self.node.stats.ping_failures += 1
+            self.node.router.mark_dead(self.identifier)
+            if hasattr(self.node.router, "remove_contact"):
+                self.node.router.remove_contact(self.identifier)
+        self.callback(success)
 
 
 class OverlayNode:
@@ -106,6 +132,9 @@ class OverlayNode:
         self._new_data_handlers: Dict[str, List[NewDataCallback]] = {}
         self._upcall_handlers: Dict[str, List[UpcallHandler]] = {}
         self._joined = False
+        # Bumped on rejoin so a stabilization timer armed before a failure
+        # cannot double-drive the loop after recovery.
+        self._stabilization_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Membership                                                          #
@@ -136,11 +165,59 @@ class OverlayNode:
     def address(self) -> Any:
         return self.runtime.address
 
-    def _schedule_stabilization(self) -> None:
-        self.runtime.schedule_event(self.stabilization_interval, None, self._stabilize)
+    def rejoin(self) -> None:
+        """Re-announce membership after recovering from a complete failure.
 
-    def _stabilize(self, _data: Any) -> None:
-        if not self._joined:
+        The node's timer chains died with it (events that fired while it
+        was down were suppressed), so the stabilization loop is restarted,
+        the neighbor tables are rebuilt, and a lightweight ``hello`` is
+        sent to every known member — the message exchange by which a real
+        stabilization protocol would clear the peers' suspicion of this
+        node and re-admit it to their neighbor tables.
+        """
+        self.directory.register(self.contact)
+        self.router.refresh(self.directory.members())
+        self._joined = True
+        self._stabilization_epoch += 1
+        self._schedule_stabilization()
+        for member in self.directory.members():
+            if member.identifier == self.identifier:
+                continue
+            self._send_direct(
+                member.address,
+                {"kind": "hello", "origin": self.address, "identifier": self.identifier},
+            )
+
+    def probe_liveness(self, address: Any, callback: AckCallback) -> None:
+        """Ping a peer directly; ``callback(reachable)`` reports the result.
+
+        Failures mark the peer dead in the router (and successes clear the
+        suspicion), so probing keeps the membership view honest — this is
+        what the failure-aware query proxies use to track per-query
+        participant liveness.
+        """
+        self.stats.pings += 1
+        if address == self.address:
+            callback(True)
+            return
+        contact = make_contact(address)
+        probe = _LivenessProbe(self, contact.identifier, callback)
+        self.runtime.send(
+            self.port,
+            (address, self.port),
+            {"kind": "ping", "origin": self.address},
+            callback_data=None,
+            callback_client=probe,
+        )
+
+    def _schedule_stabilization(self) -> None:
+        epoch = self._stabilization_epoch
+        self.runtime.schedule_event(
+            self.stabilization_interval, epoch, self._stabilize
+        )
+
+    def _stabilize(self, epoch: Any) -> None:
+        if not self._joined or epoch != self._stabilization_epoch:
             return
         self.router.refresh(self.directory.members())
         self.object_manager.sweep()
@@ -522,6 +599,15 @@ class OverlayNode:
             # Application-level point-to-point message (used by distribution
             # trees and hierarchical operators); treated like arriving data.
             self._notify_new_data(payload["namespace"], payload["key"], payload["value"])
+        elif kind == "ping":
+            # Receiving a ping proves the sender is alive; the transport ack
+            # answers for us.
+            self.router.mark_alive(make_contact(payload["origin"]).identifier)
+        elif kind == "hello":
+            # A recovered/new node announcing itself: clear any suspicion
+            # and fold it back into the neighbor tables.
+            self.router.mark_alive(payload["identifier"])
+            self.router.refresh(self.directory.members())
 
     def _handle_send(self, message: Dict[str, Any], arrived_over_network: bool) -> None:
         namespace = message["namespace"]

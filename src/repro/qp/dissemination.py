@@ -72,9 +72,23 @@ class QueryDisseminator:
         self.overlay.new_data(DISSEMINATION_NAMESPACE, self._on_targeted)
 
     # -- outbound ----------------------------------------------------------- #
-    def disseminate(self, plan: QueryPlan, graph: OpGraph, proxy_address: Any) -> None:
-        """Ship one opgraph according to its dissemination spec."""
+    def disseminate(
+        self,
+        plan: QueryPlan,
+        graph: OpGraph,
+        proxy_address: Any,
+        timeout_override: Optional[float] = None,
+    ) -> None:
+        """Ship one opgraph according to its dissemination spec.
+
+        ``timeout_override`` replaces the envelope's execution time — used
+        by rejoin re-dissemination, where the installed graph must tear
+        down when the (already running) query does, not a full timeout
+        from now.
+        """
         envelope = query_envelope(plan, graph, proxy_address)
+        if timeout_override is not None:
+            envelope["timeout"] = timeout_override
         strategy = graph.dissemination.strategy
         if strategy == "broadcast":
             self.graphs_broadcast += 1

@@ -96,6 +96,12 @@ class QueryExecutor:
             value = (metadata or {}).get(knob, self.exchange_defaults.get(knob))
             if value is not None:
                 extras[knob] = value
+        # The query's resilience policy rides in the dissemination envelope
+        # so churn-aware operators (aggregation-tree handoff) see the same
+        # settings on every executing node.
+        resilience = (metadata or {}).get("resilience")
+        if resilience is not None:
+            extras["resilience"] = dict(resilience)
         context = ExecutionContext(
             overlay=self.overlay,
             query_id=query_id,
@@ -186,6 +192,27 @@ class QueryExecutor:
                 self.finish(installed, flush=False)
                 cancelled += 1
         return cancelled
+
+    def on_node_recovered(self) -> int:
+        """Drop opgraphs orphaned by this node's failure so re-dissemination
+        can reinstall them.
+
+        While the node was down its timers were suppressed — any window,
+        hold, or flush callback that came due is gone, so a previously
+        installed opgraph can never make progress again.  Abort each
+        running graph without flushing (its buffered state is stale) and
+        forget the install key so a fresh envelope installs cleanly; the
+        abort also releases the query-scoped DHT state this node held, so a
+        rejoining node does not double-contribute pre-failure partials.
+        """
+        purged = 0
+        for install_key, installed in list(self._installed.items()):
+            if installed.finished:
+                continue
+            self.finish(installed, flush=False)
+            del self._installed[install_key]
+            purged += 1
+        return purged
 
     def _release_query_state(self, installed: InstalledGraph) -> None:
         prefix = f"{installed.query_id}:"

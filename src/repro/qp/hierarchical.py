@@ -39,9 +39,35 @@ class HierarchicalAggregate(_BaseGroupBy):
     downstream (typically into a ``result_handler``) when the query is
     flushed.
 
+    Root handoff (churn resilience).  With a ``root_monitor_interval``
+    (armed by the query's resilience policy), every node periodically
+    re-resolves the root owner through a DHT lookup — the same routing that
+    discovers dead hops — and the operator switches to *origin-accounted*
+    shipping so the aggregate stays exact while ownership moves:
+
+    * Each shipment is a batch tagged ``(origin, incarnation, seq)``.
+      Intermediate hops still coalesce traffic (several batches ride one
+      message up the tree) but do not merge states across origins, so the
+      root can deduplicate per origin: replayed batches are dropped by
+      sequence number, and a *newer incarnation* (the node's opgraph was
+      re-installed after a failure/rejoin) replaces the origin's earlier
+      contribution wholesale instead of double-counting it.
+    * On an observed ownership change, every node re-ships its cumulative
+      local contribution as a ``cumulative`` batch (replace-on-receipt),
+      and a root that loses ownership relays its per-origin folds as
+      synthetic cumulative batches — so an aggregate completes with
+      correct merges across a root failure or rejoin.
+
+    Without the monitor the operator keeps the paper-pure behaviour:
+    intermediate hops merge partial states across origins (constant state
+    per group at every step) and the captured root emits.
+
     Params: ``aggregates``, ``group_columns``, ``output_table``,
     ``local_wait`` (default 2.0 s), ``hold`` (default 1.0 s), ``window``
-    (optional, re-ship local partials periodically for continuous queries).
+    (optional, re-ship local partials periodically for continuous
+    queries), ``root_monitor_interval`` (seconds; default comes from the
+    resilience policy in the dissemination envelope, 0 disables the
+    monitor).
     """
 
     op_type = "hierarchical_aggregate"
@@ -56,22 +82,47 @@ class HierarchicalAggregate(_BaseGroupBy):
         # this node; building them per merged partial was hot-path waste and
         # broke aggregates whose build() carries state.
         self._merge_functions = [spec.build() for spec in self.aggregate_specs]
-        # Partial states intercepted from (or terminating at) other nodes.
+        # Root ownership is captured once at start (and updated only by the
+        # ownership monitor, when enabled): evaluating is_responsible() per
+        # enqueue let partials split across two "roots" when ownership moved
+        # mid-query, and some groups were never emitted.
+        self._is_root_owner = False
+        # Cumulative local contribution (everything this node's scan fed
+        # in), kept mergeable so the node can re-ship it wholesale when the
+        # aggregation-tree root changes.
+        self._local_cum: Dict[PyTuple[Any, ...], List[Any]] = {}
+        # Legacy (paper-pure) combining state: partial states intercepted
+        # from (or terminating at) other nodes.
         self._held: Dict[PyTuple[Any, ...], List[Any]] = {}
         self._hold_scheduled = False
         self._root_states: Dict[PyTuple[Any, ...], List[Any]] = {}
-        # Root ownership is captured once at start: evaluating
-        # is_responsible() per enqueue let partials split across two
-        # "roots" when ownership moved mid-query, and some groups were
-        # never emitted.
-        self._is_root_owner = False
+        # Resilient (origin-accounted) state.
+        resilience = context.extras.get("resilience") or {}
+        default_monitor = (
+            float(resilience.get("root_monitor_interval", 1.0))
+            if resilience.get("handoff")
+            else 0.0
+        )
+        self.monitor_interval = float(self.param("root_monitor_interval", default_monitor))
+        self._root_owner_address: Any = None
+        self._origin_id = str(context.overlay.identifier)
+        self._incarnation = random_suffix()
+        self._incarnation_ts = 0.0
+        self._delta_seq = 0
+        self._held_batches: Dict[PyTuple[Any, ...], Dict[str, Any]] = {}
+        self._forwarded: Set[PyTuple[Any, ...]] = set()
+        self._reforwards: Dict[PyTuple[Any, ...], int] = {}
+        self._origin_folds: Dict[str, Dict[str, Any]] = {}
         self.partials_sent = 0
         self.partials_intercepted = 0
+        self.cumulatives_sent = 0
+        self.ownership_changes = 0
 
     # -- lifecycle --------------------------------------------------------- #
     def start(self) -> None:
         super().start()
         self._is_root_owner = self._is_root()
+        self._incarnation_ts = self.context.now
         self.context.overlay.upcall(self.namespace, self._on_upcall)
         self.context.overlay.new_data(self.namespace, self._on_root_arrival)
         # Catch up on partial aggregates that reached this node before the
@@ -80,23 +131,49 @@ class HierarchicalAggregate(_BaseGroupBy):
             self.namespace, lambda _ns, _key, value: self._on_root_arrival(_ns, _key, value)
         )
         self.context.schedule(self.local_wait, self._ship_local)
+        if self._monitoring:
+            self.context.overlay.lookup(self.root_identifier, self._on_owner_resolved)
+            self.context.schedule(self.monitor_interval, self._monitor_root)
+
+    @property
+    def _monitoring(self) -> bool:
+        return self.monitor_interval > 0
 
     # -- local contribution -------------------------------------------------- #
+    def _drain_groups(self) -> Dict[PyTuple[Any, ...], List[Any]]:
+        """Move accumulated group states out of ``_groups`` and fold them
+        into the cumulative local contribution."""
+        groups, self._groups = self._groups, {}
+        drained = {key: list(state.states) for key, state in groups.items()}
+        for key, states in drained.items():
+            self._merge_into(self._local_cum, key, states)
+        return drained
+
     def _ship_local(self, _data: object) -> None:
         if self._stopped:
             return
-        groups, self._groups = self._groups, {}
-        for key, state in groups.items():
-            self._enqueue_partial(key, state.states)
+        drained = self._drain_groups()
+        # The root's own contribution stays in _local_cum and is merged at
+        # flush, so a later handoff cannot double-count it.
+        if drained and not self._is_root_owner:
+            if self._monitoring:
+                self._pack_batch(self._make_batch(drained, cumulative=False))
+            else:
+                for key, states in drained.items():
+                    self._enqueue_partial(key, states)
         if self.window:
             self.context.schedule(self.window, self._ship_local)
 
     def _enqueue_partial(self, key: PyTuple[Any, ...], states: List[Any]) -> None:
-        """Fold a partial state into the held buffer and arm the hold timer."""
+        """Legacy combining: fold a partial state into the held buffer (or
+        the root's merged state) and arm the hold timer."""
         if self._is_root_owner:
             self._merge_into(self._root_states, key, states)
             return
         self._merge_into(self._held, key, states)
+        self._arm_hold_timer()
+
+    def _arm_hold_timer(self) -> None:
         if not self._hold_scheduled:
             self._hold_scheduled = True
             self.context.schedule(self.hold, self._forward_held)
@@ -116,40 +193,245 @@ class HierarchicalAggregate(_BaseGroupBy):
             for function, left, right in zip(self._merge_functions, existing, states)
         ]
 
+    # -- origin-accounted batches (resilient mode) ----------------------------- #
+    def _make_batch(
+        self, partials: Dict[PyTuple[Any, ...], List[Any]], cumulative: bool
+    ) -> Dict[str, Any]:
+        self._delta_seq += 1
+        return {
+            "origin": self._origin_id,
+            "inc": self._incarnation,
+            "inc_ts": self._incarnation_ts,
+            "seq": self._delta_seq,
+            "cumulative": cumulative,
+            "partials": [
+                {"key": list(key), "states": states} for key, states in partials.items()
+            ],
+        }
+
+    @staticmethod
+    def _batch_key(batch: Dict[str, Any]) -> PyTuple[Any, ...]:
+        return (batch.get("origin"), batch.get("inc"), batch.get("seq"))
+
+    # A batch stored at a stale non-owner is re-forwarded toward the root,
+    # but only this many times: routing views converge quickly (marking the
+    # dead hop triggers a refresh), and the cap keeps two nodes with
+    # mutually stale views from ping-ponging a batch forever.
+    MAX_REFORWARDS = 3
+
+    def _pack_batch(self, batch: Dict[str, Any], reforward: bool = False) -> None:
+        """Coalesce a batch into the next uphill message (forwarded once;
+        ``reforward`` retries a stale-delivered batch up to the cap)."""
+        key = self._batch_key(batch)
+        if key in self._held_batches:
+            return
+        if reforward:
+            attempts = self._reforwards.get(key, 0)
+            if attempts >= self.MAX_REFORWARDS:
+                return
+            self._reforwards[key] = attempts + 1
+        elif key in self._forwarded:
+            return
+        self._held_batches[key] = batch
+        self._arm_hold_timer()
+
+    def _send_cumulative(self) -> None:
+        """Re-ship this node's full cumulative contribution toward the root.
+
+        ``cumulative`` batches replace the origin's fold at the root, so
+        re-delivery — and anything the new root missed — is idempotent.
+        """
+        if self._stopped or not self._local_cum:
+            return
+        self.cumulatives_sent += 1
+        self._pack_batch(self._make_batch(self._local_cum, cumulative=True))
+
+    def _forward_held(self, _data: object) -> None:
+        self._hold_scheduled = False
+        if self._stopped:
+            return
+        if self._held:
+            held, self._held = self._held, {}
+            self.partials_sent += 1
+            self.context.overlay.send(
+                self.namespace,
+                key="root",
+                suffix=random_suffix(),
+                value={
+                    "partials": [
+                        {"key": list(key), "states": states} for key, states in held.items()
+                    ]
+                },
+                lifetime=self.context.lifetime,
+                target=self.root_identifier,
+            )
+        if self._held_batches:
+            batches, self._held_batches = self._held_batches, {}
+            self._forwarded.update(batches.keys())
+            self.partials_sent += 1
+            self.context.overlay.send(
+                self.namespace,
+                key="root",
+                suffix=random_suffix(),
+                value={"batches": list(batches.values())},
+                lifetime=self.context.lifetime,
+                target=self.root_identifier,
+            )
+
+    # -- per-origin folds (the root's dedup ledger) ----------------------------- #
+    def _fold_batch(self, batch: Dict[str, Any]) -> None:
+        """Fold one origin batch into the per-origin ledger, exactly once.
+
+        Replays are dropped by ``seq``; a newer incarnation (the origin's
+        opgraph was re-installed) resets the origin's entry so a rejoining
+        node's full re-scan replaces — never adds to — what it contributed
+        before failing; a ``cumulative`` batch supersedes every delta with
+        ``seq`` at or below its own.
+        """
+        origin = batch.get("origin")
+        if origin is None:
+            return
+        entry = self._origin_folds.get(origin)
+        if entry is None or batch["inc_ts"] > entry["inc_ts"] or (
+            batch["inc_ts"] == entry["inc_ts"] and batch["inc"] > entry["inc"]
+        ):
+            entry = {
+                "inc": batch["inc"],
+                "inc_ts": batch["inc_ts"],
+                "base": None,
+                "base_seq": 0,
+                "deltas": {},
+            }
+            self._origin_folds[origin] = entry
+        elif batch["inc"] != entry["inc"]:
+            return  # stale incarnation: superseded by a re-install
+        seq = int(batch["seq"])
+        partials = {
+            tuple(item["key"]): list(item["states"]) for item in batch.get("partials", [])
+        }
+        if batch.get("cumulative"):
+            if seq <= entry["base_seq"]:
+                return
+            entry["base"] = partials
+            entry["base_seq"] = seq
+            entry["deltas"] = {
+                delta_seq: states
+                for delta_seq, states in entry["deltas"].items()
+                if delta_seq > seq
+            }
+            return
+        if seq <= entry["base_seq"] or seq in entry["deltas"]:
+            return
+        entry["deltas"][seq] = partials
+
+    def _fold_states(self, entry: Dict[str, Any]) -> Dict[PyTuple[Any, ...], List[Any]]:
+        merged: Dict[PyTuple[Any, ...], List[Any]] = {}
+        if entry["base"]:
+            for key, states in entry["base"].items():
+                self._merge_into(merged, key, states)
+        for _seq, partials in sorted(entry["deltas"].items()):
+            for key, states in partials.items():
+                self._merge_into(merged, key, states)
+        return merged
+
+    def _relay_folds(self) -> None:
+        """Hand the per-origin ledger to the new root as synthetic
+        cumulative batches (covers origins that can no longer re-ship)."""
+        for origin, entry in self._origin_folds.items():
+            if origin == self._origin_id:
+                continue
+            states = self._fold_states(entry)
+            if not states:
+                continue
+            seq = max([entry["base_seq"], *entry["deltas"].keys()])
+            self._pack_batch(
+                {
+                    "origin": origin,
+                    "inc": entry["inc"],
+                    "inc_ts": entry["inc_ts"],
+                    "seq": seq,
+                    "cumulative": True,
+                    "partials": [
+                        {"key": list(key), "states": s} for key, s in states.items()
+                    ],
+                },
+                reforward=True,
+            )
+
     # -- upcall (intermediate hop) ------------------------------------------- #
     def _on_upcall(self, _namespace: str, _key: object, value: object) -> bool:
-        if not isinstance(value, dict) or "partials" not in value:
+        if not isinstance(value, dict):
+            return True
+        if "batches" in value:
+            if not self._is_root_owner:
+                # Origin-accounted batches stay in the routing layer's
+                # custody end to end: it reroutes around dead hops with
+                # delivery acks, while an intermediate that absorbed the
+                # batch could drop a re-delivered copy during convergence.
+                return True
+            self.partials_intercepted += 1
+            for batch in value["batches"]:
+                self._fold_batch(batch)
+            return False  # terminated at the root: folded, not stored
+        if "partials" not in value:
             return True
         self.partials_intercepted += 1
         for entry in value["partials"]:
             self._enqueue_partial(tuple(entry["key"]), entry["states"])
         return False  # hold; a combined partial will be forwarded later
 
-    def _forward_held(self, _data: object) -> None:
-        self._hold_scheduled = False
-        if self._stopped or not self._held:
+    # -- ownership monitor ------------------------------------------------------ #
+    def _monitor_root(self, _data: object) -> None:
+        if self._stopped:
             return
-        held, self._held = self._held, {}
-        self.partials_sent += 1
-        self.context.overlay.send(
-            self.namespace,
-            key="root",
-            suffix=random_suffix(),
-            value={
-                "partials": [
-                    {"key": list(key), "states": states} for key, states in held.items()
-                ]
-            },
-            lifetime=self.context.lifetime,
-            target=self.root_identifier,
-        )
+        self.context.overlay.lookup(self.root_identifier, self._on_owner_resolved)
+        self.context.schedule(self.monitor_interval, self._monitor_root)
+
+    def _on_owner_resolved(self, owner: Any, _hops: int) -> None:
+        if self._stopped or owner is None:
+            return
+        address = owner.address
+        previous = self._root_owner_address
+        if previous is None:
+            # First resolution: the lookup is authoritative over the local
+            # is_responsible() guess (a settled network agrees anyway).
+            self._root_owner_address = address
+            self._is_root_owner = address == self.context.overlay.address
+            return
+        if address == previous:
+            return
+        self._root_owner_address = address
+        self._on_ownership_change(address)
+
+    def _on_ownership_change(self, new_owner_address: Any) -> None:
+        self.ownership_changes += 1
+        was_root = self._is_root_owner
+        self._is_root_owner = new_owner_address == self.context.overlay.address
+        if was_root and not self._is_root_owner:
+            # Rejoin handoff: relay what this node merged as root; origins
+            # also re-ship their own cumulative state, and the per-origin
+            # dedup at the new root makes the overlap harmless.
+            self._relay_folds()
+        if not self._is_root_owner:
+            self._send_cumulative()
 
     # -- root ------------------------------------------------------------------ #
     def _is_root(self) -> bool:
         return self.context.overlay.router.is_responsible(self.root_identifier)
 
     def _on_root_arrival(self, _namespace: str, _key: object, value: object) -> None:
-        if not isinstance(value, dict) or "partials" not in value:
+        if not isinstance(value, dict):
+            return
+        if "batches" in value:
+            for batch in value["batches"]:
+                self._fold_batch(batch)
+                if not self._is_root_owner:
+                    # Stored here by stale routing: keep a folded copy (in
+                    # case ownership lands on this node) and re-forward a
+                    # bounded number of times toward the believed root.
+                    self._pack_batch(batch, reforward=True)
+            return
+        if "partials" not in value:
             return
         for entry in value["partials"]:
             self._merge_into(self._root_states, tuple(entry["key"]), entry["states"])
@@ -157,17 +439,37 @@ class HierarchicalAggregate(_BaseGroupBy):
     def flush(self) -> None:
         # Any local groups not yet shipped travel now (e.g. snapshot query
         # whose timeout fires before the next window).
-        groups, self._groups = self._groups, {}
-        for key, state in groups.items():
-            self._enqueue_partial(key, state.states)
-        if self._held:
+        drained = self._drain_groups()
+        if drained and not self._is_root_owner:
+            if self._monitoring:
+                self._pack_batch(self._make_batch(drained, cumulative=False))
+            else:
+                for key, states in drained.items():
+                    self._enqueue_partial(key, states)
+        if self._held or self._held_batches:
             self._forward_held(None)
-        # The captured owner emits; a node that *became* responsible after
-        # the captured root failed (routing re-delivered partials here) also
-        # emits what it accumulated, so those groups are not silently lost.
-        if not (self._is_root_owner or self._is_root()):
+        # The captured/monitored owner emits; with the monitor off, a node
+        # that *became* responsible after the captured root failed (routing
+        # re-delivered partials here) also emits what it accumulated, so
+        # those groups are not silently lost.
+        salvage_root = not self._monitoring and not self._is_root_owner and self._is_root()
+        if not (self._is_root_owner or salvage_root):
             return
+        final: Dict[PyTuple[Any, ...], List[Any]] = {}
         for key, states in self._root_states.items():
+            self._merge_into(final, key, states)
+        for origin, entry in self._origin_folds.items():
+            if origin == self._origin_id:
+                continue  # own contribution is merged from _local_cum below
+            for key, states in self._fold_states(entry).items():
+                self._merge_into(final, key, states)
+        if self._is_root_owner:
+            # A salvage root already shipped its local data down the delta
+            # path (it self-delivered into _root_states); only the true
+            # owner contributes _local_cum directly.
+            for key, states in self._local_cum.items():
+                self._merge_into(final, key, states)
+        for key, states in final.items():
             payload = {
                 spec.output: function.result(state)
                 for spec, function, state in zip(

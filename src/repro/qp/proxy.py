@@ -5,18 +5,36 @@ A client opens a (TCP) connection to any PIER node, which becomes its
 answer tuples produced anywhere in the network, and forwards them to the
 client.  Queries terminate by timeout; the proxy then reports the collected
 result set to the client's completion callback.
+
+Failure awareness (the paper's relaxed, dilated-reachable-snapshot
+semantics made visible): at submission the proxy captures the query's
+*participants* — the overlay membership as its router sees it — and tracks
+their liveness for the life of the query, passively through deployment
+failure notifications and, when the query's :class:`ResiliencePolicy` asks
+for it, actively by pinging participants every ``liveness_interval``
+seconds.  Instead of silently returning partial answers, the handle
+reports ``coverage``: the fraction of the captured participants still
+believed live (and therefore contributing) when the query finished.  When
+a participant recovers mid-query and the policy enables
+``redisseminate``, the proxy re-installs the query's still-running
+opgraphs there so its local data rejoins continuous/windowed queries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.overlay.wrapper import OverlayNode
-from repro.qp.dissemination import QueryDisseminator
+from repro.qp.dissemination import (
+    DISSEMINATION_NAMESPACE,
+    QueryDisseminator,
+    query_envelope,
+)
 from repro.qp.executor import QueryExecutor
 from repro.qp.opgraph import OpGraph, QueryPlan
 from repro.qp.operators.exchange import RESULT_NAMESPACE
+from repro.qp.resilience import ResiliencePolicy
 from repro.qp.tuples import MalformedTupleError, Tuple
 
 ResultCallback = Callable[[Tuple], None]
@@ -36,6 +54,16 @@ class QueryHandle:
     cancelled: bool = False
     first_result_at: Optional[float] = None
     finished_at: Optional[float] = None
+    # Failure-aware execution state.  ``down_nodes`` is the current belief;
+    # ``confirmed_down`` the subset whose failure was reported by the
+    # deployment's failure-detection layer (such a node really died, so its
+    # opgraphs were purged and only re-dissemination brings its data back).
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    participants: Set[Any] = field(default_factory=set)
+    down_nodes: Set[Any] = field(default_factory=set)
+    confirmed_down: Set[Any] = field(default_factory=set)
+    ever_down: Set[Any] = field(default_factory=set)
+    redisseminations: int = 0
 
     @property
     def query_id(self) -> str:
@@ -46,6 +74,20 @@ class QueryHandle:
         if self.first_result_at is None:
             return None
         return self.first_result_at - self.submitted_at
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the at-submit participants still believed live.
+
+        ``1.0`` means every publisher the proxy knew about could have
+        contributed; anything lower quantifies how dilated the answer's
+        reachable snapshot is.  A participant that failed and rejoined
+        (its data re-disseminated back in) counts as covered again.
+        """
+        if not self.participants:
+            return 1.0
+        down = len(self.down_nodes & self.participants)
+        return (len(self.participants) - down) / len(self.participants)
 
 
 class ProxyService:
@@ -83,7 +125,17 @@ class ProxyService:
             submitted_at=self.overlay.runtime.get_current_time(),
             result_callback=result_callback,
             done_callback=done_callback,
+            resilience=ResiliencePolicy.from_metadata(plan.metadata),
         )
+        # Capture the query's participants from the router's membership
+        # view; peers this node already suspects dead start out uncovered.
+        members = self.overlay.directory.members()
+        live = {member.identifier for member in self.overlay.router.live_members(members)}
+        for member in members:
+            handle.participants.add(member.address)
+            if member.identifier not in live:
+                handle.down_nodes.add(member.address)
+                handle.ever_down.add(member.address)
         self._queries[plan.query_id] = handle
         for graph in plan.opgraphs:
             self.disseminator.disseminate(plan, graph, proxy_address=self.overlay.address)
@@ -92,7 +144,116 @@ class ProxyService:
         self.overlay.runtime.schedule_event(
             plan.timeout + 1.0, plan.query_id, self._on_query_timeout
         )
+        if handle.resilience.liveness_interval > 0:
+            self.overlay.runtime.schedule_event(
+                handle.resilience.liveness_interval, plan.query_id, self._liveness_sweep
+            )
         return handle
+
+    # -- failure awareness --------------------------------------------------- #
+    def _liveness_sweep(self, query_id: str) -> None:
+        """Actively probe every participant of a running query."""
+        handle = self._queries.get(query_id)
+        if handle is None or handle.finished:
+            return
+        for address in handle.participants:
+            if address == self.overlay.address:
+                continue
+            self.overlay.probe_liveness(
+                address,
+                lambda alive, addr=address, qid=query_id: self._on_probe(qid, addr, alive),
+            )
+        self.overlay.runtime.schedule_event(
+            handle.resilience.liveness_interval, query_id, self._liveness_sweep
+        )
+
+    def _on_probe(self, query_id: str, address: Any, alive: bool) -> None:
+        handle = self._queries.get(query_id)
+        if handle is None or handle.finished:
+            return
+        if alive:
+            self._mark_recovered(handle, address)
+        else:
+            handle.down_nodes.add(address)
+            handle.ever_down.add(address)
+
+    def note_failure(self, address: Any) -> None:
+        """Deployment-level failure notification (the failure-detection
+        layer's knowledge reaching this proxy)."""
+        for handle in self._queries.values():
+            if handle.finished or address not in handle.participants:
+                continue
+            handle.down_nodes.add(address)
+            handle.confirmed_down.add(address)
+            handle.ever_down.add(address)
+
+    def note_recovery(self, address: Any) -> None:
+        """Deployment-level recovery notification; triggers rejoin
+        re-dissemination for queries whose policy asks for it."""
+        for handle in self._queries.values():
+            if handle.finished or address not in handle.participants:
+                continue
+            self._mark_recovered(handle, address)
+
+    def _mark_recovered(self, handle: QueryHandle, address: Any) -> None:
+        """A down participant looks alive again.
+
+        A *confirmed* failure purged the node's opgraphs, so it only counts
+        as covered again once re-dissemination actually re-installed the
+        query there; a merely suspected peer (failed ping, never reported
+        dead) kept its opgraphs and is covered as soon as it answers.
+        """
+        if address not in handle.down_nodes:
+            return
+        if address not in handle.confirmed_down:
+            # Merely suspected (e.g. a lost probe): its opgraphs were never
+            # purged, so it is covered as soon as it answers again.
+            handle.down_nodes.discard(address)
+            return
+        if handle.resilience.redisseminate and self._redisseminate(handle, address):
+            handle.down_nodes.discard(address)
+            handle.confirmed_down.discard(address)
+
+    def _redisseminate(self, handle: QueryHandle, address: Any) -> bool:
+        """Re-install a running query's opgraphs on a recovered node.
+
+        Broadcast opgraphs are shipped straight to the rejoining node (the
+        rest of the network already has them — the executor's duplicate
+        guard would drop a full re-broadcast anyway); targeted opgraphs are
+        re-disseminated through the normal routing path, since ownership
+        of their keys may have moved to the recovered node.  Either way the
+        envelope carries the query's *remaining* time so the re-installed
+        graph tears down with the query, not ``timeout`` seconds from now.
+        Returns whether anything was (re)shipped.
+        """
+        now = self.overlay.runtime.get_current_time()
+        remaining = (handle.submitted_at + handle.plan.timeout) - now
+        if remaining <= 0:
+            return False
+        handle.redisseminations += 1
+        for graph in handle.plan.opgraphs:
+            if graph.dissemination.strategy == "broadcast":
+                envelope = query_envelope(
+                    handle.plan, graph, proxy_address=self.overlay.address
+                )
+                envelope["timeout"] = remaining
+                self.overlay.direct_message(
+                    address,
+                    namespace=DISSEMINATION_NAMESPACE,
+                    key=f"rejoin:{handle.query_id}",
+                    value=envelope,
+                )
+            else:
+                self.disseminator.disseminate(
+                    handle.plan,
+                    graph,
+                    proxy_address=self.overlay.address,
+                    timeout_override=remaining,
+                )
+        return True
+
+    def active_query_count(self) -> int:
+        return sum(1 for handle in self._queries.values() if not handle.finished)
 
     def query(self, query_id: str) -> Optional[QueryHandle]:
         return self._queries.get(query_id)

@@ -1,0 +1,106 @@
+"""Per-query resilience policy: how a query behaves under churn.
+
+The paper's central claim is that an Internet-scale query processor must
+keep answering while nodes constantly arrive and depart, relying on DHT
+soft-state and relaxed (dilated-reachable-snapshot) semantics rather than
+transactional guarantees.  :class:`ResiliencePolicy` bundles the knobs that
+turn those semantics on for one query:
+
+* ``liveness_interval`` — the proxy actively probes the query's
+  participants this often (virtual seconds) and folds failures into the
+  result's *coverage* metric; ``0`` disables active probing (passive
+  membership notifications still feed coverage).
+* ``redisseminate`` — when a participant recovers (or newly arrives)
+  mid-query, the proxy re-installs the query's still-running opgraphs
+  there so its local data rejoins continuous/windowed queries.
+* ``handoff`` — hierarchical aggregates monitor aggregation-tree root
+  ownership and hand root state over when ownership moves (node failure
+  or rejoin), so an aggregate completes with correct merges across a
+  root failure.
+* ``root_monitor_interval`` — how often (virtual seconds) each node
+  re-resolves the aggregation-tree root owner when ``handoff`` is on.
+
+The policy travels in ``plan.metadata["resilience"]`` so every executing
+node — not just the proxy that compiled the plan — sees the same settings
+(the same envelope mechanism the exchange batching knobs use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+RESILIENCE_METADATA_KEY = "resilience"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Churn-resilience settings for one query (all off by default)."""
+
+    liveness_interval: float = 0.0
+    redisseminate: bool = False
+    handoff: bool = False
+    root_monitor_interval: float = 1.0
+
+    @classmethod
+    def enabled(
+        cls,
+        liveness_interval: float = 1.0,
+        root_monitor_interval: float = 1.0,
+    ) -> "ResiliencePolicy":
+        """The everything-on policy used when a deployment runs under churn."""
+        return cls(
+            liveness_interval=liveness_interval,
+            redisseminate=True,
+            handoff=True,
+            root_monitor_interval=root_monitor_interval,
+        )
+
+    @property
+    def active(self) -> bool:
+        return self.liveness_interval > 0 or self.redisseminate or self.handoff
+
+    def to_metadata(self) -> Dict[str, Any]:
+        return {
+            "liveness_interval": self.liveness_interval,
+            "redisseminate": self.redisseminate,
+            "handoff": self.handoff,
+            "root_monitor_interval": self.root_monitor_interval,
+        }
+
+    @classmethod
+    def from_metadata(cls, metadata: Optional[Mapping[str, Any]]) -> "ResiliencePolicy":
+        payload = (metadata or {}).get(RESILIENCE_METADATA_KEY)
+        if not isinstance(payload, Mapping):
+            return cls()
+        return cls(
+            liveness_interval=float(payload.get("liveness_interval", 0.0)),
+            redisseminate=bool(payload.get("redisseminate", False)),
+            handoff=bool(payload.get("handoff", False)),
+            root_monitor_interval=float(payload.get("root_monitor_interval", 1.0)),
+        )
+
+
+def resolve_resilience(
+    value: Union[None, bool, Mapping[str, Any], ResiliencePolicy],
+    default: Optional[ResiliencePolicy] = None,
+) -> Optional[ResiliencePolicy]:
+    """Normalise the user-facing ``resilience=`` argument.
+
+    ``None`` falls back to the deployment default, ``True``/``False`` pick
+    the fully-enabled/disabled policies, and a mapping overrides individual
+    fields of :class:`ResiliencePolicy`.
+    """
+    if value is None:
+        return default
+    if isinstance(value, ResiliencePolicy):
+        return value
+    if value is True:
+        return ResiliencePolicy.enabled()
+    if value is False:
+        return ResiliencePolicy()
+    if isinstance(value, Mapping):
+        return ResiliencePolicy(**dict(value))
+    raise TypeError(
+        f"resilience must be a ResiliencePolicy, bool, or mapping, not {type(value)!r}"
+    )

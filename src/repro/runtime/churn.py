@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Set
 
 from repro.runtime.simulation import SimulationEnvironment
 
@@ -31,7 +31,11 @@ class ChurnProcess:
 
     ``session_time`` controls how long a failed node stays down before it
     becomes eligible for recovery.  The process never fails nodes listed in
-    ``protected`` (e.g. the proxy node of a running query).
+    ``protected`` (e.g. the proxy node of a running query).  Components
+    whose protection needs change over time — a deployment shielding the
+    proxies of whatever queries are running *right now* — register a
+    provider with :meth:`register_protected_provider`; providers are
+    re-evaluated at every failure decision.
     """
 
     def __init__(
@@ -56,12 +60,27 @@ class ChurnProcess:
         self._running = False
         self._on_fail: List[Callable[[int], None]] = []
         self._on_recover: List[Callable[[int], None]] = []
+        self._protected_providers: List[Callable[[], Iterable[int]]] = []
 
     def on_fail(self, callback: Callable[[int], None]) -> None:
         self._on_fail.append(callback)
 
     def on_recover(self, callback: Callable[[int], None]) -> None:
         self._on_recover.append(callback)
+
+    def register_protected_provider(self, provider: Callable[[], Iterable[int]]) -> None:
+        """Add a callable yielding addresses that must not be failed *now*.
+
+        Unlike the static ``protected`` list, providers are consulted at
+        each failure decision, so protection can track running queries.
+        """
+        self._protected_providers.append(provider)
+
+    def _protected_now(self) -> Set[int]:
+        protected = set(self.protected)
+        for provider in self._protected_providers:
+            protected.update(provider())
+        return protected
 
     def start(self) -> None:
         if self._running:
@@ -82,10 +101,11 @@ class ChurnProcess:
         self.environment.scheduler.schedule_callback(self.interval, self._tick, None)
 
     def _fail_one(self) -> None:
+        protected = self._protected_now()
         candidates = [
             address
             for address in range(self.environment.node_count)
-            if self.environment.is_alive(address) and address not in self.protected
+            if self.environment.is_alive(address) and address not in protected
         ]
         if not candidates:
             return

@@ -201,6 +201,12 @@ class SimulationEnvironment:
         }
         self._tcp_pipes: List[_TCPPipe] = []
         self._next_tcp_id = 0
+        # Deployment-level observers of complete node failures/recoveries
+        # (e.g. PIERNetwork's failure-aware proxies).  They model the
+        # knowledge a failure-detection/stabilization layer spreads, the
+        # same stance BootstrapDirectory takes for membership.
+        self._failure_listeners: List[Callable[[int], None]] = []
+        self._recovery_listeners: List[Callable[[int], None]] = []
 
     # -- node access ------------------------------------------------------#
     def runtime(self, address: int) -> SimulatedNodeRuntime:
@@ -224,13 +230,31 @@ class SimulationEnvironment:
         self.node_count += 1
         return runtime
 
+    def on_failure(self, callback: Callable[[int], None]) -> None:
+        """Observe node failures (called with the failed address)."""
+        self._failure_listeners.append(callback)
+
+    def on_recovery(self, callback: Callable[[int], None]) -> None:
+        """Observe node recoveries (called with the recovered address)."""
+        self._recovery_listeners.append(callback)
+
     def fail_node(self, address: int) -> None:
         """Simulate a complete node failure: the node stops receiving
         events and its timers are suppressed."""
-        self._runtimes[address].alive = False
+        runtime = self._runtimes[address]
+        if not runtime.alive:
+            return
+        runtime.alive = False
+        for listener in list(self._failure_listeners):
+            listener(address)
 
     def recover_node(self, address: int) -> None:
-        self._runtimes[address].alive = True
+        runtime = self._runtimes[address]
+        if runtime.alive:
+            return
+        runtime.alive = True
+        for listener in list(self._recovery_listeners):
+            listener(address)
 
     def is_alive(self, address: int) -> bool:
         return self._runtimes[address].alive

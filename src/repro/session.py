@@ -117,6 +117,18 @@ class StreamingQuery:
         return self.handle.first_result_latency
 
     @property
+    def coverage(self) -> float:
+        """Fraction of the query's participants currently believed live —
+        the stream's live view of how partial the answer is (see
+        :class:`~repro.qp.proxy.QueryHandle.coverage`)."""
+        return self.handle.coverage
+
+    @property
+    def down_nodes(self) -> List:
+        """Participants currently believed down, sorted for stable output."""
+        return sorted(self.handle.down_nodes)
+
+    @property
     def _deadline(self) -> float:
         return self.handle.submitted_at + self.plan.timeout + self._extra_time
 

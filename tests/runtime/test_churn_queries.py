@@ -1,0 +1,239 @@
+"""Churn-resilient query execution: coverage, root handoff, rejoin.
+
+These are the end-to-end scenarios of the churn workload: a publisher dies
+mid-aggregation (coverage drops, the answer stays sane), the aggregation
+tree's root dies (handoff recovers exact totals), and a node recovers
+mid-continuous-query (re-dissemination brings its data back).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PIERNetwork
+from repro.overlay.identifiers import object_identifier
+from repro.qp.plans import flat_aggregation_plan, hierarchical_aggregation_plan
+from repro.qp.resilience import ResiliencePolicy
+from repro.qp.tuples import Tuple
+from repro.runtime.churn import ChurnProcess
+from repro.runtime.simulation import SimulationEnvironment
+
+
+def _root_owner(network: PIERNetwork, plan) -> int:
+    """The node currently responsible for the plan's aggregation-tree root."""
+    namespace = f"{plan.query_id}:__hierarchical_aggregate__"
+    root_identifier = object_identifier(namespace, "root")
+    owners = [
+        node.address
+        for node in network.nodes
+        if node.overlay.router.is_responsible(root_identifier)
+    ]
+    assert len(owners) == 1, f"settled network must have one root owner, got {owners}"
+    return owners[0]
+
+
+def _totals(results) -> dict:
+    return {row["src"]: row["n"] for row in (t.as_mapping() for t in results)}
+
+
+def test_publisher_failure_drops_coverage_but_query_completes():
+    network = PIERNetwork(16, seed=51)
+    plan = hierarchical_aggregation_plan(
+        "events", ["src"], [("count", None, "n")], timeout=12, local_wait=1.0, hold=0.5
+    )
+    owner = _root_owner(network, plan)
+    for address in range(16):
+        network.register_local_table(
+            address, "events", [Tuple.make("events", src="a"), Tuple.make("events", src="b")]
+        )
+    victim = next(a for a in range(16) if a not in (0, owner))
+    policy = ResiliencePolicy.enabled(liveness_interval=1.0, root_monitor_interval=0.5)
+    stream = network.stream(plan, proxy=0, resilience=policy)
+
+    network.run(0.5)
+    network.fail_node(victim)  # dies before its local_wait shipment
+    network.run(3.0)
+    # The stream's live view already reflects the failure.
+    assert victim in stream.down_nodes
+    assert stream.coverage == pytest.approx(15 / 16)
+
+    result = stream.result()
+    totals = _totals(result.tuples)
+    # The victim's two rows are gone; everyone else's data arrived.
+    assert totals == {"a": 15, "b": 15}
+    assert result.coverage == pytest.approx(15 / 16)
+    assert result.down_nodes == [victim]
+    assert result.completed
+
+
+def test_root_failure_hands_off_and_recovers_exact_totals():
+    network = PIERNetwork(20, seed=52)
+    plan = hierarchical_aggregation_plan(
+        "events", ["src"], [("count", None, "n")], timeout=16, local_wait=1.0, hold=0.5
+    )
+    owner = _root_owner(network, plan)
+    # Every surviving node contributes identically; the root owner holds no
+    # data, so the churn-free totals are exactly (N-1) per group.
+    for address in range(20):
+        rows = [] if address == owner else [
+            Tuple.make("events", src="a"), Tuple.make("events", src="b")
+        ]
+        network.register_local_table(address, "events", rows)
+    proxy = 0 if owner != 0 else 1
+    policy = ResiliencePolicy.enabled(liveness_interval=1.0, root_monitor_interval=0.5)
+    handle = network.submit(plan, proxy=proxy, resilience=policy)
+
+    # Let partials ship and merge at the root, then kill the root while it
+    # holds all merged state.
+    network.run(4.0)
+    network.fail_node(owner)
+    network.run(plan.timeout + 3.0)
+
+    assert handle.finished
+    totals = _totals(handle.results)
+    assert totals == {"a": 19, "b": 19}, "handoff must recover the full totals"
+    assert handle.coverage == pytest.approx(19 / 20)
+
+
+def test_churn_process_killing_the_root_still_yields_correct_totals():
+    """Regression for ChurnProcess.protected only shielding the proxy: the
+    aggregation-tree root owner can be failed while holding all merged
+    state; with handoff, totals still come out right."""
+    network = PIERNetwork(16, seed=54)
+    plan = hierarchical_aggregation_plan(
+        "events", ["src"], [("count", None, "n")], timeout=16, local_wait=1.0, hold=0.5
+    )
+    owner = _root_owner(network, plan)
+    for address in range(16):
+        rows = [] if address == owner else [
+            Tuple.make("events", src="a"), Tuple.make("events", src="b")
+        ]
+        network.register_local_table(address, "events", rows)
+    proxy = 0 if owner != 0 else 1
+    # The churn process may only fail the root owner: everyone else is
+    # statically protected, so the failure deterministically hits the one
+    # node the old code could not afford to lose.
+    churn = ChurnProcess(
+        network.environment,
+        interval=3.0,
+        session_time=1000.0,
+        protected=[a for a in range(16) if a != owner],
+        seed=1,
+        recover=False,
+    )
+    network.attach_churn(churn)  # turns on default resilience + proxy shield
+    churn.start()
+
+    handle = network.submit(plan, proxy=proxy)
+    network.run(plan.timeout + 4.0)
+    churn.stop()
+
+    assert [event.address for event in churn.history] == [owner]
+    assert handle.finished
+    assert _totals(handle.results) == {"a": 15, "b": 15}
+
+
+def test_recovered_node_rejoins_continuous_query_via_redissemination():
+    network = PIERNetwork(12, seed=53)
+    for address in range(12):
+        network.register_local_table(
+            address, "events", [Tuple.make("events", src=f"s{address % 3}")]
+        )
+    plan = flat_aggregation_plan("events", ["src"], [("count", None, "n")], timeout=24)
+    victim = 5
+    policy = ResiliencePolicy.enabled(liveness_interval=2.0)
+    handle = network.submit(plan, proxy=0, resilience=policy)
+
+    network.run(1.0)
+    network.fail_node(victim)  # before the first partial window ships
+    network.run(7.0)
+    assert victim in handle.down_nodes
+    installs_before = network.node(victim).executor.graphs_installed
+    network.recover_node(victim)  # purge + overlay rejoin + re-dissemination
+    network.run(plan.timeout)
+
+    assert handle.finished
+    assert handle.redisseminations >= 1
+    assert network.node(victim).executor.graphs_installed > installs_before
+    totals = _totals(handle.results)
+    # The victim's row is back: every node's data is counted exactly once.
+    assert sum(totals.values()) == 12
+    assert totals == {"s0": 4, "s1": 4, "s2": 4}
+    assert handle.coverage == 1.0, "a rejoined participant counts as covered"
+
+
+def test_churn_protected_provider_shields_dynamic_set():
+    environment = SimulationEnvironment(10)
+    churn = ChurnProcess(environment, interval=1.0, seed=7, recover=False)
+    shielded = {3, 4}
+    churn.register_protected_provider(lambda: shielded)
+    churn.start()
+    environment.run(30.0)
+    failed = {event.address for event in churn.history if event.action == "fail"}
+    assert not failed & shielded
+    assert failed == set(range(10)) - shielded  # everyone else eventually fails
+
+
+def test_attach_churn_rejects_foreign_environment():
+    network = PIERNetwork(4, seed=55)
+    other = SimulationEnvironment(4)
+    churn = ChurnProcess(other, interval=1.0)
+    with pytest.raises(ValueError):
+        network.attach_churn(churn)
+
+
+def test_sql_surface_reports_coverage_under_failure():
+    """The one-call SQL path carries the resilience knobs end to end."""
+    network = PIERNetwork(10, seed=56)
+    network.create_table("readings", partitioning=["sensor"])
+    network.publish(
+        "readings", [Tuple.make("readings", sensor=i, v=i) for i in range(30)]
+    )
+    network.run(2.0)
+    victim = 7
+    network.fail_node(victim)
+    result = network.query(
+        "SELECT sensor, COUNT(*) AS n FROM readings GROUP BY sensor TIMEOUT 8",
+        resilience={"liveness_interval": 1.0},
+        include_explain=False,
+    )
+    assert result.coverage == pytest.approx(9 / 10)
+    assert result.down_nodes == [victim]
+    assert len(result) > 0  # the rest of the DHT partitions still answer
+
+
+def test_stream_resilience_opt_out_overrides_deployment_default():
+    """Regression: stream(sql, resilience=False) used to be silently
+    re-resolved back to the deployment default inside submit()."""
+    network = PIERNetwork(6, seed=57)
+    churn = ChurnProcess(network.environment, interval=100.0)
+    network.attach_churn(churn)  # default_resilience now fully enabled
+    for address in range(6):
+        network.register_local_table(address, "events", [Tuple.make("events", src="a")])
+    plan = flat_aggregation_plan("events", ["src"], [("count", None, "n")], timeout=6)
+    stream = network.stream(plan, resilience=False)
+    assert not stream.handle.resilience.active
+    assert plan.metadata["resilience"]["handoff"] is False
+    stream.cancel()
+
+
+def test_confirmed_failure_without_redissemination_stays_uncovered():
+    """Regression: a recovered node whose opgraphs were purged but never
+    re-installed must not snap coverage back to 1.0."""
+    network = PIERNetwork(8, seed=58)
+    for address in range(8):
+        network.register_local_table(address, "events", [Tuple.make("events", src="a")])
+    plan = flat_aggregation_plan("events", ["src"], [("count", None, "n")], timeout=12)
+    handle = network.submit(
+        plan, proxy=0, resilience={"liveness_interval": 1.0, "redisseminate": False}
+    )
+    network.run(1.0)
+    network.fail_node(5)
+    network.run(3.0)
+    assert handle.coverage == pytest.approx(7 / 8)
+    network.recover_node(5)  # purges node 5's opgraphs; nothing re-installs them
+    network.run(plan.timeout)
+    assert handle.finished
+    assert handle.redisseminations == 0
+    assert 5 in handle.down_nodes, "no re-dissemination -> contribution still missing"
+    assert handle.coverage == pytest.approx(7 / 8)
