@@ -395,6 +395,17 @@ class PIERNetwork:
         self.nodes[address].register_local_table(name, rows)
         self.catalog.record_rows(name, (tup.as_mapping() for tup in rows))
 
+    def append_local_rows(self, address: int, name: str, rows: Iterable[Tuple]) -> int:
+        """Append rows to one node's local table *live*: running queries
+        that scan the table (including standing windowed queries) see them
+        immediately, the local-table analogue of publishing into the DHT
+        mid-query."""
+        self.catalog.ensure_table(name, source="local")
+        rows = list(rows)
+        self.nodes[address].append_local_rows(name, rows)
+        self.catalog.record_rows(name, (tup.as_mapping() for tup in rows))
+        return len(rows)
+
     def distribute_local_table(self, name: str, rows_by_node: Sequence[Iterable[Tuple]]) -> None:
         """Attach per-node rows for every node at once."""
         if len(rows_by_node) != len(self.nodes):
@@ -520,6 +531,60 @@ class PIERNetwork:
         plan = sql if isinstance(sql, QueryPlan) else self.plan_sql(sql, **planner_opts)
         self._apply_resilience(plan, resilience)
         return StreamingQuery(self, plan, proxy=proxy, extra_time=extra_time)
+
+    def subscribe(
+        self,
+        sql: Union[str, QueryPlan],
+        proxy: int = 0,
+        epoch_grace: Optional[float] = None,
+        resilience: Any = None,
+        **planner_opts: Any,
+    ):
+        """Submit a *continuous* (windowed) query and return a
+        :class:`~repro.cq.continuous.ContinuousQuery` handle.
+
+        The statement must carry a window clause (``WINDOW 30 SLIDE 10
+        LIFETIME 300``); the handle delivers one
+        :class:`~repro.cq.continuous.WindowEpoch` per closed window (with
+        per-epoch ORDER BY / LIMIT applied), supports ``pause``/``resume``,
+        lifetime ``renew``, and tears down cleanly when the lifetime
+        expires.  Tuples published after submission — ``publish()`` for
+        DHT tables, :meth:`append_local_rows` for local tables — flow into
+        the standing query.
+        """
+        from repro.cq.continuous import ContinuousQuery
+
+        plan = sql if isinstance(sql, QueryPlan) else self.plan_sql(sql, **planner_opts)
+        if not plan.metadata.get("cq"):
+            raise ValueError(
+                "subscribe() requires a windowed continuous query — add a "
+                "WINDOW clause (e.g. 'WINDOW 30 SLIDE 10 LIFETIME 300') or "
+                "use stream()/query() for one-shot statements"
+            )
+        self._apply_resilience(plan, resilience)
+        return ContinuousQuery(self, plan, proxy=proxy, epoch_grace=epoch_grace)
+
+    def renew_lifetime(self, query: Union[str, QueryHandle], proxy: int = 0) -> bool:
+        """Propagate a standing query's extended lifetime deployment-wide.
+
+        The caller grows ``plan.timeout`` first (see
+        ``ContinuousQuery.renew``); this re-arms the proxy's completion
+        timer and broadcasts a renew control message so every node pushes
+        out its opgraph teardown deadline to the new remaining time.
+        """
+        node = self.nodes[proxy]
+        query_id = query if isinstance(query, str) else query.query_id
+        handle = node.proxy.query(query_id)
+        if handle is None or handle.finished:
+            return False
+        remaining = (handle.submitted_at + handle.plan.timeout) - self.now
+        if remaining <= 0:
+            return False
+        node.proxy.renew(query_id)
+        node.disseminator.broadcast_control(
+            query_id, {"action": "renew", "remaining": remaining}
+        )
+        return True
 
     def explain(self, sql: str, **planner_opts: Any) -> str:
         """Compile ``sql`` and render the plan — opgraph trees plus the

@@ -6,14 +6,21 @@ IP across all nodes and reports the top-k sources — the query shown running
 over 350 PlanetLab nodes in Figure 2.  Both aggregation strategies are
 available: flat multi-phase aggregation (rehash on the group key) and
 hierarchical in-network aggregation over the aggregation tree.
+
+The *live* workload is the continuous-query version of the same scenario:
+:class:`LiveFirewallFeed` keeps publishing fresh firewall events while a
+standing windowed query (:meth:`NetworkMonitorApp.watch_top_sources`)
+reports the top-k sources of each window epoch — the "PIER as a living
+dashboard" use the paper motivates with its lifetime-carrying queries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple as PyTuple
 
 from repro.api import PIERNetwork, QueryResult
+from repro.cq.continuous import ContinuousQuery
 from repro.workloads.firewall import FirewallWorkload
 
 FIREWALL_TABLE = "firewall_events"
@@ -30,6 +37,83 @@ class TopKReport:
 
     def sources(self) -> List[str]:
         return [source for source, _count in self.top_sources]
+
+
+class LiveFirewallFeed:
+    """Publishes fresh firewall events into every node's local log on a
+    timer, recording (publish time, source) pairs so per-window ground
+    truth is computable for exactness checks and benchmarks.
+
+    ``events_per_tick`` events per *node* are appended every ``interval``
+    virtual seconds, drawn from the workload's heavy-tailed source pool.
+    """
+
+    def __init__(
+        self,
+        network: PIERNetwork,
+        workload: FirewallWorkload,
+        interval: float = 1.0,
+        events_per_tick: int = 2,
+        duration: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.workload = workload
+        self.interval = interval
+        self.events_per_tick = events_per_tick
+        self.duration = duration
+        self.published: List[PyTuple[float, str]] = []  # (virtual time, source_ip)
+        self._event_cursor: Dict[int, int] = {}
+        self._active = False
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "LiveFirewallFeed":
+        if self._active:
+            return self
+        self._active = True
+        self._started_at = self.network.now
+        self.network.nodes[0].runtime.schedule_event(self.interval, None, self._tick)
+        return self
+
+    def stop(self) -> "LiveFirewallFeed":
+        self._active = False
+        return self
+
+    def _tick(self, _data: object) -> None:
+        if not self._active:
+            return
+        now = self.network.now
+        if self.duration is not None and now - self._started_at > self.duration:
+            self._active = False
+            return
+        for address in range(len(self.network)):
+            if not self.network.environment.is_alive(address):
+                continue
+            rows = self._next_events(address, now)
+            self.network.append_local_rows(address, FIREWALL_TABLE, rows)
+            for row in rows:
+                self.published.append((now, row["source_ip"]))
+        self.network.nodes[0].runtime.schedule_event(self.interval, None, self._tick)
+
+    def _next_events(self, address: int, now: float):
+        """The next slice of this node's (deterministic) event sequence,
+        re-stamped with the publish time."""
+        cursor = self._event_cursor.get(address, 0)
+        events = self.workload.events_for_node(address)
+        rows = []
+        for offset in range(self.events_per_tick):
+            base = events[(cursor + offset) % len(events)]
+            rows.append(base.extend(timestamp=now))
+        self._event_cursor[address] = cursor + self.events_per_tick
+        return rows
+
+    # -- ground truth -------------------------------------------------------- #
+    def true_window_counts(self, start: float, end: float) -> Dict[str, int]:
+        """Events per source published in ``[start, end)``."""
+        counts: Dict[str, int] = {}
+        for time, source in self.published:
+            if start <= time < end:
+                counts[source] = counts.get(source, 0) + 1
+        return counts
 
 
 class NetworkMonitorApp:
@@ -52,7 +136,48 @@ class NetworkMonitorApp:
             total += len(rows)
         return total
 
+    def attach_live_feed(
+        self,
+        workload: FirewallWorkload,
+        interval: float = 1.0,
+        events_per_tick: int = 2,
+        duration: Optional[float] = None,
+    ) -> LiveFirewallFeed:
+        """Start a live event feed on top of the (possibly empty) logs."""
+        if FIREWALL_TABLE not in self.network.catalog:
+            self.network.create_table(FIREWALL_TABLE, source="local")
+            for address in range(len(self.network)):
+                self.network.register_local_table(address, FIREWALL_TABLE, [])
+        return LiveFirewallFeed(
+            self.network,
+            workload,
+            interval=interval,
+            events_per_tick=events_per_tick,
+            duration=duration,
+        ).start()
+
     # -- queries ----------------------------------------------------------------- #
+    def watch_top_sources(
+        self,
+        window: float = 10.0,
+        slide: Optional[float] = None,
+        lifetime: float = 60.0,
+        k: int = 10,
+        proxy: int = 0,
+        strategy: str = "flat",
+    ) -> ContinuousQuery:
+        """The live-dashboard query: a standing windowed aggregate that
+        reports the top-k event sources of every window epoch (per-epoch
+        ORDER BY/LIMIT applied by the subscription)."""
+        slide_clause = f" SLIDE {slide:g}" if slide is not None else ""
+        return self.network.subscribe(
+            f"SELECT source_ip, COUNT(*) AS events FROM {FIREWALL_TABLE} "
+            f"WINDOW {window:g}{slide_clause} LIFETIME {lifetime:g} "
+            f"GROUP BY source_ip ORDER BY events DESC LIMIT {k}",
+            proxy=proxy,
+            aggregation_strategy=strategy,
+        )
+
     def top_k_sources(
         self,
         k: int = 10,

@@ -1,0 +1,29 @@
+"""Continuous-query subsystem: windowed SQL, standing queries, epochs.
+
+See :mod:`repro.cq.windows` for the window/epoch model shared by every
+layer and :mod:`repro.cq.continuous` for the client-side handle
+(:class:`ContinuousQuery`) returned by ``PIERNetwork.subscribe(sql)``.
+"""
+
+from repro.cq.windows import (
+    CQ_METADATA_KEY,
+    EPOCH_COLUMN,
+    WINDOW_END_COLUMN,
+    WINDOW_START_COLUMN,
+    WindowSpec,
+    epoch_stamp,
+    strip_stamp,
+)
+from repro.cq.continuous import ContinuousQuery, WindowEpoch
+
+__all__ = [
+    "CQ_METADATA_KEY",
+    "EPOCH_COLUMN",
+    "WINDOW_END_COLUMN",
+    "WINDOW_START_COLUMN",
+    "WindowSpec",
+    "epoch_stamp",
+    "strip_stamp",
+    "ContinuousQuery",
+    "WindowEpoch",
+]

@@ -1,0 +1,332 @@
+"""The client-side continuous-query handle.
+
+``PIERNetwork.subscribe(sql)`` compiles a windowed statement, submits it
+as a standing query, and returns a :class:`ContinuousQuery` — a handle
+built on :class:`~repro.session.StreamingQuery` that assembles the
+epoch-stamped result tuples produced by the windowed operators into
+:class:`WindowEpoch` objects and delivers them in order:
+
+* ``on_epoch(callback)`` — push delivery while the caller advances the
+  simulation (a live dashboard),
+* iteration — ``for epoch in cq:`` interleaves simulator steps with
+  yielded epochs, like the tuple stream,
+* ``pause()`` / ``resume()`` — buffer closed epochs client-side without
+  disturbing the standing query,
+* ``renew(extra)`` — extend the query's lifetime across the deployment
+  (the proxy re-arms its completion timer and a control broadcast pushes
+  out every node's teardown deadline),
+* lifetime expiry tears the query down cleanly: the remaining complete
+  epochs are delivered, ``on_done`` fires, and the opgraphs stop.
+
+An epoch closes client-side when its *client watermark* passes — the
+merge-site watermark (``end + grace``, carried in ``plan.metadata["cq"]``)
+plus ``epoch_grace`` for the final result hop.  Rows arriving for an
+epoch after it closed (e.g. re-emission after an aggregation-tree root
+handoff) are dropped and counted in ``late_rows``; rows arriving *before*
+the close replace earlier rows of the same group, so a post-handoff
+re-emission — which is at least as complete — supersedes the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple as PyTuple
+
+from repro.cq.windows import EPOCH_COLUMN, WindowSpec, strip_stamp
+from repro.qp.opgraph import QueryPlan
+from repro.qp.tuples import Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api import PIERNetwork
+
+EpochCallback = Callable[["WindowEpoch"], None]
+DoneCallback = Callable[["ContinuousQuery"], None]
+
+# Extra client-side wait past the merge-site watermark before an epoch is
+# considered complete: covers the result hop to the proxy plus the
+# periodic result flush.
+DEFAULT_EPOCH_GRACE = 1.0
+
+
+@dataclass
+class WindowEpoch:
+    """One delivered result window of a standing query."""
+
+    index: int
+    start: float
+    end: float
+    tuples: List[Tuple] = field(default_factory=list)
+    watermark: float = 0.0  # virtual time the client closed the epoch
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [tup.as_mapping() for tup in self.tuples]
+
+    def column(self, name: str) -> List[Any]:
+        return [tup.get(name) for tup in self.tuples]
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowEpoch(#{self.index} [{self.start:g}, {self.end:g}) "
+            f"rows={len(self.tuples)})"
+        )
+
+
+class ContinuousQuery:
+    """A standing windowed query delivering per-window result epochs."""
+
+    def __init__(
+        self,
+        network: "PIERNetwork",
+        plan: QueryPlan,
+        proxy: int = 0,
+        epoch_grace: Optional[float] = None,
+        extra_time: float = 3.0,
+    ) -> None:
+        from repro.session import StreamingQuery
+
+        spec = WindowSpec.from_metadata(plan.metadata)
+        if spec is None:
+            raise ValueError(
+                "ContinuousQuery requires a windowed plan (a WINDOW clause "
+                "or plan.metadata['cq']); use stream() for one-shot queries"
+            )
+        self.network = network
+        self.plan = plan
+        self.proxy = proxy
+        self.spec = spec
+        self.epoch_grace = (
+            epoch_grace if epoch_grace is not None else DEFAULT_EPOCH_GRACE
+        )
+        self.stream = StreamingQuery(network, plan, proxy=proxy, extra_time=extra_time)
+        # Epoch assembly: per-epoch, per-group latest row (replace-on-
+        # arrival makes post-handoff re-emission supersede, never add).
+        self._pending: Dict[int, Dict[PyTuple[Any, ...], Tuple]] = {}
+        self._delivered: List[WindowEpoch] = []
+        self._held: List[WindowEpoch] = []  # closed while paused
+        self._epoch_callbacks: List[EpochCallback] = []
+        self._done_callbacks: List[DoneCallback] = []
+        self._paused = False
+        self._done_fired = False
+        self._closed: set = set()
+        self._next_close: Optional[int] = None
+        self.late_rows = 0
+        # Epochs discarded at lifetime expiry because their merge-site
+        # watermark fell past the query deadline — their merges cannot be
+        # complete, and a standing query never reports partial windows.
+        self.dropped_partial_epochs = 0
+        self._runtime = network.nodes[proxy].runtime
+        self.stream.on_result(self._on_tuple)
+        self.stream.on_done(lambda _s: self._on_stream_done())
+        self._arm_epoch_clock()
+
+    # -- subscription ---------------------------------------------------------- #
+    def on_epoch(self, callback: EpochCallback) -> "ContinuousQuery":
+        """Invoke ``callback(epoch)`` for every delivered epoch; replays
+        already-delivered epochs so late registration misses nothing."""
+        for epoch in self._delivered:
+            callback(epoch)
+        self._epoch_callbacks.append(callback)
+        return self
+
+    def on_done(self, callback: DoneCallback) -> "ContinuousQuery":
+        """Invoke ``callback(cq)`` once, when the standing query ends."""
+        if self._done_fired:
+            callback(self)
+        else:
+            self._done_callbacks.append(callback)
+        return self
+
+    # -- state ------------------------------------------------------------------ #
+    @property
+    def query_id(self) -> str:
+        return self.stream.query_id
+
+    @property
+    def finished(self) -> bool:
+        return self.stream.finished
+
+    @property
+    def cancelled(self) -> bool:
+        return self.stream.cancelled
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def coverage(self) -> float:
+        return self.stream.coverage
+
+    @property
+    def down_nodes(self) -> List:
+        return self.stream.down_nodes
+
+    @property
+    def epochs_delivered(self) -> List[WindowEpoch]:
+        return list(self._delivered)
+
+    @property
+    def remaining_lifetime(self) -> float:
+        """Virtual seconds until the standing query expires."""
+        return max(
+            0.0,
+            self.stream.handle.submitted_at + self.plan.timeout - self.network.now,
+        )
+
+    # -- result assembly ----------------------------------------------------------- #
+    def _on_tuple(self, tup: Tuple) -> None:
+        epoch = tup.get(EPOCH_COLUMN)
+        if epoch is None:
+            return  # unstamped stragglers (e.g. a teardown flush remnant)
+        epoch = int(epoch)
+        if epoch in self._closed:
+            self.late_rows += 1
+            return
+        key = tuple(tup.get(column) for column in self.spec.group_columns)
+        self._pending.setdefault(epoch, {})[key] = tup
+
+    def _arm_epoch_clock(self) -> None:
+        if self.stream.finished:
+            return
+        if self._next_close is None:
+            self._next_close = self.spec.pane_of(self.network.now)
+        deadline = self.spec.watermark(self._next_close) + self.epoch_grace
+        delay = max(deadline - self.network.now, 0.0)
+        self._runtime.schedule_event(delay, None, self._on_epoch_clock)
+
+    def _on_epoch_clock(self, _data: object) -> None:
+        if self.stream.finished:
+            # The stream-done hook delivers the remaining epochs.
+            return
+        epoch = self._next_close
+        self._next_close = epoch + 1
+        self._close_epoch(epoch)
+        self._arm_epoch_clock()
+
+    def _close_epoch(self, epoch: int) -> None:
+        if epoch in self._closed:
+            return
+        self._closed.add(epoch)
+        bucket = self._pending.pop(epoch, None)
+        if not bucket:
+            return  # empty windows are not delivered
+        tuples = self._finalize_rows(list(bucket.values()))
+        window = WindowEpoch(
+            index=epoch,
+            start=self.spec.epoch_start(epoch),
+            end=self.spec.epoch_end(epoch),
+            tuples=tuples,
+            watermark=self.network.now,
+        )
+        if self._paused:
+            self._held.append(window)
+        else:
+            self._deliver(window)
+
+    def _finalize_rows(self, tuples: List[Tuple]) -> List[Tuple]:
+        """Strip the stamp columns and apply the per-epoch ORDER BY / LIMIT."""
+        from repro.sql.planner import apply_result_clauses_to_tuples
+
+        stripped = [
+            Tuple(tup.table, strip_stamp(tup.as_mapping())) for tup in tuples
+        ]
+        return apply_result_clauses_to_tuples(self.plan.metadata, stripped)
+
+    def _deliver(self, window: WindowEpoch) -> None:
+        self._delivered.append(window)
+        for callback in self._epoch_callbacks:
+            callback(window)
+
+    def _on_stream_done(self) -> None:
+        # Lifetime expired (or the query was cancelled): deliver the
+        # pending epochs whose merge-site watermark fit inside the
+        # lifetime (their merges are complete), drop the rest, then fire
+        # the done callbacks.  Size LIFETIME with the grace in mind if the
+        # last window matters.
+        deadline = self.stream.handle.submitted_at + self.plan.timeout
+        for epoch in sorted(self._pending):
+            if self.spec.watermark(epoch) <= deadline:
+                self._close_epoch(epoch)
+            else:
+                self._closed.add(epoch)
+                self._pending.pop(epoch, None)
+                self.dropped_partial_epochs += 1
+        if self._paused:
+            # The query is over: a paused subscription's buffer would
+            # otherwise be lost — deliver it before reporting completion.
+            self.resume()
+        if self._done_fired:
+            return
+        self._done_fired = True
+        for callback in self._done_callbacks:
+            callback(self)
+        self._done_callbacks.clear()
+
+    # -- flow control ---------------------------------------------------------------- #
+    def pause(self) -> "ContinuousQuery":
+        """Stop delivering epochs; the standing query keeps running and
+        closed epochs buffer client-side.  If the lifetime expires while
+        paused, the buffer is delivered before ``on_done`` fires."""
+        self._paused = True
+        return self
+
+    def resume(self) -> "ContinuousQuery":
+        """Deliver the epochs buffered while paused and resume delivery."""
+        self._paused = False
+        held, self._held = self._held, []
+        for window in held:
+            self._deliver(window)
+        return self
+
+    def renew(self, extra_lifetime: float) -> float:
+        """Extend the standing query's lifetime by ``extra_lifetime``
+        virtual seconds, across the whole deployment; returns the new
+        remaining lifetime."""
+        if extra_lifetime <= 0:
+            raise ValueError("extra_lifetime must be positive")
+        if self.stream.finished:
+            raise RuntimeError("cannot renew a finished continuous query")
+        self.plan.timeout += extra_lifetime
+        self.network.renew_lifetime(self.stream.handle, proxy=self.proxy)
+        return self.remaining_lifetime
+
+    def cancel(self) -> bool:
+        """Tear the standing query down across the deployment now."""
+        return self.stream.cancel()
+
+    # -- consumption -------------------------------------------------------------------- #
+    def __iter__(self) -> Iterator[WindowEpoch]:
+        """Yield epochs as their watermarks pass, stepping the simulator in
+        between (the epoch-granular analogue of streaming iteration)."""
+        yielded = 0
+        while True:
+            while yielded < len(self._delivered):
+                window = self._delivered[yielded]
+                yielded += 1
+                yield window
+            deadline = (
+                self.stream.handle.submitted_at
+                + self.plan.timeout
+                + self.epoch_grace
+                + 3.0
+            )
+            if self._done_fired or self.network.now >= deadline:
+                break
+            before = self.network.now
+            dispatched = self.network.run(min(0.25, deadline - self.network.now))
+            if dispatched == 0 and self.network.now <= before:
+                break  # event queue drained without progress
+        while yielded < len(self._delivered):
+            window = self._delivered[yielded]
+            yielded += 1
+            yield window
+
+    def run_to_completion(self) -> "ContinuousQuery":
+        """Advance the simulation until the standing query's lifetime ends
+        and every closeable epoch has been delivered."""
+        for _window in self:
+            pass
+        return self

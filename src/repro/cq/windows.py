@@ -1,0 +1,187 @@
+"""Window semantics for continuous queries (TelegraphCQ-style).
+
+PIER's flagship workload is continuous monitoring: standing queries with
+lifetimes that keep producing answers as new data is published.  This
+module defines the *window model* every layer shares — the SQL surface,
+the windowed operators, and the client-side epoch assembly:
+
+* A **pane** is the atom of time-indexed aggregate state: pane ``p``
+  covers virtual time ``[p*slide, (p+1)*slide)``.  Panes are aligned to
+  absolute virtual time, so every node in the deployment — including one
+  that installs the opgraph late, or is re-installed after a rejoin —
+  agrees on pane boundaries without any coordination.
+* An **epoch** is one emitted window.  Epoch ``k`` closes at
+  ``(k+1)*slide`` and covers ``[end - window, end)`` — for a *tumbling*
+  window (``slide == window``) epochs partition time; for a *sliding*
+  window (``slide < window``) they overlap; for a *landmark* window the
+  start is pinned at 0 and every epoch covers everything so far.
+* The **watermark** of an epoch is the virtual time after which its
+  result is considered complete: ``end + grace`` at the merge site (grace
+  covers shipping latency of the partials), plus a client-side grace for
+  the final result hop.
+
+The spec travels in ``plan.metadata["cq"]`` — the same dissemination
+envelope that carries the batching and resilience knobs — so every
+executing node derives identical pane boundaries and epochs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional
+
+CQ_METADATA_KEY = "cq"
+
+# Emission cadence for a landmark window when the query gives no SLIDE.
+DEFAULT_LANDMARK_SLIDE = 10.0
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One continuous query's window shape.
+
+    ``window`` is the window length in virtual seconds (``None`` for a
+    landmark window, whose start is pinned at time 0); ``slide`` is the
+    emission period (defaults to ``window`` — a tumbling window);
+    ``lifetime`` is how long the standing query runs; ``grace`` is how
+    long after an epoch's end the merge site waits for partials before
+    emitting the epoch.
+    """
+
+    window: Optional[float]
+    slide: float
+    lifetime: float
+    grace: float = 1.5
+    group_columns: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.window is not None and self.window <= 0:
+            raise ValueError("window length must be positive")
+        if self.slide <= 0:
+            raise ValueError("window slide must be positive")
+        if self.window is not None and self.slide > self.window:
+            raise ValueError("window slide cannot exceed the window length")
+        if self.window is not None:
+            # Windows are assembled from whole panes of one slide each; a
+            # non-multiple window would silently merge up to one extra
+            # slide of data before the declared window start.
+            ratio = self.window / self.slide
+            if abs(ratio - round(ratio)) > 1e-9:
+                raise ValueError(
+                    f"window length ({self.window:g}s) must be a multiple of "
+                    f"the slide ({self.slide:g}s): windows are assembled from "
+                    f"whole panes"
+                )
+        if self.lifetime <= 0:
+            raise ValueError("query lifetime must be positive")
+
+    # -- shape ----------------------------------------------------------------- #
+    @property
+    def landmark(self) -> bool:
+        return self.window is None
+
+    @property
+    def kind(self) -> str:
+        if self.landmark:
+            return "landmark"
+        return "tumbling" if self.slide == self.window else "sliding"
+
+    @property
+    def panes_per_window(self) -> int:
+        """How many trailing panes one epoch merges (landmark: all)."""
+        if self.window is None:
+            return 0
+        return int(math.ceil(self.window / self.slide))
+
+    # -- epoch / pane arithmetic (absolute virtual time) ------------------------- #
+    def pane_of(self, time: float) -> int:
+        """The pane a tuple arriving at ``time`` belongs to."""
+        return int(math.floor(time / self.slide))
+
+    def epoch_end(self, epoch: int) -> float:
+        return (epoch + 1) * self.slide
+
+    def epoch_start(self, epoch: int) -> float:
+        if self.window is None:
+            return 0.0
+        return max(0.0, self.epoch_end(epoch) - self.window)
+
+    def epoch_panes(self, epoch: int) -> range:
+        """The pane indexes epoch ``epoch`` merges."""
+        if self.window is None:
+            return range(0, epoch + 1)
+        return range(max(0, epoch - self.panes_per_window + 1), epoch + 1)
+
+    def oldest_live_pane(self, after_epoch: int) -> int:
+        """The oldest pane any epoch after ``after_epoch`` still needs —
+        everything older can be evicted."""
+        if self.window is None:
+            return 0
+        return after_epoch + 2 - self.panes_per_window
+
+    def watermark(self, epoch: int) -> float:
+        """Virtual time at which the merge site emits ``epoch``."""
+        return self.epoch_end(epoch) + self.grace
+
+    # -- serialisation (the dissemination envelope) ------------------------------- #
+    def to_metadata(self) -> Dict[str, Any]:
+        return {
+            "window": self.window,
+            "slide": self.slide,
+            "lifetime": self.lifetime,
+            "grace": self.grace,
+            "kind": self.kind,
+            "group_columns": list(self.group_columns),
+        }
+
+    @classmethod
+    def from_params(cls, payload: Optional[Mapping[str, Any]]) -> Optional["WindowSpec"]:
+        """Rebuild a spec from an operator param / metadata dict."""
+        if not isinstance(payload, Mapping):
+            return None
+        window = payload.get("window")
+        return cls(
+            window=float(window) if window is not None else None,
+            slide=float(payload.get("slide", window or DEFAULT_LANDMARK_SLIDE)),
+            lifetime=float(payload.get("lifetime", 60.0)),
+            grace=float(payload.get("grace", 1.5)),
+            group_columns=list(payload.get("group_columns", [])),
+        )
+
+    @classmethod
+    def from_metadata(cls, metadata: Optional[Mapping[str, Any]]) -> Optional["WindowSpec"]:
+        """The spec a plan carries, or ``None`` for one-shot plans."""
+        return cls.from_params((metadata or {}).get(CQ_METADATA_KEY))
+
+    def with_lifetime(self, lifetime: float) -> "WindowSpec":
+        return replace(self, lifetime=lifetime)
+
+
+# Settle time before a merge site emits an epoch whose watermark had
+# already passed when its first contribution arrived: siblings in flight
+# get merged instead of being dropped as late.  Shared by the flat merge
+# and the hierarchical root.
+LATE_EPOCH_SETTLE = 0.5
+
+
+# Names of the stamp columns windowed operators attach to every emitted
+# row, so downstream merge sites and the client can group rows by epoch.
+EPOCH_COLUMN = "__epoch__"
+WINDOW_START_COLUMN = "__window_start__"
+WINDOW_END_COLUMN = "__window_end__"
+STAMP_COLUMNS = (EPOCH_COLUMN, WINDOW_START_COLUMN, WINDOW_END_COLUMN)
+
+
+def epoch_stamp(spec: WindowSpec, epoch: int) -> Dict[str, Any]:
+    """The stamp payload for one emitted epoch row."""
+    return {
+        EPOCH_COLUMN: epoch,
+        WINDOW_START_COLUMN: spec.epoch_start(epoch),
+        WINDOW_END_COLUMN: spec.epoch_end(epoch),
+    }
+
+
+def strip_stamp(values: Dict[str, Any]) -> Dict[str, Any]:
+    """Client-facing row: the stamp columns removed."""
+    return {key: value for key, value in values.items() if key not in STAMP_COLUMNS}

@@ -128,11 +128,21 @@ class QueryDisseminator:
             raise ValueError("range dissemination requires a PHT resolver")
         return self.pht_resolver(spec.namespace, spec.low, spec.high)
 
+    def broadcast_control(self, query_id: str, payload: Dict[str, Any]) -> None:
+        """Ship a query-control message (e.g. lifetime renewal) to every
+        node over the distribution tree, the same path opgraphs travel.
+
+        Each message gets a fresh broadcast id — the tree deduplicates by
+        id, and one query may send many control messages (e.g. repeated
+        lifetime renewals)."""
+        envelope = {"control": dict(payload), "query_id": query_id}
+        self.tree.broadcast(f"{query_id}/control/{random_suffix()}", envelope)
+
     # -- inbound -------------------------------------------------------------- #
     def _on_broadcast(self, payload: object) -> None:
-        if isinstance(payload, dict) and "graph" in payload:
+        if isinstance(payload, dict) and ("graph" in payload or "control" in payload):
             self.install_handler(payload)
 
     def _on_targeted(self, _namespace: str, _key: object, value: object) -> None:
-        if isinstance(value, dict) and "graph" in value:
+        if isinstance(value, dict) and ("graph" in value or "control" in value):
             self.install_handler(value)

@@ -32,13 +32,18 @@ CANCEL_TOMBSTONE_LIFETIME = 600.0
 
 @dataclass
 class InstalledGraph:
-    """Book-keeping for one opgraph running on this node."""
+    """Book-keeping for one opgraph running on this node.
+
+    ``deadline`` is when the graph tears down; lifetime renewal of a
+    standing query pushes it out (see :meth:`QueryExecutor.extend_query`).
+    """
 
     query_id: str
     graph: OpGraph
     context: ExecutionContext
     operators: Dict[str, PhysicalOperator]
     started_at: float
+    deadline: float = 0.0
     finished: bool = False
 
 
@@ -53,6 +58,10 @@ class QueryExecutor:
         # Node-local data sources shared by every query on this node.
         self.local_tables: Dict[str, List[Tuple]] = {}
         self.streams: Dict[str, Callable[[float], List[Tuple]]] = {}
+        # Live subscribers to node-local tables: standing queries' scans
+        # register here so rows appended mid-query flow into the dataflow
+        # (the local-table analogue of the DHT scan's newData upcall).
+        self._table_listeners: Dict[str, List[Callable[[List[Tuple]], None]]] = {}
         # Node-level defaults for the batching exchange (see PutExchange);
         # per-query plan metadata overrides them.
         self.exchange_defaults = dict(exchange_defaults or {})
@@ -68,7 +77,28 @@ class QueryExecutor:
         self.local_tables[name] = rows
 
     def append_local_rows(self, name: str, rows: List[Tuple]) -> None:
+        """Append rows to a node-local table and push them to any standing
+        queries scanning it (the live-publish path of continuous queries)."""
+        rows = list(rows)
         self.local_tables.setdefault(name, []).extend(rows)
+        for listener in list(self._table_listeners.get(name, ())):
+            listener(rows)
+
+    def subscribe_local_table(
+        self, name: str, listener: Callable[[List[Tuple]], None]
+    ) -> Callable[[], None]:
+        """Register a live listener for rows appended to a local table;
+        returns the matching unsubscribe callable."""
+        listeners = self._table_listeners.setdefault(name, [])
+        listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
 
     def register_stream(self, name: str, producer: Callable[[float], List[Tuple]]) -> None:
         """Expose a stream producer to ``stream_source`` access methods."""
@@ -91,7 +121,11 @@ class QueryExecutor:
         install_key = f"{query_id}/{graph.graph_id}"
         if install_key in self._installed:
             return None
-        extras: Dict[str, Any] = {"local_tables": self.local_tables, "streams": self.streams}
+        extras: Dict[str, Any] = {
+            "local_tables": self.local_tables,
+            "streams": self.streams,
+            "subscribe_local_table": self.subscribe_local_table,
+        }
         for knob in ("exchange_batch_size", "exchange_flush_interval", "result_flush_interval"):
             value = (metadata or {}).get(knob, self.exchange_defaults.get(knob))
             if value is not None:
@@ -120,12 +154,14 @@ class QueryExecutor:
             consumer = operators[spec.operator_id]
             for slot, input_id in enumerate(spec.inputs):
                 operators[input_id].add_parent(consumer, slot)
+        started_at = self.overlay.runtime.get_current_time()
         installed = InstalledGraph(
             query_id=query_id,
             graph=graph,
             context=context,
             operators=operators,
-            started_at=self.overlay.runtime.get_current_time(),
+            started_at=started_at,
+            deadline=started_at + timeout,
         )
         self._installed[install_key] = installed
         self.graphs_installed += 1
@@ -158,7 +194,25 @@ class QueryExecutor:
         installed = self._installed.get(install_key)
         if installed is None or installed.finished:
             return
+        if self.overlay.runtime.get_current_time() + 1e-9 < installed.deadline:
+            return  # lifetime was renewed; a later timer covers the new deadline
         self.finish(installed)
+
+    def extend_query(self, query_id: str, remaining: float) -> int:
+        """Push out the teardown deadline of a standing query's opgraphs
+        (lifetime renewal): each running graph of ``query_id`` now tears
+        down ``remaining`` seconds from now."""
+        if remaining <= 0:
+            return 0
+        now = self.overlay.runtime.get_current_time()
+        extended = 0
+        for install_key, installed in self._installed.items():
+            if installed.query_id != query_id or installed.finished:
+                continue
+            installed.deadline = now + remaining
+            self.overlay.runtime.schedule_event(remaining, install_key, self._on_timeout)
+            extended += 1
+        return extended
 
     def finish(self, installed: InstalledGraph, flush: bool = True) -> None:
         """Flush buffered state bottom-up, stop operators, release DHT state.

@@ -17,8 +17,9 @@ straight to the proxy.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple as PyTuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple as PyTuple
 
+from repro.cq.windows import LATE_EPOCH_SETTLE, epoch_stamp
 from repro.overlay.identifiers import object_identifier
 from repro.overlay.naming import random_suffix
 from repro.qp.operators.base import PhysicalOperator, register_operator
@@ -78,10 +79,6 @@ class HierarchicalAggregate(_BaseGroupBy):
         self.hold = float(self.param("hold", 1.0))
         self.namespace = context.scoped_namespace("__hierarchical_aggregate__")
         self.root_identifier = object_identifier(self.namespace, "root")
-        # Merge functions are stateless combiners shared by every merge on
-        # this node; building them per merged partial was hot-path waste and
-        # broke aggregates whose build() carries state.
-        self._merge_functions = [spec.build() for spec in self.aggregate_specs]
         # Root ownership is captured once at start (and updated only by the
         # ownership monitor, when enabled): evaluating is_responsible() per
         # enqueue let partials split across two "roots" when ownership moved
@@ -113,6 +110,12 @@ class HierarchicalAggregate(_BaseGroupBy):
         self._forwarded: Set[PyTuple[Any, ...]] = set()
         self._reforwards: Dict[PyTuple[Any, ...], int] = {}
         self._origin_folds: Dict[str, Dict[str, Any]] = {}
+        # Windowed (continuous-query) root state: which epochs this node —
+        # while owning the root — has already emitted, and which have a
+        # pending watermark timer.
+        self._epoch_timers: Set[int] = set()
+        self._emitted_epochs: Set[int] = set()
+        self.epoch_entries_evicted = 0
         self.partials_sent = 0
         self.partials_intercepted = 0
         self.cumulatives_sent = 0
@@ -120,7 +123,7 @@ class HierarchicalAggregate(_BaseGroupBy):
 
     # -- lifecycle --------------------------------------------------------- #
     def start(self) -> None:
-        super().start()
+        super().start()  # arms the pane clock when a window spec is present
         self._is_root_owner = self._is_root()
         self._incarnation_ts = self.context.now
         self.context.overlay.upcall(self.namespace, self._on_upcall)
@@ -130,7 +133,8 @@ class HierarchicalAggregate(_BaseGroupBy):
         self.context.overlay.local_scan(
             self.namespace, lambda _ns, _key, value: self._on_root_arrival(_ns, _key, value)
         )
-        self.context.schedule(self.local_wait, self._ship_local)
+        if self.window_spec is None:
+            self.context.schedule(self.local_wait, self._ship_local)
         if self._monitoring:
             self.context.overlay.lookup(self.root_identifier, self._on_owner_resolved)
             self.context.schedule(self.monitor_interval, self._monitor_root)
@@ -164,6 +168,156 @@ class HierarchicalAggregate(_BaseGroupBy):
         if self.window:
             self.context.schedule(self.window, self._ship_local)
 
+    # -- windowed (continuous-query) mode ----------------------------------- #
+    def _on_pane_close(self, _data: object) -> None:
+        super()._on_pane_close(_data)
+        # Evict on every pane tick, not only when this node contributed
+        # local data: a quiet node still folds other origins' partials and
+        # must shed its expired ledger entries too.
+        if not self._stopped:
+            self._evict_expired_epochs()
+
+    def _emit_window(
+        self, epoch: int, states: Dict[PyTuple[Any, ...], List[Any]]
+    ) -> None:
+        """Pane-close hook: ship this node's window contribution rootward.
+
+        Group keys are *epoch-prefixed* — ``(epoch, *group_key)`` — so the
+        whole origin/incarnation/seq ledger (dedup, cumulative-replace on
+        re-ship, handoff relays) applies per window unchanged, and per-
+        window totals stay exact across a root failure or rejoin.
+        """
+        prefixed = {(epoch, *key): list(st) for key, st in states.items()}
+        for key, st in prefixed.items():
+            self._merge_into(self._local_cum, key, st)
+        if not self._is_root_owner:
+            if self._monitoring:
+                self._pack_batch(self._make_batch(prefixed, cumulative=False))
+            else:
+                for key, st in prefixed.items():
+                    self._enqueue_partial(key, st)
+        self._note_epoch(epoch)
+
+    def _note_epoch(self, epoch: Any) -> None:
+        """The root owner arms one watermark timer per observed epoch.
+
+        An epoch first noted after its watermark already passed (slow
+        partials, or a fresh root catching up post-handoff) waits the
+        shared settle time so batches in flight alongside the first
+        arrival get folded too, instead of emitting from one origin alone.
+        """
+        if self.window_spec is None or not isinstance(epoch, int):
+            return
+        if not self._is_root_owner:
+            return
+        if epoch in self._emitted_epochs or epoch in self._epoch_timers:
+            return
+        self._epoch_timers.add(epoch)
+        delay = self.window_spec.watermark(epoch) - self.context.now
+        if delay <= 0:
+            delay = LATE_EPOCH_SETTLE
+        self.context.schedule(delay, self._on_epoch_watermark, data=epoch)
+
+    def _note_partial_keys(self, keys: Iterable[Any]) -> None:
+        for key in keys:
+            if isinstance(key, (list, tuple)) and key:
+                self._note_epoch(key[0])
+
+    def _epoch_retention(self) -> float:
+        """How long after an epoch's watermark its ledger entries are kept.
+
+        The retention must outlive a root handoff: the monitor notices the
+        ownership change within ``root_monitor_interval`` and origins then
+        re-ship their retained cumulative state, so a few graces plus a
+        couple of slides of slack is plenty — while keeping standing-query
+        state bounded by the window, not the lifetime."""
+        spec = self.window_spec
+        return max(15.0, 4.0 * spec.grace + 2.0 * spec.slide)
+
+    def _evict_expired_epochs(self) -> None:
+        """Drop ledger entries of epochs whose watermark passed more than
+        the retention ago, bounding per-node state (and the size of
+        ``_send_cumulative`` re-ships) for long-lived standing queries."""
+        spec = self.window_spec
+        horizon = self.context.now - self._epoch_retention()
+
+        def expired(key: Any) -> bool:
+            return (
+                isinstance(key, tuple)
+                and bool(key)
+                and isinstance(key[0], int)
+                and spec.watermark(key[0]) < horizon
+            )
+
+        for buffer in (self._local_cum, self._root_states):
+            for key in [key for key in buffer if expired(key)]:
+                del buffer[key]
+                self.epoch_entries_evicted += 1
+        for entry in self._origin_folds.values():
+            if entry["base"]:
+                for key in [key for key in entry["base"] if expired(key)]:
+                    del entry["base"][key]
+                    self.epoch_entries_evicted += 1
+            # Delta dicts stay registered by seq (replay dedup) but shed
+            # their expired keys.
+            for partials in entry["deltas"].values():
+                for key in [key for key in partials if expired(key)]:
+                    del partials[key]
+                    self.epoch_entries_evicted += 1
+
+    def _note_ledger_epochs(self) -> None:
+        """Arm watermark timers for every epoch already present in the
+        ledgers — how a node that just *became* root (handoff) catches up
+        on epochs the failed root never emitted."""
+        self._note_partial_keys(self._root_states)
+        self._note_partial_keys(self._local_cum)
+        for entry in self._origin_folds.values():
+            if entry["base"]:
+                self._note_partial_keys(entry["base"])
+            for partials in entry["deltas"].values():
+                self._note_partial_keys(partials)
+
+    def _on_epoch_watermark(self, epoch: int) -> None:
+        self._epoch_timers.discard(epoch)
+        if self._stopped or not self._is_root_owner:
+            return
+        self._emit_epoch(epoch)
+
+    def _emit_epoch(self, epoch: int) -> None:
+        """Merge and emit every contribution for one epoch, exactly once."""
+        if epoch in self._emitted_epochs:
+            return
+        final: Dict[PyTuple[Any, ...], List[Any]] = {}
+
+        def take(buffer: Dict[PyTuple[Any, ...], List[Any]]) -> None:
+            for key, states in buffer.items():
+                if isinstance(key, tuple) and key and key[0] == epoch:
+                    self._merge_into(final, tuple(key[1:]), states)
+
+        take(self._root_states)
+        for origin, entry in self._origin_folds.items():
+            if origin == self._origin_id:
+                continue  # own contribution comes from _local_cum below
+            take(self._fold_states(entry))
+        if self._is_root_owner:
+            take(self._local_cum)
+        if not final:
+            # Nothing folded yet (e.g. every batch still in flight): leave
+            # the epoch unemitted so a later arrival can re-arm the timer.
+            return
+        self._emitted_epochs.add(epoch)
+        stamp = epoch_stamp(self.window_spec, epoch)
+        for key, states in final.items():
+            payload = {
+                spec.output: function.result(state)
+                for spec, function, state in zip(
+                    self.aggregate_specs, self._merge_functions, states
+                )
+            }
+            payload.update(stamp)
+            self.emit(self._group_tuple(key, payload))
+        self.epochs_emitted += 1
+
     def _enqueue_partial(self, key: PyTuple[Any, ...], states: List[Any]) -> None:
         """Legacy combining: fold a partial state into the held buffer (or
         the root's merged state) and arm the hold timer."""
@@ -177,21 +331,6 @@ class HierarchicalAggregate(_BaseGroupBy):
         if not self._hold_scheduled:
             self._hold_scheduled = True
             self.context.schedule(self.hold, self._forward_held)
-
-    def _merge_into(
-        self,
-        buffer: Dict[PyTuple[Any, ...], List[Any]],
-        key: PyTuple[Any, ...],
-        states: List[Any],
-    ) -> None:
-        existing = buffer.get(key)
-        if existing is None:
-            buffer[key] = list(states)
-            return
-        buffer[key] = [
-            function.merge(left, right)
-            for function, left, right in zip(self._merge_functions, existing, states)
-        ]
 
     # -- origin-accounted batches (resilient mode) ----------------------------- #
     def _make_batch(
@@ -372,12 +511,16 @@ class HierarchicalAggregate(_BaseGroupBy):
             self.partials_intercepted += 1
             for batch in value["batches"]:
                 self._fold_batch(batch)
+                self._note_partial_keys(
+                    item["key"] for item in batch.get("partials", [])
+                )
             return False  # terminated at the root: folded, not stored
         if "partials" not in value:
             return True
         self.partials_intercepted += 1
         for entry in value["partials"]:
             self._enqueue_partial(tuple(entry["key"]), entry["states"])
+            self._note_partial_keys([entry["key"]])
         return False  # hold; a combined partial will be forwarded later
 
     # -- ownership monitor ------------------------------------------------------ #
@@ -414,6 +557,11 @@ class HierarchicalAggregate(_BaseGroupBy):
             self._relay_folds()
         if not self._is_root_owner:
             self._send_cumulative()
+        elif self.window_spec is not None:
+            # A node that just became root catches up on every epoch the
+            # failed root never emitted: origins re-ship their cumulative
+            # contributions, and these timers emit once watermarks pass.
+            self._note_ledger_epochs()
 
     # -- root ------------------------------------------------------------------ #
     def _is_root(self) -> bool:
@@ -425,6 +573,9 @@ class HierarchicalAggregate(_BaseGroupBy):
         if "batches" in value:
             for batch in value["batches"]:
                 self._fold_batch(batch)
+                self._note_partial_keys(
+                    item["key"] for item in batch.get("partials", [])
+                )
                 if not self._is_root_owner:
                     # Stored here by stale routing: keep a folded copy (in
                     # case ownership lands on this node) and re-forward a
@@ -435,8 +586,12 @@ class HierarchicalAggregate(_BaseGroupBy):
             return
         for entry in value["partials"]:
             self._merge_into(self._root_states, tuple(entry["key"]), entry["states"])
+            self._note_partial_keys([entry["key"]])
 
     def flush(self) -> None:
+        if self.window_spec is not None:
+            self._flush_windowed()
+            return
         # Any local groups not yet shipped travel now (e.g. snapshot query
         # whose timeout fires before the next window).
         drained = self._drain_groups()
@@ -477,6 +632,38 @@ class HierarchicalAggregate(_BaseGroupBy):
                 )
             }
             self.emit(self._group_tuple(key, payload))
+
+    def _flush_windowed(self) -> None:
+        """Lifetime expiry for a standing query: the in-progress partial
+        pane is dropped by design (only complete windows are reported),
+        held traffic is forwarded, and the root emits every complete epoch
+        still waiting on its watermark."""
+        if self._held or self._held_batches:
+            self._forward_held(None)
+        salvage_root = (
+            not self._monitoring and not self._is_root_owner and self._is_root()
+        )
+        if not (self._is_root_owner or salvage_root):
+            return
+        epochs: Set[int] = set()
+
+        def collect(keys: Iterable[Any]) -> None:
+            for key in keys:
+                if isinstance(key, (list, tuple)) and key and isinstance(key[0], int):
+                    epochs.add(key[0])
+
+        collect(self._root_states)
+        if self._is_root_owner:
+            collect(self._local_cum)
+        for origin, entry in self._origin_folds.items():
+            if origin == self._origin_id:
+                continue
+            if entry["base"]:
+                collect(entry["base"])
+            for partials in entry["deltas"].values():
+                collect(partials)
+        for epoch in sorted(epochs - self._emitted_epochs):
+            self._emit_epoch(epoch)
 
 
 @register_operator

@@ -133,9 +133,17 @@ class PIERNode:
 
     # -- dissemination sink ---------------------------------------------------------- #
     def _install_envelope(self, envelope: Dict[str, Any]) -> None:
-        """Install an opgraph that arrived via dissemination."""
+        """Install an opgraph (or apply a control message) that arrived via
+        dissemination."""
         from repro.qp.opgraph import OpGraph
 
+        control = envelope.get("control")
+        if control is not None:
+            if control.get("action") == "renew":
+                self.executor.extend_query(
+                    envelope["query_id"], float(control.get("remaining", 0.0))
+                )
+            return
         graph = OpGraph.from_dict(envelope["graph"])
         query_id = envelope["query_id"]
         proxy_address = envelope["proxy"]

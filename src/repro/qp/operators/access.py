@@ -113,8 +113,12 @@ class LocalTableAccess(PhysicalOperator):
     """Scan a node-local, in-memory table registered with the executor.
 
     This is how per-node data sources such as firewall logs or packet
-    traces enter the dataflow: each node holds only its own rows.
-    Params: ``table``.
+    traces enter the dataflow: each node holds only its own rows.  Like
+    the DHT scan (localScan + newData), the operator is *live*: rows
+    appended to the table while the opgraph runs are pushed into the
+    dataflow, so standing (continuous) queries see data published after
+    dissemination.  Params: ``table``, optional ``follow`` (default True;
+    False restores the snapshot-only scan).
     """
 
     op_type = "local_table"
@@ -122,13 +126,35 @@ class LocalTableAccess(PhysicalOperator):
     def __init__(self, spec: OperatorSpec, context: ExecutionContext) -> None:
         super().__init__(spec, context)
         self.table = self.require_param("table")
+        self.follow = bool(self.param("follow", True))
+        self._unsubscribe: Optional[Callable[[], None]] = None
 
     def _rows(self) -> Iterable[Tuple]:
         tables = self.context.extras.get("local_tables", {})
         return tables.get(self.table, [])
 
+    def start(self) -> None:
+        if not self.follow:
+            return
+        subscribe = self.context.extras.get("subscribe_local_table")
+        if subscribe is not None:
+            self._unsubscribe = subscribe(self.table, self._on_rows_appended)
+
+    def stop(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        super().stop()
+
     def probe(self, tag: str = DEFAULT_PROBE_TAG) -> None:
-        for tup in list(self._rows()):
+        self._emit_rows(self._rows(), tag)
+
+    def _on_rows_appended(self, rows: List[Tuple]) -> None:
+        if not self._stopped:
+            self._emit_rows(rows, DEFAULT_PROBE_TAG)
+
+    def _emit_rows(self, rows: Iterable[Tuple], tag: str) -> None:
+        for tup in list(rows):
             coerced = tup if isinstance(tup, Tuple) else _coerce_tuple(self.table, tup)
             if coerced is None:
                 self.stats.tuples_dropped += 1

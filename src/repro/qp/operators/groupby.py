@@ -6,12 +6,25 @@ continuous queries.  ``partial_aggregate`` emits partial states (rather
 than final results) so that they can be combined downstream — either by a
 rehash exchange (flat multi-phase aggregation) or by the hierarchical
 aggregation tree of :mod:`repro.qp.hierarchical`.
+
+Two window mechanisms coexist:
+
+* the legacy ``window`` param (a period in seconds) re-emits periodically
+  with emit-then-reset semantics — each period reports only the tuples
+  that arrived during it, and the group table is cleared so long-running
+  aggregates neither grow without bound nor double-report;
+* the continuous-query ``window_spec`` param (see
+  :mod:`repro.cq.windows`) keeps *time-indexed* group state: tuples fold
+  into panes by arrival time, each closing epoch merges the panes its
+  window covers (tumbling / sliding / landmark), emitted rows carry epoch
+  stamps, and panes no future window needs are evicted.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Set, Tuple as PyTuple
 
+from repro.cq.windows import EPOCH_COLUMN, LATE_EPOCH_SETTLE, WindowSpec, epoch_stamp
 from repro.qp.aggregates import AggregateFunction, AggregateSpec, make_aggregate
 from repro.qp.operators.base import PhysicalOperator, register_operator
 from repro.qp.tuples import Tuple
@@ -69,19 +82,42 @@ class _GroupState:
 class _BaseGroupBy(PhysicalOperator):
     """Shared machinery for the group-by variants."""
 
+    # Whether this operator drives windowed emission off the pane clock.
+    # Merge sites override this: their epochs close on watermarks driven
+    # by the epoch stamps of arriving partials, not on local pane closes.
+    _uses_pane_timer = True
+
     def __init__(self, spec, context) -> None:  # noqa: ANN001
         super().__init__(spec, context)
         self.group_columns: List[str] = list(self.param("group_columns", []))
         self.aggregate_specs = parse_aggregate_specs(self.require_param("aggregates"))
         self.output_table: str = self.param("output_table", "aggregate")
         self.window: Optional[float] = self.param("window")
+        self.window_spec: Optional[WindowSpec] = WindowSpec.from_params(
+            self.param("window_spec")
+        )
+        # Merge functions are stateless combiners shared by every merge on
+        # this node (building them per merge was hot-path waste).
+        self._merge_functions = [spec.build() for spec in self.aggregate_specs]
         self._groups: Dict[PyTuple[Any, ...], _GroupState] = {}
+        # Time-indexed state: pane index -> group key -> state.  Pane
+        # boundaries are aligned to absolute virtual time (repro.cq.windows)
+        # so every node agrees on them without coordination.
+        self._panes: Dict[int, Dict[PyTuple[Any, ...], _GroupState]] = {}
+        self._landmark_cum: Dict[PyTuple[Any, ...], List[Any]] = {}
+        self._next_close_epoch: Optional[int] = None
         self._window_scheduled = False
+        self.epochs_emitted = 0
+        self.panes_evicted = 0
 
     def start(self) -> None:
-        if self.window:
+        if self.window_spec is not None:
+            if self._uses_pane_timer:
+                self._arm_pane_timer()
+        elif self.window:
             self._schedule_window()
 
+    # -- legacy periodic window (emit-then-reset) --------------------------- #
     def _schedule_window(self) -> None:
         if self._stopped:
             return
@@ -90,9 +126,91 @@ class _BaseGroupBy(PhysicalOperator):
     def _on_window(self, _data: object) -> None:
         if self._stopped:
             return
+        # Emit-then-reset: each period reports only its own arrivals.  The
+        # one-shot flush() at query teardown is unchanged — it ships
+        # whatever accumulated since the last period.
         self.flush()
         self._groups.clear()
         self._schedule_window()
+
+    # -- pane clock (continuous queries) --------------------------------------- #
+    def _arm_pane_timer(self) -> None:
+        if self._stopped:
+            return
+        spec = self.window_spec
+        if self._next_close_epoch is None:
+            # A node may install the opgraph mid-pane (dissemination delay,
+            # rejoin re-install): it starts contributing with the pane in
+            # progress and closes it at the absolute boundary.
+            self._next_close_epoch = spec.pane_of(self.context.now)
+        delay = max(spec.epoch_end(self._next_close_epoch) - self.context.now, 0.0)
+        self.context.schedule(delay, self._on_pane_close)
+
+    def _on_pane_close(self, _data: object) -> None:
+        if self._stopped:
+            return
+        epoch = self._next_close_epoch
+        self._next_close_epoch = epoch + 1
+        states = self._window_states(epoch)
+        if states:
+            self._emit_window(epoch, states)
+        self._arm_pane_timer()
+
+    def _window_states(
+        self, epoch: int
+    ) -> Dict[PyTuple[Any, ...], List[Any]]:
+        """Merge the panes epoch ``epoch`` covers and evict dead panes."""
+        spec = self.window_spec
+        if spec.landmark:
+            pane = self._panes.pop(epoch, None)
+            if pane:
+                for key, state in pane.items():
+                    self._merge_into(self._landmark_cum, key, state.states)
+            return {key: list(states) for key, states in self._landmark_cum.items()}
+        merged: Dict[PyTuple[Any, ...], List[Any]] = {}
+        for pane_index in spec.epoch_panes(epoch):
+            pane = self._panes.get(pane_index)
+            if not pane:
+                continue
+            for key, state in pane.items():
+                self._merge_into(merged, key, state.states)
+        oldest_needed = spec.oldest_live_pane(epoch)
+        for pane_index in [index for index in self._panes if index < oldest_needed]:
+            del self._panes[pane_index]
+            self.panes_evicted += 1
+        return merged
+
+    def _emit_window(
+        self, epoch: int, states: Dict[PyTuple[Any, ...], List[Any]]
+    ) -> None:
+        """Ship one closed epoch downstream; final-row form by default."""
+        stamp = epoch_stamp(self.window_spec, epoch)
+        for key, state_list in states.items():
+            payload = {
+                spec.output: function.result(state)
+                for spec, function, state in zip(
+                    self.aggregate_specs, self._merge_functions, state_list
+                )
+            }
+            payload.update(stamp)
+            self.emit(self._group_tuple(key, payload))
+        self.epochs_emitted += 1
+
+    # -- state access ------------------------------------------------------------ #
+    def _merge_into(
+        self,
+        buffer: Dict[PyTuple[Any, ...], List[Any]],
+        key: PyTuple[Any, ...],
+        states: List[Any],
+    ) -> None:
+        existing = buffer.get(key)
+        if existing is None:
+            buffer[key] = list(states)
+            return
+        buffer[key] = [
+            function.merge(left, right)
+            for function, left, right in zip(self._merge_functions, existing, states)
+        ]
 
     def _state_for(self, key: PyTuple[Any, ...]) -> _GroupState:
         state = self._groups.get(key)
@@ -101,13 +219,27 @@ class _BaseGroupBy(PhysicalOperator):
             self._groups[key] = state
         return state
 
+    def _pane_state(self, pane_index: int, key: PyTuple[Any, ...]) -> _GroupState:
+        pane = self._panes.setdefault(pane_index, {})
+        state = pane.get(key)
+        if state is None:
+            state = _GroupState([spec.build() for spec in self.aggregate_specs])
+            pane[key] = state
+        return state
+
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         key = tup.key(self.group_columns) if self.group_columns else ()
         values = [
             tup.require(spec.column) if spec.column is not None else None
             for spec in self.aggregate_specs
         ]
-        self._state_for(key).add(values)
+        if self.window_spec is not None and self._uses_pane_timer:
+            pane_index = self.window_spec.pane_of(self.context.now)
+            self._pane_state(pane_index, key).add(values)
+        else:
+            # Operators without a pane clock (watermark-driven merge
+            # sites) fold raw tuples cumulatively, emitted at flush.
+            self._state_for(key).add(values)
 
     def _group_tuple(self, key: PyTuple[Any, ...], payload: Dict[str, Any]) -> Tuple:
         values = dict(zip(self.group_columns, key))
@@ -116,6 +248,11 @@ class _BaseGroupBy(PhysicalOperator):
 
     @property
     def group_count(self) -> int:
+        if self.window_spec is not None:
+            keys = set(self._landmark_cum)
+            for pane in self._panes.values():
+                keys.update(pane)
+            return len(keys)
         return len(self._groups)
 
 
@@ -124,12 +261,17 @@ class HashGroupBy(_BaseGroupBy):
     """Final aggregation: emits one result tuple per group on flush/window.
 
     Params: ``group_columns``, ``aggregates``, optional ``output_table``,
-    ``window`` (seconds, for continuous queries).
+    ``window`` (seconds, emit-then-reset periodic emission) or
+    ``window_spec`` (continuous-query window; emitted rows carry epoch
+    stamps and panes outside the window are evicted).
     """
 
     op_type = "groupby_hash"
 
     def flush(self) -> None:
+        # With a window spec, complete epochs were emitted at their pane
+        # closes; the in-progress partial window is dropped by design (a
+        # standing query only reports complete windows).
         for key, state in self._groups.items():
             payload = {
                 spec.output: result
@@ -145,10 +287,28 @@ class PartialAggregate(_BaseGroupBy):
     On flush it emits *partial state* tuples — one per group — carrying the
     mergeable states rather than final values, so a downstream
     ``merge_aggregate`` (after a rehash, or at an aggregation-tree parent)
-    can combine them.
+    can combine them.  With a ``window_spec``, each closing epoch ships the
+    window's partial states stamped with the epoch index, and the merge
+    site recombines them per (epoch, group).
     """
 
     op_type = "partial_aggregate"
+
+    def _emit_window(
+        self, epoch: int, states: Dict[PyTuple[Any, ...], List[Any]]
+    ) -> None:
+        for key, state_list in states.items():
+            self.emit(
+                self._group_tuple(
+                    key,
+                    {
+                        "__partial_states__": list(state_list),
+                        "__group_key__": tuple(key),
+                        EPOCH_COLUMN: epoch,
+                    },
+                )
+            )
+        self.epochs_emitted += 1
 
     def flush(self) -> None:
         for key, state in self._groups.items():
@@ -169,18 +329,82 @@ class MergeAggregate(_BaseGroupBy):
 
     Accepts both partial-state tuples (merged) and raw tuples (folded), so
     it can sit at the top of either a rehash exchange or a local pipeline.
+
+    With a ``window_spec``, epoch-stamped partials are merged into
+    per-epoch buckets; each epoch is emitted once its *watermark* passes
+    (``epoch end + grace``, covering the partials' shipping latency) and
+    its bucket is evicted.  Partials arriving for an already-emitted epoch
+    are dropped and counted in ``late_partials``.
     """
 
     op_type = "merge_aggregate"
 
+    # Epochs close on arriving partials' watermarks, not the pane clock.
+    _uses_pane_timer = False
+
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        self._epoch_states: Dict[int, Dict[PyTuple[Any, ...], _GroupState]] = {}
+        self._epoch_timers: Set[int] = set()
+        self._emitted_epochs: Set[int] = set()
+        self.late_partials = 0
+
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         if "__partial_states__" in tup:
+            epoch = tup.get(EPOCH_COLUMN)
+            if self.window_spec is not None and epoch is not None:
+                self._receive_epoch_partial(int(epoch), tup)
+                return
             key = tuple(tup.require("__group_key__")) if self.group_columns else ()
             self._state_for(key).merge_states(tup.require("__partial_states__"))
         else:
             super().on_receive(tup, slot, tag)
 
+    def _receive_epoch_partial(self, epoch: int, tup: Tuple) -> None:
+        if epoch in self._emitted_epochs:
+            self.late_partials += 1
+            return
+        key = tuple(tup.require("__group_key__")) if self.group_columns else ()
+        bucket = self._epoch_states.setdefault(epoch, {})
+        state = bucket.get(key)
+        if state is None:
+            state = _GroupState([spec.build() for spec in self.aggregate_specs])
+            bucket[key] = state
+        state.merge_states(tup.require("__partial_states__"))
+        self._arm_epoch_timer(epoch)
+
+    def _arm_epoch_timer(self, epoch: int) -> None:
+        if epoch in self._epoch_timers:
+            return
+        self._epoch_timers.add(epoch)
+        delay = self.window_spec.watermark(epoch) - self.context.now
+        if delay <= 0:
+            delay = LATE_EPOCH_SETTLE
+        self.context.schedule(delay, self._on_epoch_watermark, data=epoch)
+
+    def _on_epoch_watermark(self, epoch: int) -> None:
+        self._epoch_timers.discard(epoch)
+        if self._stopped:
+            return
+        self._close_epoch(epoch)
+
+    def _close_epoch(self, epoch: int) -> None:
+        bucket = self._epoch_states.pop(epoch, None)
+        if not bucket or epoch in self._emitted_epochs:
+            return
+        self._emitted_epochs.add(epoch)
+        self._emit_window(
+            epoch, {key: list(state.states) for key, state in bucket.items()}
+        )
+
     def flush(self) -> None:
+        if self.window_spec is not None:
+            # Lifetime expiry: ship the epochs still waiting on their
+            # watermark so the final windows are not lost.
+            for epoch in sorted(self._epoch_states):
+                self._close_epoch(epoch)
+        # Cumulative state (one-shot queries; raw tuples and epoch-less
+        # partials of windowed plans) is emitted here either way.
         for key, state in self._groups.items():
             payload = {
                 spec.output: result

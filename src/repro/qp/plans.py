@@ -88,6 +88,7 @@ def flat_aggregation_plan(
     timeout: float = 20.0,
     output_table: str = "aggregate",
     rendezvous: str = "agg_rehash",
+    window_spec: Optional[Dict[str, Any]] = None,
 ) -> QueryPlan:
     """Two-opgraph multi-phase aggregation via a rehash exchange.
 
@@ -96,6 +97,11 @@ def flat_aggregation_plan(
     rendezvous namespace -> merge aggregate -> result handler.  Each group's
     partials all land on the node owning that group key, which produces the
     final row for the group.
+
+    ``window_spec`` (see :class:`repro.cq.windows.WindowSpec`) turns the
+    plan into a standing windowed aggregate: the partial step ships
+    epoch-stamped window partials at each pane close and the merge step
+    emits one result set per epoch at its watermark.
     """
     plan = QueryPlan(timeout=timeout)
     producer = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
@@ -107,17 +113,16 @@ def flat_aggregation_plan(
     if predicate is not None:
         producer.add_operator("select", "selection", {"predicate": predicate}, inputs=[upstream])
         upstream = "select"
-    producer.add_operator(
-        "partial",
-        "partial_aggregate",
-        {
-            "group_columns": group_columns,
-            "aggregates": aggregates,
-            "output_table": output_table,
-            "window": max(timeout / 4.0, 1.0),
-        },
-        inputs=[upstream],
-    )
+    partial_params: Dict[str, Any] = {
+        "group_columns": group_columns,
+        "aggregates": aggregates,
+        "output_table": output_table,
+    }
+    if window_spec is not None:
+        partial_params["window_spec"] = dict(window_spec)
+    else:
+        partial_params["window"] = max(timeout / 4.0, 1.0)
+    producer.add_operator("partial", "partial_aggregate", partial_params, inputs=[upstream])
     producer.add_operator(
         "rehash",
         "put",
@@ -128,16 +133,14 @@ def flat_aggregation_plan(
     consumer.add_operator(
         "scan_partials", "dht_scan", {"namespace": rendezvous, "scoped": True}
     )
-    consumer.add_operator(
-        "merge",
-        "merge_aggregate",
-        {
-            "group_columns": group_columns,
-            "aggregates": aggregates,
-            "output_table": output_table,
-        },
-        inputs=["scan_partials"],
-    )
+    merge_params: Dict[str, Any] = {
+        "group_columns": group_columns,
+        "aggregates": aggregates,
+        "output_table": output_table,
+    }
+    if window_spec is not None:
+        merge_params["window_spec"] = dict(window_spec)
+    consumer.add_operator("merge", "merge_aggregate", merge_params, inputs=["scan_partials"])
     consumer.add_operator("results", "result_handler", {"batch": 16}, inputs=["merge"])
     return plan
 
@@ -152,8 +155,14 @@ def hierarchical_aggregation_plan(
     output_table: str = "aggregate",
     local_wait: float = 2.0,
     hold: float = 1.0,
+    window_spec: Optional[Dict[str, Any]] = None,
 ) -> QueryPlan:
-    """Single-opgraph aggregation over the in-network aggregation tree."""
+    """Single-opgraph aggregation over the in-network aggregation tree.
+
+    With ``window_spec`` each node ships epoch-stamped window partials up
+    the tree at every pane close and the root emits one result set per
+    epoch at its watermark (which must cover ``hold`` plus routing time).
+    """
     plan = QueryPlan(timeout=timeout)
     graph = plan.new_graph(dissemination=DisseminationSpec(strategy="broadcast"))
     if source == "local_table":
@@ -164,18 +173,16 @@ def hierarchical_aggregation_plan(
     if predicate is not None:
         graph.add_operator("select", "selection", {"predicate": predicate}, inputs=[upstream])
         upstream = "select"
-    graph.add_operator(
-        "hier_agg",
-        "hierarchical_aggregate",
-        {
-            "group_columns": group_columns,
-            "aggregates": aggregates,
-            "output_table": output_table,
-            "local_wait": local_wait,
-            "hold": hold,
-        },
-        inputs=[upstream],
-    )
+    agg_params: Dict[str, Any] = {
+        "group_columns": group_columns,
+        "aggregates": aggregates,
+        "output_table": output_table,
+        "local_wait": local_wait,
+        "hold": hold,
+    }
+    if window_spec is not None:
+        agg_params["window_spec"] = dict(window_spec)
+    graph.add_operator("hier_agg", "hierarchical_aggregate", agg_params, inputs=[upstream])
     graph.add_operator("results", "result_handler", {"batch": 16}, inputs=["hier_agg"])
     return plan
 

@@ -252,6 +252,21 @@ class ProxyService:
                 )
         return True
 
+    # -- lifetime renewal ------------------------------------------------------ #
+    def renew(self, query_id: str) -> bool:
+        """Re-arm the completion timer after the plan's timeout grew
+        (standing-query lifetime renewal).  The stale timer fires early and
+        is ignored by the deadline check in :meth:`_on_query_timeout`."""
+        handle = self._queries.get(query_id)
+        if handle is None or handle.finished:
+            return False
+        now = self.overlay.runtime.get_current_time()
+        due = handle.submitted_at + handle.plan.timeout + 1.0
+        if due <= now:
+            return False
+        self.overlay.runtime.schedule_event(due - now, query_id, self._on_query_timeout)
+        return True
+
     def active_query_count(self) -> int:
         return sum(1 for handle in self._queries.values() if not handle.finished)
 
@@ -305,6 +320,9 @@ class ProxyService:
         handle = self._queries.get(query_id)
         if handle is None or handle.finished:
             return
+        now = self.overlay.runtime.get_current_time()
+        if now + 1e-9 < handle.submitted_at + handle.plan.timeout + 1.0:
+            return  # lifetime was renewed; renew() armed a later timer
         handle.finished = True
         handle.finished_at = self.overlay.runtime.get_current_time()
         if handle.done_callback is not None:

@@ -70,9 +70,26 @@ class StreamingQuery:
         )
 
     # -- subscription ------------------------------------------------------- #
+    def _require_streamable_clauses(self) -> None:
+        """ORDER BY / LIMIT cannot hold over an unbounded stream — tuples
+        would be delivered unsorted and the clauses silently ignored.
+        Windowed (continuous) queries are exempt: their ordering applies
+        per result epoch (see ``PIERNetwork.subscribe``)."""
+        if self.plan.metadata.get("cq"):
+            return
+        order_by = self.plan.metadata.get("sql_order_by")
+        limit = self.plan.metadata.get("sql_limit")
+        if order_by or limit is not None:
+            raise ValueError(
+                "ORDER BY / LIMIT cannot apply to an unbounded stream; use "
+                "query() or stream.result() for an ordered snapshot, or add "
+                "a WINDOW clause and subscribe() for per-epoch ordering"
+            )
+
     def on_result(self, callback: ResultCallback) -> "StreamingQuery":
         """Invoke ``callback(tuple)`` for every result; replays past results
         so late registration misses nothing.  Returns self for chaining."""
+        self._require_streamable_clauses()
         for tup in self.handle.results:
             callback(tup)
         self._result_callbacks.append(callback)
@@ -138,9 +155,11 @@ class StreamingQuery:
         between.  The first tuple is yielded as soon as it reaches the
         proxy — first-result latency is directly visible to the client.
 
-        ORDER BY / LIMIT cannot apply to a stream; use
-        :meth:`result` (or ``PIERNetwork.query``) for ordered snapshots.
+        ORDER BY / LIMIT cannot apply to an unbounded stream (raises
+        ``ValueError``); use :meth:`result` (or ``PIERNetwork.query``) for
+        ordered snapshots.
         """
+        self._require_streamable_clauses()
         while True:
             while self._yielded < len(self.handle.results):
                 tup = self.handle.results[self._yielded]

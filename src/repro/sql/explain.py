@@ -51,6 +51,16 @@ def render_explain(plan: QueryPlan) -> str:
         f"timeout {plan.timeout:g}s"
     )
     lines.extend(_render_decisions(decisions))
+    cq = plan.metadata.get("cq")
+    if cq:
+        window = cq.get("window")
+        lines.append(
+            f"continuous query: {cq.get('kind', 'windowed')} window "
+            f"({'landmark' if window is None else f'{window:g}s'}, "
+            f"slide {cq.get('slide', 0):g}s, lifetime {cq.get('lifetime', 0):g}s, "
+            f"epoch grace {cq.get('grace', 0):g}s); result epochs are emitted "
+            f"at each window close"
+        )
     clauses = _render_result_clauses(plan.metadata)
     if clauses:
         lines.append(clauses)
@@ -99,7 +109,8 @@ def _render_result_clauses(metadata: Mapping[str, Any]) -> str:
         parts.append(f"LIMIT {limit}")
     if not parts:
         return ""
-    return "proxy-side result clauses: " + ", ".join(parts)
+    scope = "per-epoch result clauses: " if metadata.get("cq") else "proxy-side result clauses: "
+    return scope + ", ".join(parts)
 
 
 def _render_graph(graph: OpGraph) -> List[str]:

@@ -21,6 +21,10 @@ KEYWORDS = {
     "AS",
     "LIMIT",
     "TIMEOUT",
+    "WINDOW",
+    "SLIDE",
+    "LIFETIME",
+    "LANDMARK",
     "BETWEEN",
     "IN",
     "COUNT",

@@ -5,6 +5,7 @@ Supported grammar (a deliberately small but useful subset)::
     SELECT select_list
     FROM table [alias] {JOIN table [alias] ON col = col}
     [WHERE predicate]
+    [WINDOW seconds|LANDMARK [SLIDE seconds] [LIFETIME seconds]]
     [GROUP BY col {, col}]
     [ORDER BY col [ASC|DESC]]
     [LIMIT n]
@@ -15,6 +16,13 @@ COUNT/SUM/MIN/MAX/AVG with an optional ``AS`` alias.  Predicates combine
 comparisons with AND/OR/NOT, plus BETWEEN and IN ( literal list ).  As in
 the paper, the parser cannot check that column references exist — there is
 no catalog — so bad references surface at run time as dropped tuples.
+
+The window clause turns the statement into a *continuous query*
+(TelegraphCQ-style): ``WINDOW 30`` aggregates a tumbling 30-second
+window, ``SLIDE 10`` makes it slide (one result epoch every 10 seconds,
+each covering the trailing 30), ``WINDOW LANDMARK`` pins the window start
+at time zero, and ``LIFETIME 300`` keeps the standing query running for
+300 virtual seconds.  The clause is also accepted after GROUP BY.
 """
 
 from __future__ import annotations
@@ -53,6 +61,23 @@ class JoinClause:
     right_column: str
 
 
+@dataclass(frozen=True)
+class WindowClause:
+    """A parsed ``WINDOW ... [SLIDE ...] [LIFETIME ...]`` clause.
+
+    ``window`` is ``None`` for a landmark window (start pinned at time
+    zero); ``slide`` defaults to the window length (tumbling).
+    """
+
+    window: Optional[float]
+    slide: Optional[float] = None
+    lifetime: Optional[float] = None
+
+    @property
+    def landmark(self) -> bool:
+        return self.window is None
+
+
 @dataclass
 class SelectStatement:
     """Parsed representation of one query."""
@@ -63,6 +88,7 @@ class SelectStatement:
     joins: List[JoinClause] = field(default_factory=list)
     where: Optional[Any] = None  # predicate in repro.qp.expressions form
     group_by: List[str] = field(default_factory=list)
+    window: Optional[WindowClause] = None
     order_by: Optional[Tuple[str, bool]] = None  # (column, descending)
     limit: Optional[int] = None
     timeout: Optional[float] = None
@@ -125,10 +151,15 @@ class _Parser:
         where = None
         if self._accept("keyword", "WHERE"):
             where = self._predicate()
+        window = None
+        if self._accept("keyword", "WINDOW"):
+            window = self._window_clause()
         group_by: List[str] = []
         if self._accept("keyword", "GROUP"):
             self._expect("keyword", "BY")
             group_by = self._column_list()
+        if window is None and self._accept("keyword", "WINDOW"):
+            window = self._window_clause()
         order_by = None
         if self._accept("keyword", "ORDER"):
             self._expect("keyword", "BY")
@@ -152,10 +183,33 @@ class _Parser:
             joins=joins,
             where=where,
             group_by=group_by,
+            window=window,
             order_by=order_by,
             limit=limit,
             timeout=timeout,
         )
+
+    def _window_clause(self) -> WindowClause:
+        if self._accept("keyword", "LANDMARK"):
+            window = None
+        else:
+            token = self._expect("number")
+            window = float(token.value)
+            if window <= 0:
+                raise SQLSyntaxError("WINDOW length must be positive")
+        slide = None
+        if self._accept("keyword", "SLIDE"):
+            slide = float(self._expect("number").value)
+            if slide <= 0:
+                raise SQLSyntaxError("SLIDE must be positive")
+            if window is not None and slide > window:
+                raise SQLSyntaxError("SLIDE cannot exceed the WINDOW length")
+        lifetime = None
+        if self._accept("keyword", "LIFETIME"):
+            lifetime = float(self._expect("number").value)
+            if lifetime <= 0:
+                raise SQLSyntaxError("LIFETIME must be positive")
+        return WindowClause(window=window, slide=slide, lifetime=lifetime)
 
     def _select_list(self) -> List[SelectItem]:
         items = [self._select_item()]

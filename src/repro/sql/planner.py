@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog import Catalog
+from repro.cq.windows import CQ_METADATA_KEY, DEFAULT_LANDMARK_SLIDE, WindowSpec
 from repro.qp.opgraph import QueryPlan
 from repro.qp.plans import (
     JoinStep,
@@ -61,6 +62,17 @@ from repro.sql.parser import JoinClause, SelectStatement, parse_sql
 # A Bloom round only pays off when the filter is expected to prune at least
 # this fraction of the inner relation's tuples.
 BLOOM_PRUNE_THRESHOLD = 0.5
+
+# Standing-query lifetime when the statement gives neither LIFETIME nor
+# TIMEOUT.
+DEFAULT_CQ_LIFETIME = 60.0
+
+# How long after an epoch's end the merge site waits for partials before
+# emitting the epoch.  Flat aggregation partials make one exchange hop;
+# hierarchical partials are held once at the origin (``hold``) and then
+# routed over several overlay hops, so they get more slack.
+FLAT_EPOCH_GRACE = 1.5
+HIERARCHICAL_EPOCH_GRACE = 3.0
 
 
 class PlanningError(ValueError):
@@ -150,12 +162,19 @@ class NaivePlanner:
 
     def plan(self, statement: SelectStatement) -> QueryPlan:
         timeout = statement.timeout or self.default_timeout
+        window_spec = self._window_spec(statement)
+        if window_spec is not None:
+            # The window lifetime is the standing query's execution time:
+            # every node runs the opgraphs until it expires.
+            timeout = window_spec.lifetime
         if statement.joins:
             plan = self._plan_join(statement, timeout)
         elif statement.has_aggregates or statement.group_by:
-            plan = self._plan_aggregate(statement, timeout)
+            plan = self._plan_aggregate(statement, timeout, window_spec)
         else:
             plan = self._plan_scan(statement, timeout)
+        if window_spec is not None:
+            plan.metadata[CQ_METADATA_KEY] = window_spec.to_metadata()
         plan.metadata.update(
             {
                 "sql_limit": statement.limit,
@@ -208,8 +227,48 @@ class NaivePlanner:
         }
         return plan
 
+    # -- continuous queries -----------------------------------------------------------#
+    def _window_spec(self, statement: SelectStatement) -> Optional[WindowSpec]:
+        """Validate the statement's window clause and build the shared spec."""
+        clause = statement.window
+        if clause is None:
+            return None
+        if statement.joins:
+            raise PlanningError(
+                "window clauses are not supported on join queries; "
+                "aggregate a single table instead"
+            )
+        if not (statement.has_aggregates or statement.group_by):
+            raise PlanningError(
+                "a window clause requires aggregation (GROUP BY / aggregate "
+                "functions): windowed plain scans are just streams — use "
+                "stream(sql) without a WINDOW clause"
+            )
+        if clause.landmark:
+            slide = clause.slide if clause.slide is not None else DEFAULT_LANDMARK_SLIDE
+        else:
+            slide = clause.slide if clause.slide is not None else clause.window
+        lifetime = clause.lifetime or statement.timeout or DEFAULT_CQ_LIFETIME
+        grace = (
+            HIERARCHICAL_EPOCH_GRACE
+            if self.aggregation_strategy == "hierarchical"
+            else FLAT_EPOCH_GRACE
+        )
+        return WindowSpec(
+            window=clause.window,
+            slide=slide,
+            lifetime=lifetime,
+            grace=grace,
+            group_columns=list(statement.group_by),
+        )
+
     # -- aggregation -----------------------------------------------------------------#
-    def _plan_aggregate(self, statement: SelectStatement, timeout: float) -> QueryPlan:
+    def _plan_aggregate(
+        self,
+        statement: SelectStatement,
+        timeout: float,
+        window_spec: Optional[WindowSpec] = None,
+    ) -> QueryPlan:
         info = self._info(statement.table)
         aggregates = []
         for item in statement.select_items:
@@ -224,6 +283,14 @@ class NaivePlanner:
             if self.aggregation_strategy == "hierarchical"
             else flat_aggregation_plan
         )
+        builder_opts: Dict[str, Any] = {}
+        if window_spec is not None:
+            builder_opts["window_spec"] = window_spec.to_metadata()
+            if builder is hierarchical_aggregation_plan:
+                # Partials are held-and-combined at every tree hop; the
+                # per-hop hold must be small enough that a multi-hop path
+                # still beats the root's epoch watermark (the grace).
+                builder_opts["hold"] = 0.25
         plan = builder(
             statement.table,
             group_columns=statement.group_by,
@@ -231,16 +298,25 @@ class NaivePlanner:
             source="local_table" if info.source == "local" else "dht_scan",
             predicate=statement.where,
             timeout=timeout,
+            **builder_opts,
         )
+        detail = (
+            "hierarchical in-network aggregation over the aggregation tree"
+            if self.aggregation_strategy == "hierarchical"
+            else "flat multi-phase aggregation (rehash on the group key)"
+        )
+        if window_spec is not None:
+            detail = (
+                f"continuous {window_spec.kind} window "
+                f"({'landmark' if window_spec.landmark else f'{window_spec.window:g}s'}"
+                f", slide {window_spec.slide:g}s, lifetime {window_spec.lifetime:g}s) "
+                f"over " + detail
+            )
         plan.metadata["planner"] = {
             "kind": "aggregation",
             "source": info.source,
             "aggregation_strategy": self.aggregation_strategy,
-            "detail": (
-                "hierarchical in-network aggregation over the aggregation tree"
-                if self.aggregation_strategy == "hierarchical"
-                else "flat multi-phase aggregation (rehash on the group key)"
-            ),
+            "detail": detail,
         }
         return plan
 

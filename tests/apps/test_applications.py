@@ -77,6 +77,31 @@ def test_network_monitor_events_per_port():
     assert sum(per_port.values()) == 12 * 30
 
 
+def test_live_monitoring_dashboard_reports_exact_window_epochs():
+    """The continuous-monitoring workload: a live feed publishes events
+    while a standing windowed top-k query reports each epoch; delivered
+    counts must match the feed's per-window ground truth."""
+    network = PIERNetwork(8, seed=26)
+    workload = FirewallWorkload(8, events_per_node=80, source_pool=25, seed=26)
+    app = NetworkMonitorApp(network)
+    feed = app.attach_live_feed(workload, interval=1.0, events_per_tick=2)
+    cq = app.watch_top_sources(window=5.0, lifetime=22.0, k=5)
+    epochs = []
+    cq.on_epoch(epochs.append)
+    network.run(30.0)
+    feed.stop()
+    assert cq.finished
+    assert len(epochs) >= 3
+    for epoch in epochs:
+        truth = feed.true_window_counts(epoch.start, epoch.end)
+        assert len(epoch) <= 5, "per-epoch LIMIT bounds the dashboard"
+        for row in epoch.rows():
+            assert truth[row["source_ip"]] == row["events"]
+        # The reported leader really is a true top source of this window.
+        top = epoch.tuples[0]
+        assert top.get("events") == max(truth.values())
+
+
 def test_monitor_rejects_mismatched_workload():
     network = PIERNetwork(5, seed=24)
     workload = FirewallWorkload(6, events_per_node=5, seed=24)

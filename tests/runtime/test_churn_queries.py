@@ -217,6 +217,126 @@ def test_stream_resilience_opt_out_overrides_deployment_default():
     stream.cancel()
 
 
+def test_standing_windowed_aggregate_survives_root_failure_with_exact_epochs():
+    """A continuous windowed hierarchical aggregate keeps delivering exact
+    per-window totals across an aggregation-tree root failure: origins
+    re-ship their epoch-stamped cumulative contributions and the new root
+    emits each window at its watermark."""
+    network = PIERNetwork(16, seed=52)
+    for address in range(16):
+        network.register_local_table(address, "events", [])
+    policy = ResiliencePolicy.enabled(liveness_interval=1.0, root_monitor_interval=0.5)
+    cq = network.subscribe(
+        "SELECT src, COUNT(*) AS n FROM events WINDOW 6 LIFETIME 40 GROUP BY src",
+        aggregation_strategy="hierarchical",
+        resilience=policy,
+    )
+    owner = _root_owner(network, cq.plan)
+
+    log = []
+
+    def tick(_data):
+        now = network.now
+        # The root owner holds no data, so totals are exact even for the
+        # window in which it dies (its unshipped local pane dies with it).
+        for address in range(16):
+            if address != owner and network.environment.is_alive(address):
+                network.append_local_rows(
+                    address, "events", [Tuple.make("events", src="s")]
+                )
+                log.append(now)
+        if now < 36.0:
+            network.nodes[0].runtime.schedule_event(1.0, None, tick)
+
+    network.nodes[0].runtime.schedule_event(0.4, None, tick)
+    epochs = []
+    cq.on_epoch(epochs.append)
+
+    network.run(8.0)  # epoch 0 emitted by the original root
+    network.fail_node(owner)  # dies holding epoch-1 state
+    network.run(40.0)
+
+    assert cq.finished
+    assert len(epochs) >= 4
+    for epoch in epochs:
+        truth = sum(1 for t in log if epoch.start <= t < epoch.end)
+        counts = {t.get("src"): t.get("n") for t in epoch.tuples}
+        assert counts == {"s": truth}, (
+            f"epoch {epoch.index} [{epoch.start}, {epoch.end}) must stay exact "
+            f"across the root handoff"
+        )
+    assert owner in cq.down_nodes
+    assert cq.coverage == pytest.approx(15 / 16)
+
+
+def test_rejoining_node_reinstalls_standing_query_with_remaining_lifetime():
+    """Rejoin re-dissemination re-installs a standing windowed query with
+    its *remaining* lifetime (not the original), and the recovered node's
+    data rejoins subsequent window epochs."""
+    network = PIERNetwork(12, seed=53)
+    for address in range(12):
+        network.register_local_table(address, "events", [])
+    cq = network.subscribe(
+        "SELECT src, COUNT(*) AS n FROM events WINDOW 5 LIFETIME 35 GROUP BY src",
+        resilience=ResiliencePolicy.enabled(liveness_interval=1.0),
+    )
+    victim = 5
+    log = []
+
+    def tick(_data):
+        now = network.now
+        for address in range(12):
+            if network.environment.is_alive(address):
+                network.append_local_rows(
+                    address, "events", [Tuple.make("events", src="s")]
+                )
+                log.append((now, address))
+        if now < 30.0:
+            network.nodes[0].runtime.schedule_event(1.0, None, tick)
+
+    network.nodes[0].runtime.schedule_event(0.4, None, tick)
+    epochs = []
+    cq.on_epoch(epochs.append)
+
+    network.run(4.0)
+    network.fail_node(victim)
+    network.run(6.0)
+    installs_before = network.node(victim).executor.graphs_installed
+    network.recover_node(victim)
+    network.run(0.5)
+
+    assert cq.stream.handle.redisseminations >= 1
+    reinstalled = [
+        graph
+        for graph in network.node(victim).executor.running_graphs()
+        if graph.query_id == cq.query_id
+    ]
+    assert network.node(victim).executor.graphs_installed > installs_before
+    assert reinstalled, "the standing query was re-installed on the rejoined node"
+    query_deadline = cq.stream.handle.submitted_at + cq.plan.timeout
+    for graph in reinstalled:
+        # Remaining lifetime, not the original: the re-installed graph tears
+        # down with the query (within a routing-latency slack), far earlier
+        # than a full lifetime from the reinstall.
+        assert graph.deadline == pytest.approx(query_deadline, abs=0.5)
+        assert graph.deadline < graph.started_at + cq.plan.timeout - 5.0
+
+    network.run(34.0)
+    assert cq.finished
+    assert cq.coverage == 1.0, "the rejoined participant counts as covered"
+    # Epochs after the rejoin include the victim's feed again, exactly.
+    post_rejoin = [epoch for epoch in epochs if epoch.start > network.now - 40.0 and epoch.start >= 12.0]
+    assert post_rejoin, "standing query kept delivering epochs after the rejoin"
+    for epoch in post_rejoin:
+        truth = sum(1 for t, _a in log if epoch.start <= t < epoch.end)
+        counts = {t.get("src"): t.get("n") for t in epoch.tuples}
+        assert counts == {"s": truth}
+        victim_rows = sum(
+            1 for t, a in log if a == victim and epoch.start <= t < epoch.end
+        )
+        assert victim_rows > 0, "the victim's data is back in the window"
+
+
 def test_confirmed_failure_without_redissemination_stays_uncovered():
     """Regression: a recovered node whose opgraphs were purged but never
     re-installed must not snap coverage back to 1.0."""
