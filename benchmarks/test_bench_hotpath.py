@@ -1,0 +1,249 @@
+"""Benchmark: hot-path throughput — wall-clock events/sec and tuples/sec.
+
+Unlike the other benchmarks (which measure *virtual-time* metrics such as
+message counts and latencies), this one measures how fast the simulator
+itself executes: how many scheduler events and application tuples are
+processed per wall-clock second.  It is the tracked number for the
+tuple/message/scheduler hot path — interned schemas, zero-copy wire
+objects, memoized message sizing, and the O(1) scheduler bookkeeping.
+
+The macro scenario runs two phases at 64 nodes (12 in smoke mode):
+
+* **multi-join** — a wide-tuple star schema (12-column fact rows, the
+  self-describing format the paper ships per tuple) queried with a 3-way
+  left-deep rehash-join pipeline over the batching exchange;
+* **standing windowed aggregate** — a continuous ``WINDOW``/``LIFETIME``
+  query over a live firewall feed publishing on every node each second.
+
+Results are written to ``BENCH_hotpath.json`` at the repo root (one entry
+per mode) so the perf trajectory is tracked across PRs.  Correctness is
+asserted on every run: the join must return exactly one row per fact
+tuple and every window epoch must match the feed's ground truth — the
+hot-path work must change wall-clock only, never answers or message/byte
+counters.
+
+Set ``HOTPATH_SMOKE=1`` for the small CI version.  With
+``HOTPATH_ENFORCE_BASELINE=1`` the run fails if events/sec regresses more
+than 30% below the checked-in ``benchmarks/hotpath_baseline.json`` entry
+for the mode (this is the CI regression gate; leave it unset on
+interactive machines whose speed differs from the baseline recorder).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro import PIERNetwork
+from repro.apps.network_monitor import FIREWALL_TABLE, NetworkMonitorApp
+from repro.qp.tuples import Tuple
+from repro.workloads.firewall import FirewallWorkload
+
+SEED = 4105
+SMOKE = os.environ.get("HOTPATH_SMOKE", "") not in ("", "0")
+MODE = "smoke" if SMOKE else "full"
+NODES = 12 if SMOKE else 64
+FACT_ROWS = 240 if SMOKE else 1200
+K_KEYS = 8
+J_KEYS = 40
+BATCH_SIZE = 8
+WINDOW = 5.0
+NUM_WINDOWS = 3 if SMOKE else 5
+EVENTS_PER_TICK = 2
+CQ_LIFETIME = NUM_WINDOWS * WINDOW + 5.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_hotpath.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "hotpath_baseline.json"
+REGRESSION_TOLERANCE = 0.30
+
+
+def _wide_fact(i: int) -> Tuple:
+    """A 12-column self-describing fact tuple: the column names travel with
+    every copy, which is exactly the overhead the interned schemas cut."""
+    return Tuple.make(
+        "hp_fact",
+        f_id=i,
+        k=i % K_KEYS,
+        j=i % J_KEYS,
+        src=f"10.0.{i % 256}.{(i * 7) % 256}",
+        dst=f"192.168.{i % 64}.{(i * 3) % 256}",
+        sport=1024 + (i % 5000),
+        dport=(i * 13) % 1024,
+        proto="tcp" if i % 3 else "udp",
+        bytes=64 + (i % 1400),
+        packets=1 + (i % 16),
+        flags=i % 32,
+        label=f"evt-{i % 97}",
+    )
+
+
+def _run_multi_join() -> dict:
+    network = PIERNetwork(
+        NODES, seed=SEED, exchange_batch_size=BATCH_SIZE, exchange_flush_interval=0.25
+    )
+    network.create_table("hp_fact", partitioning=["f_id"])
+    network.create_table("hp_dim_k", partitioning=["dk_id"])
+    network.create_table("hp_dim_j", partitioning=["dj_id"])
+    network.publish("hp_fact", [_wide_fact(i) for i in range(FACT_ROWS)])
+    network.publish(
+        "hp_dim_k",
+        [Tuple.make("hp_dim_k", dk_id=i, k=i, k_name=f"class-{i}") for i in range(K_KEYS)],
+    )
+    network.publish(
+        "hp_dim_j",
+        [Tuple.make("hp_dim_j", dj_id=i, j=i, j_name=f"site-{i}") for i in range(J_KEYS)],
+    )
+    network.run(4.0)
+    result = network.query(
+        "SELECT k FROM hp_fact JOIN hp_dim_k ON k = k JOIN hp_dim_j ON j = j TIMEOUT 20",
+        include_explain=False,
+    )
+    scheduler = network.environment.scheduler
+    return {
+        "rows": len(result),
+        "published": FACT_ROWS + K_KEYS + J_KEYS,
+        "events": scheduler.events_dispatched,
+        "messages": network.environment.stats.messages_sent,
+        "bytes": network.environment.stats.bytes_sent,
+        "peak_live_events": getattr(scheduler, "peak_live_events", None),
+    }
+
+
+def _run_standing_window() -> dict:
+    network = PIERNetwork(NODES, seed=SEED)
+    app = NetworkMonitorApp(network)
+    workload = FirewallWorkload(
+        node_count=NODES, events_per_node=120, source_pool=40, seed=SEED
+    )
+    feed = app.attach_live_feed(workload, interval=1.0, events_per_tick=EVENTS_PER_TICK)
+    cq = network.subscribe(
+        f"SELECT source_ip, COUNT(*) AS events FROM {FIREWALL_TABLE} "
+        f"WINDOW {WINDOW:g} LIFETIME {CQ_LIFETIME:g} GROUP BY source_ip"
+    )
+    epochs = []
+    cq.on_epoch(epochs.append)
+    network.run(CQ_LIFETIME + 6.0)
+    feed.stop()
+    exact = sum(
+        1
+        for epoch in epochs
+        if {t.get("source_ip"): t.get("events") for t in epoch.tuples}
+        == feed.true_window_counts(epoch.start, epoch.end)
+    )
+    scheduler = network.environment.scheduler
+    return {
+        "epochs": len(epochs),
+        "exact": exact,
+        "published": len(feed.published),
+        "result_tuples": sum(len(epoch.tuples) for epoch in epochs),
+        "events": scheduler.events_dispatched,
+        "messages": network.environment.stats.messages_sent,
+        "bytes": network.environment.stats.bytes_sent,
+        "peak_live_events": getattr(scheduler, "peak_live_events", None),
+    }
+
+
+def _run_scenario() -> dict:
+    started = time.perf_counter()
+    join = _run_multi_join()
+    window = _run_standing_window()
+    wall = time.perf_counter() - started
+    events = join["events"] + window["events"]
+    tuples = (
+        join["published"]
+        + join["rows"]
+        + window["published"]
+        + window["result_tuples"]
+    )
+    peaks = [
+        phase["peak_live_events"]
+        for phase in (join, window)
+        if phase["peak_live_events"] is not None
+    ]
+    return {
+        "mode": MODE,
+        "nodes": NODES,
+        "wall_seconds": wall,
+        "events_dispatched": events,
+        "events_per_sec": events / wall,
+        "tuples_processed": tuples,
+        "tuples_per_sec": tuples / wall,
+        "peak_live_heap_events": max(peaks) if peaks else None,
+        "messages_sent": join["messages"] + window["messages"],
+        "bytes_sent": join["bytes"] + window["bytes"],
+        "join_rows": join["rows"],
+        "epochs": window["epochs"],
+        "exact_epochs": window["exact"],
+    }
+
+
+def _record(entry: dict) -> None:
+    history = {}
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            history = {}
+    history[MODE] = entry
+    RESULTS_PATH.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def _baseline_events_per_sec() -> float | None:
+    if not BASELINE_PATH.exists():
+        return None
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except (ValueError, OSError):
+        return None
+    entry = baseline.get(MODE)
+    if not isinstance(entry, dict):
+        return None
+    value = entry.get("events_per_sec")
+    return float(value) if value is not None else None
+
+
+def test_hotpath_events_per_second(benchmark):
+    entry = benchmark.pedantic(_run_scenario, rounds=1, iterations=1)
+    _record(entry)
+    print_table(
+        f"Hot-path throughput — {NODES} nodes ({MODE} mode)",
+        ["metric", "value"],
+        [
+            ["events/sec", f"{entry['events_per_sec']:,.0f}"],
+            ["tuples/sec", f"{entry['tuples_per_sec']:,.0f}"],
+            ["events dispatched", f"{entry['events_dispatched']:,}"],
+            ["wall seconds", f"{entry['wall_seconds']:.2f}"],
+            ["peak live heap events", entry["peak_live_heap_events"]],
+            ["messages sent", f"{entry['messages_sent']:,}"],
+            ["bytes sent", f"{entry['bytes_sent']:,}"],
+            ["join rows", entry["join_rows"]],
+            ["exact epochs", f"{entry['exact_epochs']}/{entry['epochs']}"],
+        ],
+    )
+    benchmark.extra_info.update(
+        {
+            "events/sec": entry["events_per_sec"],
+            "tuples/sec": entry["tuples_per_sec"],
+            "messages": entry["messages_sent"],
+            "bytes": entry["bytes_sent"],
+        }
+    )
+
+    # Hot-path changes must never change answers: every fact row matches
+    # exactly one row of each dimension, and every epoch must be exact.
+    assert entry["join_rows"] == FACT_ROWS
+    assert entry["epochs"] >= NUM_WINDOWS - 1
+    assert entry["exact_epochs"] == entry["epochs"]
+
+    baseline = _baseline_events_per_sec()
+    if baseline is not None and os.environ.get("HOTPATH_ENFORCE_BASELINE", "") not in ("", "0"):
+        floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+        assert entry["events_per_sec"] >= floor, (
+            f"events/sec regressed >30%: {entry['events_per_sec']:,.0f} < "
+            f"{floor:,.0f} (baseline {baseline:,.0f})"
+        )

@@ -63,6 +63,10 @@ class LiveFirewallFeed:
         self.duration = duration
         self.published: List[PyTuple[float, str]] = []  # (virtual time, source_ip)
         self._event_cursor: Dict[int, int] = {}
+        # The per-node event sequence is deterministic in (seed, address),
+        # so generate it once per node; every tick slices the cached list
+        # instead of re-drawing the node's entire log.
+        self._node_events: Dict[int, List] = {}
         self._active = False
         self._started_at: Optional[float] = None
 
@@ -98,7 +102,11 @@ class LiveFirewallFeed:
         """The next slice of this node's (deterministic) event sequence,
         re-stamped with the publish time."""
         cursor = self._event_cursor.get(address, 0)
-        events = self.workload.events_for_node(address)
+        events = self._node_events.get(address)
+        if events is None:
+            events = self._node_events.setdefault(
+                address, self.workload.events_for_node(address)
+            )
         rows = []
         for offset in range(self.events_per_tick):
             base = events[(cursor + offset) % len(events)]

@@ -28,7 +28,7 @@ def reseed_suffixes(seed: int) -> None:
     _suffix_rng = random.Random(seed)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectName:
     """The three-part name of every PIER object in the DHT."""
 

@@ -14,7 +14,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.overlay.naming import ObjectName
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredObject:
     """One soft-state object held by a node's object manager."""
 

@@ -24,7 +24,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.overlay.identifiers import ID_BITS, IdentifierSpace, node_identifier
+from repro.overlay.identifiers import ID_BITS, ID_SPACE as _ID_SPACE, IdentifierSpace, node_identifier
 
 
 @dataclass
@@ -148,6 +148,10 @@ class ChordRouter(Router):
         self.predecessor: Optional[NodeContact] = None
         self.fingers: List[Optional[NodeContact]] = [None] * ID_BITS
         self._contacts: Dict[int, NodeContact] = {}
+        # The finger table has ID_BITS entries but only O(log N) *distinct*
+        # contacts; routing walks this deduplicated view so each candidate
+        # is evaluated once per hop instead of once per table slot.
+        self._unique_fingers: List[NodeContact] = []
 
     # -- maintenance ------------------------------------------------------- #
     def refresh(self, members: Sequence[NodeContact]) -> None:
@@ -164,6 +168,7 @@ class ChordRouter(Router):
             self.successors = []
             self.predecessor = None
             self.fingers = [None] * ID_BITS
+            self._unique_fingers = []
             return
         index = bisect.bisect_right(identifiers, self.identifier)
         ordered = identifiers[index:] + identifiers[:index]
@@ -181,6 +186,16 @@ class ChordRouter(Router):
                 finger_index = 0
             finger_id = identifiers[finger_index]
             self.fingers.append(by_id[finger_id] if finger_id != self.identifier else None)
+        self._rebuild_unique_fingers()
+
+    def _rebuild_unique_fingers(self) -> None:
+        seen: Set[int] = set()
+        unique: List[NodeContact] = []
+        for finger in self.fingers:
+            if finger is not None and finger.identifier not in seen:
+                seen.add(finger.identifier)
+                unique.append(finger)
+        self._unique_fingers = unique
 
     def remove_contact(self, identifier: int) -> None:
         """Drop a (dead) contact from all tables immediately."""
@@ -193,6 +208,7 @@ class ChordRouter(Router):
             None if finger is not None and finger.identifier == identifier else finger
             for finger in self.fingers
         ]
+        self._rebuild_unique_fingers()
 
     # -- routing --------------------------------------------------------------#
     def is_responsible(self, target: int) -> bool:
@@ -232,15 +248,19 @@ class ChordRouter(Router):
             ):
                 return successor, True
             break
-        # Otherwise pick the closest preceding finger that makes forward progress.
+        # Otherwise pick the closest preceding finger that makes forward
+        # progress.  Each *distinct* finger contact is considered once; the
+        # winner (minimum clockwise distance to the target) is the same one
+        # the full table walk would find, since duplicates can't change a
+        # minimum.
         best: Optional[NodeContact] = None
-        best_distance = IdentifierSpace.distance(self.identifier, target)
-        for finger in reversed(self.fingers):
-            if finger is None or finger.identifier in exclude:
+        best_distance = (target - self.identifier) % _ID_SPACE
+        suspected = self._suspected_dead
+        for finger in self._unique_fingers:
+            identifier = finger.identifier
+            if identifier in exclude or identifier in suspected:
                 continue
-            if self.is_suspected_dead(finger.identifier):
-                continue
-            distance = IdentifierSpace.distance(finger.identifier, target)
+            distance = (target - identifier) % _ID_SPACE
             if 0 < distance < best_distance:
                 best = finger
                 best_distance = distance

@@ -65,7 +65,7 @@ class DHTStats:
         return self.lookup_hops_total / self.lookups_completed
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     callback: Callable[..., None]
     kind: str
@@ -73,7 +73,7 @@ class _PendingRequest:
     timer: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _RouteAttempt:
     message: Dict[str, Any]
     excluded: Set[int] = field(default_factory=set)
@@ -344,13 +344,17 @@ class OverlayNode:
                 request_id = self._register_request(
                     callback, kind="put_batch", on_timeout=lambda: callback(False)
                 )
+            # The entry pairs are shipped as-is (zero-copy): values are
+            # immutable wire objects whose sizes the simulator memoizes, so
+            # the batch message costs one envelope walk plus the sum of the
+            # elements' cached sizes.
             self._send_direct(
                 owner.address,
                 {
                     "kind": "put_batch",
                     "namespace": namespace,
                     "key": key,
-                    "entries": [[suffix, value] for suffix, value in entries],
+                    "entries": entries,
                     "lifetime": lifetime,
                     "request_id": request_id,
                     "origin": self.address,
@@ -536,6 +540,9 @@ class OverlayNode:
     # Message handling                                                    #
     # ------------------------------------------------------------------ #
     def handle_udp(self, source: Any, payload: Any) -> None:
+        # Branches ordered by observed frequency (routed lookups and their
+        # responses, then the storage operations) — every simulated message
+        # passes through here.
         if not isinstance(payload, dict) or "kind" not in payload:
             return
         self.stats.messages_received += 1
@@ -546,29 +553,11 @@ class OverlayNode:
                 self._deliver_routed(payload)
             else:
                 self._route(payload)
-        elif kind == "send":
-            payload["hops"] = payload.get("hops", 0) + 1
-            self._handle_send(payload, arrived_over_network=True)
         elif kind == "lookup_response":
             self._complete_request(
                 payload["request_id"],
                 (NodeContact(payload["owner_id"], payload["owner_address"]), payload["hops"]),
             )
-        elif kind == "get_request":
-            objects = [
-                stored.value
-                for stored in self.object_manager.get(payload["namespace"], payload["key"])
-            ]
-            self._send_direct(
-                payload["origin"],
-                {
-                    "kind": "get_response",
-                    "request_id": payload["request_id"],
-                    "objects": objects,
-                },
-            )
-        elif kind == "get_response":
-            self._complete_request(payload["request_id"], payload["objects"])
         elif kind == "put":
             name = ObjectName(payload["namespace"], payload["key"], payload["suffix"])
             self._store_locally(name, payload["value"], payload["lifetime"])
@@ -586,6 +575,30 @@ class OverlayNode:
                     payload["origin"],
                     {"kind": "ack", "request_id": payload["request_id"], "success": True},
                 )
+        elif kind == "ack":
+            self._complete_request(payload["request_id"], payload["success"])
+        elif kind == "direct":
+            # Application-level point-to-point message (used by distribution
+            # trees and hierarchical operators); treated like arriving data.
+            self._notify_new_data(payload["namespace"], payload["key"], payload["value"])
+        elif kind == "send":
+            payload["hops"] = payload.get("hops", 0) + 1
+            self._handle_send(payload, arrived_over_network=True)
+        elif kind == "get_request":
+            objects = [
+                stored.value
+                for stored in self.object_manager.get(payload["namespace"], payload["key"])
+            ]
+            self._send_direct(
+                payload["origin"],
+                {
+                    "kind": "get_response",
+                    "request_id": payload["request_id"],
+                    "objects": objects,
+                },
+            )
+        elif kind == "get_response":
+            self._complete_request(payload["request_id"], payload["objects"])
         elif kind == "renew":
             name = ObjectName(payload["namespace"], payload["key"], payload["suffix"])
             success = self.object_manager.renew(name, payload["lifetime"])
@@ -593,12 +606,6 @@ class OverlayNode:
                 payload["origin"],
                 {"kind": "ack", "request_id": payload["request_id"], "success": success},
             )
-        elif kind == "ack":
-            self._complete_request(payload["request_id"], payload["success"])
-        elif kind == "direct":
-            # Application-level point-to-point message (used by distribution
-            # trees and hierarchical operators); treated like arriving data.
-            self._notify_new_data(payload["namespace"], payload["key"], payload["value"])
         elif kind == "ping":
             # Receiving a ping proves the sender is alive; the transport ack
             # answers for us.

@@ -721,7 +721,7 @@ class HierarchicalJoinExchange(PhysicalOperator):
             "envelope_id": random_suffix(),
             "side": slot,
             "key": list(key),
-            "tuple": tup.to_dict(),
+            "tuple": tup.to_wire(),
             "path": [self.context.overlay.identifier],
         }
         self._process(envelope, emit_early=True)
@@ -783,8 +783,8 @@ class HierarchicalJoinExchange(PhysicalOperator):
             left_env, right_env = (
                 (envelope, cached) if envelope["side"] == 0 else (cached, envelope)
             )
-            left = Tuple.from_dict(left_env["tuple"])
-            right = Tuple.from_dict(right_env["tuple"])
+            left = Tuple.from_wire(left_env["tuple"])
+            right = Tuple.from_wire(right_env["tuple"])
             if emit_early:
                 self.early_results += 1
             else:

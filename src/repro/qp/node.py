@@ -83,9 +83,9 @@ class PIERNode:
         key = tup.key(partitioning_columns)
         partition_key = key[0] if len(key) == 1 else key
         if use_send:
-            self.overlay.send(namespace, partition_key, random_suffix(), tup.to_dict(), lifetime)
+            self.overlay.send(namespace, partition_key, random_suffix(), tup.to_wire(), lifetime)
         else:
-            self.overlay.put(namespace, partition_key, random_suffix(), tup.to_dict(), lifetime)
+            self.overlay.put(namespace, partition_key, random_suffix(), tup.to_wire(), lifetime)
 
     def publish_secondary_index(
         self,
@@ -104,7 +104,7 @@ class PIERNode:
             index_namespace,
             {"index_key": index_key, "base_namespace": base_namespace, "base_key": base_key},
         )
-        self.overlay.put(index_namespace, index_key, random_suffix(), pointer.to_dict(), lifetime)
+        self.overlay.put(index_namespace, index_key, random_suffix(), pointer.to_wire(), lifetime)
 
     # -- node-local data -------------------------------------------------------------#
     def register_local_table(self, name: str, rows: List[Tuple]) -> None:

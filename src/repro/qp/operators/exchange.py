@@ -117,16 +117,16 @@ class PutExchange(_StragglerFlushTimer, PhysicalOperator):
         self.tuples_published += 1
         if self.use_send:
             self.context.overlay.send(
-                self.namespace, partition_key, random_suffix(), tup.to_dict(), self.lifetime
+                self.namespace, partition_key, random_suffix(), tup.to_wire(), self.lifetime
             )
             return
         if self.batch_size <= 1:
             self.context.overlay.put(
-                self.namespace, partition_key, random_suffix(), tup.to_dict(), self.lifetime
+                self.namespace, partition_key, random_suffix(), tup.to_wire(), self.lifetime
             )
             return
         bucket = self._buffers.setdefault(partition_key, [])
-        bucket.append(tup.to_dict())
+        bucket.append(tup.to_wire())
         if len(bucket) >= self.batch_size:
             self._flush_partition(partition_key)
         else:
@@ -263,5 +263,5 @@ class ResultHandler(_StragglerFlushTimer, PhysicalOperator):
             self.context.proxy_address,
             namespace=RESULT_NAMESPACE,
             key=self.context.query_id,
-            value=[tup.to_dict() for tup in batch],
+            value=[tup.to_wire() for tup in batch],
         )

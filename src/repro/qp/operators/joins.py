@@ -106,7 +106,7 @@ class FetchMatchesJoin(PhysicalOperator):
         if isinstance(value, dict):
             if "table" in value and "values" in value:
                 try:
-                    return Tuple.from_dict(value)
+                    return Tuple.from_wire(value)
                 except MalformedTupleError:
                     return None
             return Tuple(self.inner_table, value)

@@ -301,7 +301,7 @@ class ProxyService:
             value = [value]
         for payload in value:
             try:
-                tup = payload if isinstance(payload, Tuple) else Tuple.from_dict(payload)
+                tup = Tuple.from_wire(payload)
             except MalformedTupleError:
                 continue
             self._record_result(query_id, tup)

@@ -29,10 +29,26 @@ from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
 _HASH_SPACE = float(2**64)
 
 
+# Memo for the hot scalar classes.  Only exact ``int`` and ``str`` are
+# cached: within those classes equal values always share one repr, so the
+# cached digest is identical to a fresh computation (floats are excluded —
+# -0.0 == 0.0 but their reprs differ — as are bools and arbitrary objects).
+_hash64_cache: Dict[Any, int] = {}
+_HASH64_CACHE_LIMIT = 1 << 16
+
+
 def _hash64(value: Any) -> int:
     """A stable 64-bit hash of an arbitrary (repr-able) value."""
+    cacheable = value.__class__ is int or value.__class__ is str
+    if cacheable:
+        cached = _hash64_cache.get(value)
+        if cached is not None:
+            return cached
     digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
+    hashed = int.from_bytes(digest, "big")
+    if cacheable and len(_hash64_cache) < _HASH64_CACHE_LIMIT:
+        _hash64_cache[value] = hashed
+    return hashed
 
 
 class DistinctSketch:

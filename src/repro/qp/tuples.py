@@ -1,4 +1,4 @@
-"""Self-describing tuples (paper Section 3.3.1).
+"""Self-describing tuples (paper Section 3.3.1) over interned schemas.
 
 PIER keeps no system catalog, so every tuple carries its own table name,
 column names, and values.  Column values are native Python objects (the
@@ -6,11 +6,24 @@ paper used native Java objects); type checking is deferred to the moment a
 comparison or function accesses the value, and tuples that do not match a
 query's expectations are discarded best-effort (Section 3.3.4, "Malformed
 Tuples").
+
+Self-description is a *logical* property, not a storage layout: tuples of
+the same shape share one interned :class:`Schema` (table name, column
+order, and an O(1) column->index map), and a :class:`Tuple` is just a
+schema reference plus a value tuple.  The tuple itself is the wire object
+— senders ship it as-is and receivers use it as-is (``to_wire`` /
+``from_wire``), with the legacy ``{"table": ..., "values": {...}}`` dict
+form still accepted on receive.  Tuples are immutable once created, which
+is what lets the simulator memoize their wire size (see
+:mod:`repro.runtime.sizing`) and pass them between virtual nodes without
+dict round-trips.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple as PyTuple
+
+from repro.runtime.sizing import MAX_DEPTH, deep_size
 
 
 class MalformedTupleError(Exception):
@@ -20,15 +33,86 @@ class MalformedTupleError(Exception):
     """
 
 
-class Tuple:
-    """An immutable, self-describing relational tuple."""
+class Schema:
+    """An interned (table, columns) descriptor shared by same-shape tuples.
 
-    __slots__ = ("table", "_columns", "_values")
+    Interning makes the per-tuple cost of self-description one pointer:
+    the column list, the column->position map, and the fixed portion of
+    the wire-size estimate are computed once per distinct shape and shared
+    by every tuple of that shape.  Use :meth:`intern`; constructing
+    ``Schema`` directly creates an un-shared instance.
+    """
+
+    __slots__ = ("table", "columns", "index", "_wire_overhead")
+
+    _interned: Dict[PyTuple[str, PyTuple[str, ...]], "Schema"] = {}
+
+    def __init__(self, table: str, columns: PyTuple[str, ...]) -> None:
+        self.table = table
+        self.columns = columns
+        self.index: Dict[str, int] = {
+            column: position for position, column in enumerate(columns)
+        }
+        self._wire_overhead: Optional[int] = None
+
+    @classmethod
+    def intern(cls, table: str, columns: Iterable[str]) -> "Schema":
+        key = (table, tuple(columns))
+        schema = cls._interned.get(key)
+        if schema is None:
+            schema = cls._interned.setdefault(key, cls(key[0], key[1]))
+        return schema
+
+    @property
+    def wire_overhead(self) -> int:
+        """Bytes of the legacy dict wire form not attributable to values.
+
+        Matches the structural estimate of ``{"table": t, "values": {...}}``
+        minus the per-tuple column values, so interned wire tuples are
+        accounted byte-for-byte like their old dict form.
+        """
+        overhead = self._wire_overhead
+        if overhead is None:
+            overhead = (
+                91
+                + len(self.table)
+                + sum(16 + len(column) for column in self.columns)
+            )
+            self._wire_overhead = overhead
+        return overhead
+
+    def __reduce__(self):  # pickled by the physical runtime's wire format
+        return (Schema.intern, (self.table, self.columns))
+
+    def __repr__(self) -> str:
+        return f"Schema({self.table}: {', '.join(self.columns)})"
+
+
+def _restore_tuple(table: str, columns: PyTuple[str, ...], values: PyTuple[Any, ...]) -> "Tuple":
+    """Unpickle hook: re-intern the schema in the receiving process."""
+    return Tuple._from_parts(Schema.intern(table, columns), values)
+
+
+class Tuple:
+    """An immutable, self-describing relational tuple: schema + values."""
+
+    __slots__ = ("schema", "_values", "_wire_size", "_hash")
 
     def __init__(self, table: str, values: Mapping[str, Any]) -> None:
-        self.table = table
-        self._columns: PyTuple[str, ...] = tuple(values.keys())
+        self.schema = Schema.intern(table, values.keys())
         self._values: PyTuple[Any, ...] = tuple(values.values())
+        self._wire_size: Optional[PyTuple[int, int]] = None  # (depth, size)
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _from_parts(cls, schema: Schema, values: PyTuple[Any, ...]) -> "Tuple":
+        """Internal fast constructor: no dict round-trip, no re-intern."""
+        tup = object.__new__(cls)
+        tup.schema = schema
+        tup._values = values
+        tup._wire_size = None
+        tup._hash = None
+        return tup
 
     # -- construction ------------------------------------------------------ #
     @staticmethod
@@ -37,35 +121,55 @@ class Tuple:
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "Tuple":
-        """Rebuild a tuple from its wire representation (see :meth:`to_dict`)."""
+        """Rebuild a tuple from the legacy dict wire form (see :meth:`to_dict`)."""
         if not isinstance(payload, Mapping) or "table" not in payload or "values" not in payload:
             raise MalformedTupleError(f"not a tuple payload: {payload!r}")
         return Tuple(str(payload["table"]), dict(payload["values"]))
 
+    @staticmethod
+    def from_wire(payload: Any) -> "Tuple":
+        """Accept a wire payload: an interned tuple passes through as-is
+        (zero-copy — tuples are immutable), the legacy
+        ``{"table", "values"}`` dict form is rebuilt."""
+        if isinstance(payload, Tuple):
+            return payload
+        if isinstance(payload, Mapping):
+            return Tuple.from_dict(payload)
+        raise MalformedTupleError(f"not a tuple payload: {payload!r}")
+
+    def to_wire(self) -> "Tuple":
+        """Wire representation: the tuple itself (schema reference + values)."""
+        return self
+
     def to_dict(self) -> Dict[str, Any]:
-        """Wire representation: the self-describing form shipped in messages."""
-        return {"table": self.table, "values": dict(zip(self._columns, self._values))}
+        """The legacy self-describing dict form (kept for compatibility)."""
+        return {"table": self.table, "values": dict(zip(self.schema.columns, self._values))}
 
     # -- access -------------------------------------------------------------- #
     @property
+    def table(self) -> str:
+        return self.schema.table
+
+    @property
     def columns(self) -> PyTuple[str, ...]:
-        return self._columns
+        return self.schema.columns
 
     def __contains__(self, column: str) -> bool:
-        return column in self._columns
+        return column in self.schema.index
 
     def __getitem__(self, column: str) -> Any:
         try:
-            return self._values[self._columns.index(column)]
-        except ValueError as exc:
+            return self._values[self.schema.index[column]]
+        except KeyError as exc:
             raise MalformedTupleError(
                 f"tuple of table {self.table!r} has no column {column!r}"
             ) from exc
 
     def get(self, column: str, default: Any = None) -> Any:
-        if column in self._columns:
-            return self._values[self._columns.index(column)]
-        return default
+        position = self.schema.index.get(column)
+        if position is None:
+            return default
+        return self._values[position]
 
     def require(self, column: str, expected_type: Optional[type] = None) -> Any:
         """Strict access used by operators: missing column or wrong type means
@@ -82,12 +186,27 @@ class Tuple:
         return self._values
 
     def as_mapping(self) -> Dict[str, Any]:
-        return dict(zip(self._columns, self._values))
+        return dict(zip(self.schema.columns, self._values))
 
     # -- derivation ------------------------------------------------------------ #
     def project(self, columns: Iterable[str], table: Optional[str] = None) -> "Tuple":
         """A new tuple with only ``columns`` (missing columns are malformed)."""
-        return Tuple(table or self.table, {column: self[column] for column in columns})
+        index = self.schema.index
+        kept: List[str] = []
+        positions: List[int] = []
+        for column in columns:
+            position = index.get(column)
+            if position is None:
+                raise MalformedTupleError(
+                    f"tuple of table {self.table!r} has no column {column!r}"
+                )
+            if column not in kept:
+                kept.append(column)
+                positions.append(position)
+        schema = Schema.intern(table or self.table, tuple(kept))
+        return Tuple._from_parts(
+            schema, tuple(self._values[position] for position in positions)
+        )
 
     def extend(self, table: Optional[str] = None, **extra: Any) -> "Tuple":
         values = self.as_mapping()
@@ -95,36 +214,99 @@ class Tuple:
         return Tuple(table or self.table, values)
 
     def rename(self, table: str) -> "Tuple":
-        return Tuple(table, self.as_mapping())
+        return Tuple._from_parts(Schema.intern(table, self.schema.columns), self._values)
 
     def join(self, other: "Tuple", table: Optional[str] = None) -> "Tuple":
         """Concatenate two tuples; colliding columns are prefixed with the
         source table name, which keeps both values visible."""
-        values: Dict[str, Any] = {}
-        for column, value in zip(self._columns, self._values):
-            values[column] = value
-        for column, value in zip(other._columns, other._values):
-            if column in values and values[column] != value:
-                values[f"{other.table}.{column}"] = value
+        columns: List[str] = list(self.schema.columns)
+        values: List[Any] = list(self._values)
+        position: Dict[str, int] = dict(self.schema.index)
+        for column, value in zip(other.schema.columns, other._values):
+            at = position.get(column)
+            if at is not None and values[at] != value:
+                column = f"{other.table}.{column}"
+                at = position.get(column)
+            if at is not None:
+                values[at] = value
             else:
-                values[column] = value
-        return Tuple(table or f"{self.table}*{other.table}", values)
+                position[column] = len(columns)
+                columns.append(column)
+                values.append(value)
+        schema = Schema.intern(table or f"{self.table}*{other.table}", tuple(columns))
+        return Tuple._from_parts(schema, tuple(values))
 
     # -- identity ---------------------------------------------------------------- #
     def key(self, columns: Iterable[str]) -> PyTuple[Any, ...]:
         """A hashable key built from the named columns (for joins/group-by)."""
-        return tuple(self[column] for column in columns)
+        index = self.schema.index
+        values = self._values
+        try:
+            if columns.__class__ is list and len(columns) == 1:
+                return (values[index[columns[0]]],)
+            return tuple(values[index[column]] for column in columns)
+        except KeyError as exc:
+            raise MalformedTupleError(
+                f"tuple of table {self.table!r} has no column {exc.args[0]!r}"
+            ) from exc
+
+    # -- accounting ---------------------------------------------------------------- #
+    def wire_size(self, depth: int = 1) -> int:
+        """Memoized structural size of this tuple on the wire.
+
+        ``depth`` is the nesting level the tuple's legacy dict form would
+        occupy in the enclosing message (1 for a single ``put``'s value,
+        3 for a ``put_batch`` entry), so the result is byte-for-byte what
+        walking that dict form at the same depth would charge — including
+        the recursion cutoff for deeply nested column values.  Tuples are
+        immutable, so the size for a given depth is computed once; a tuple
+        normally travels one kind of message, so a single-entry cache
+        suffices.
+        """
+        if depth > MAX_DEPTH:
+            return 8
+        cached = self._wire_size
+        if cached is not None and cached[0] == depth:
+            return cached[1]
+        child_depth = depth + 1
+        if child_depth > MAX_DEPTH:
+            # The "table"/"values" strings and the values dict all sit past
+            # the cutoff: 8 flat bytes each.
+            size = 16 + 8 * 4
+        else:
+            value_depth = child_depth + 1
+            if value_depth > MAX_DEPTH:
+                # Column names and values flatten to 8 bytes apiece inside
+                # the values dict.
+                size = 91 + len(self.table) + 16 * len(self._values)
+            else:
+                size = self.schema.wire_overhead + sum(
+                    deep_size(value, value_depth) for value in self._values
+                )
+        self._wire_size = (depth, size)
+        return size
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tuple):
             return NotImplemented
+        if self.schema is other.schema:
+            return self._values == other._values
         return self.table == other.table and self.as_mapping() == other.as_mapping()
 
     def __hash__(self) -> int:
-        return hash((self.table, self._columns, _hashable(self._values)))
+        value = self._hash
+        if value is None:
+            value = hash((self.table, self.schema.columns, _hashable(self._values)))
+            self._hash = value
+        return value
+
+    def __reduce__(self):  # pickled by the physical runtime's wire format
+        return (_restore_tuple, (self.table, self.schema.columns, self._values))
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{c}={v!r}" for c, v in zip(self._columns, self._values))
+        inner = ", ".join(
+            f"{c}={v!r}" for c, v in zip(self.schema.columns, self._values)
+        )
         return f"Tuple({self.table}: {inner})"
 
 

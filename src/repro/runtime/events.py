@@ -5,6 +5,12 @@ by the arrival of a network message.  Events carry an opaque
 ``callback_data`` payload plus the callable (``callback_client``) that will
 handle them; handlers run to completion on the single scheduler thread and
 must never block.
+
+Events are slotted (``@dataclass(slots=True)``): simulations allocate one
+per timer fire and per message hop, so the per-instance ``__dict__`` was
+pure overhead on the hot path.  Each event also keeps a back-reference to
+the scheduler holding it, so :meth:`Event.cancel` can update the
+scheduler's live-event accounting in O(1) instead of forcing O(n) scans.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ def _next_sequence() -> int:
     return next(_event_counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class Event:
     """A schedulable unit of work.
 
@@ -38,6 +44,10 @@ class Event:
     callback: Optional[Callable[..., None]] = None
     callback_data: Any = None
     cancelled: bool = False
+    # Scheduler bookkeeping (see MainScheduler): which scheduler's heap the
+    # event currently sits in, if any.
+    _scheduler: Any = field(default=None, repr=False, compare=False)
+    _in_heap: bool = field(default=False, repr=False, compare=False)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.sequence) < (other.time, other.sequence)
@@ -47,7 +57,11 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when it is dequeued."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_heap and self._scheduler is not None:
+            self._scheduler._note_cancelled(self)
 
     def dispatch(self) -> None:
         """Invoke the event's callback.  Subclasses customise arguments."""
@@ -55,12 +69,12 @@ class Event:
             self.callback(self.callback_data)
 
 
-@dataclass
+@dataclass(slots=True)
 class TimerEvent(Event):
     """An event created by ``scheduleEvent`` on the VRI clock interface."""
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkEvent(Event):
     """Arrival of a network message at a node.
 

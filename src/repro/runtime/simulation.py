@@ -13,13 +13,18 @@ complete node failures — all as described in the paper.
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass, field
+from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.congestion import CongestionModel, NetworkStats, NoCongestionModel
 from repro.runtime.events import Event, NetworkEvent
 from repro.runtime.scheduler import MainScheduler
+
+# Sizing rules live in repro.runtime.sizing; re-exported here because the
+# simulator is where every send is priced (and callers import it from here).
+from repro.runtime.sizing import deep_size as _deep_size  # noqa: F401
+from repro.runtime.sizing import estimate_message_size  # noqa: F401
 from repro.runtime.topology import StarTopology, Topology
 from repro.runtime.vri import (
     PortRegistry,
@@ -30,42 +35,7 @@ from repro.runtime.vri import (
 )
 
 
-def estimate_message_size(payload: Any) -> int:
-    """Rough size, in bytes, of an application message.
-
-    The simulator only needs sizes to drive the congestion models; we use a
-    structural estimate (recursive ``sys.getsizeof`` over containers) with a
-    small per-message header charge.  Most PIER messages are under 2 KB.
-    """
-    header = 48
-    return header + _deep_size(payload, depth=0)
-
-
-def _deep_size(value: Any, depth: int) -> int:
-    if depth > 6 or value is None:
-        return 8
-    if isinstance(value, (int, float, bool)):
-        return 8
-    if isinstance(value, str):
-        return 16 + len(value)
-    if isinstance(value, bytes):
-        return 16 + len(value)
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return 16 + sum(_deep_size(item, depth + 1) for item in value)
-    if isinstance(value, dict):
-        return 16 + sum(
-            _deep_size(key, depth + 1) + _deep_size(item, depth + 1)
-            for key, item in value.items()
-        )
-    if hasattr(value, "__dict__"):
-        return 32 + _deep_size(vars(value), depth + 1)
-    try:
-        return sys.getsizeof(value)
-    except TypeError:
-        return 64
-
-
-@dataclass
+@dataclass(slots=True)
 class _PendingAck:
     callback_client: Optional[UDPListener]
     callback_data: Any
@@ -96,13 +66,17 @@ class SimulatedNodeRuntime(VirtualRuntime):
         callback_data: Any,
         callback_client: Callable[[Any], None],
     ) -> Event:
-        def dispatch(data: Any) -> None:
-            if self.alive:
-                callback_client(data)
-
+        # One bound method + argument pair instead of a fresh closure per
+        # timer: nodes arm timers constantly, and the liveness gate is the
+        # same for all of them.
         return self._environment.scheduler.schedule_callback(
-            delay, dispatch, callback_data, node_id=self._address
+            delay, self._dispatch_timer, (callback_client, callback_data),
+            node_id=self._address,
         )
+
+    def _dispatch_timer(self, bound: Tuple[Callable[[Any], None], Any]) -> None:
+        if self.alive:
+            bound[0](bound[1])
 
     # -- UDP -------------------------------------------------------------#
     def listen(self, port: int, callback_client: UDPListener) -> None:
@@ -119,12 +93,15 @@ class SimulatedNodeRuntime(VirtualRuntime):
         callback_data: Any = None,
         callback_client: Optional[UDPListener] = None,
     ) -> None:
+        # Fire-and-forget sends (the common case) skip the ack bookkeeping
+        # entirely; an unacknowledged _PendingAck was dead weight per message.
+        ack = None if callback_client is None else _PendingAck(callback_client, callback_data)
         self._environment.transmit(
             source=self._address,
             source_port=source_port,
             destination=destination,
             payload=payload,
-            ack=_PendingAck(callback_client, callback_data),
+            ack=ack,
         )
 
     def udp_listener(self, port: int) -> Optional[UDPListener]:
@@ -192,8 +169,8 @@ class SimulationEnvironment:
         self.stats = NetworkStats()
         # Per-node traffic accounting (bytes), used by the bandwidth-focused
         # experiments (hierarchical aggregation / joins).
-        self.bytes_sent_by_node: Dict[int, int] = {}
-        self.bytes_received_by_node: Dict[int, int] = {}
+        self.bytes_sent_by_node: Dict[int, int] = defaultdict(int)
+        self.bytes_received_by_node: Dict[int, int] = defaultdict(int)
         self.seed = seed
         self.node_count = node_count
         self._runtimes: Dict[int, SimulatedNodeRuntime] = {
@@ -266,12 +243,12 @@ class SimulationEnvironment:
         source_port: int,
         destination: Tuple[int, int],
         payload: Any,
-        ack: _PendingAck,
+        ack: Optional[_PendingAck],
     ) -> None:
         destination_address, destination_port = destination
         size = estimate_message_size(payload)
         self.stats.record_send(size)
-        self.bytes_sent_by_node[source] = self.bytes_sent_by_node.get(source, 0) + size
+        self.bytes_sent_by_node[source] += size
         source_runtime = self._runtimes[source]
         if not source_runtime.alive:
             return
@@ -295,9 +272,7 @@ class SimulationEnvironment:
                 self._complete_ack(source, ack, success=False)
                 return
             self.stats.record_delivery()
-            self.bytes_received_by_node[destination_address] = (
-                self.bytes_received_by_node.get(destination_address, 0) + size
-            )
+            self.bytes_received_by_node[destination_address] += size
             listener.handle_udp((source, source_port), payload)
             self._complete_ack(source, ack, success=True)
 
@@ -312,20 +287,22 @@ class SimulationEnvironment:
         )
         self.scheduler.schedule(event)
 
-    def _complete_ack(self, source: int, ack: _PendingAck, success: bool) -> None:
+    def _complete_ack(self, source: int, ack: Optional[_PendingAck], success: bool) -> None:
         """Deliver the UdpCC-style acknowledgement back to the sender."""
-        if ack.callback_client is None:
+        if ack is None or ack.callback_client is None:
             return
         source_runtime = self._runtimes.get(source)
         if source_runtime is None or not source_runtime.alive:
             return
         self.stats.bytes_sent += self.UDP_ACK_OVERHEAD_BYTES
-
-        def notify(_data: Any) -> None:
-            ack.callback_client.handle_udp_ack(ack.callback_data, success)
-
         # The ack travels back over the network, so charge one RTT-ish delay.
-        self.scheduler.schedule_callback(0.0, notify, None, node_id=source)
+        self.scheduler.schedule_callback(
+            0.0, self._notify_ack, (ack, success), node_id=source
+        )
+
+    def _notify_ack(self, bound: Tuple[_PendingAck, bool]) -> None:
+        ack, success = bound
+        ack.callback_client.handle_udp_ack(ack.callback_data, success)
 
     # -- TCP ----------------------------------------------------------------#
     def tcp_open(

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkProperties:
     """Latency and bandwidth of the path between two nodes."""
 
@@ -73,18 +73,28 @@ class StarTopology(Topology):
             rng.uniform(min_access_latency, max_access_latency)
             for _ in range(node_count)
         ]
+        # Link properties are immutable and depend only on the endpoint
+        # pair, so cache them: the simulator asks for the same pairs on
+        # every message of a flow.
+        self._link_cache: Dict[Tuple[int, int], LinkProperties] = {}
 
     def access_latency(self, address: int) -> float:
         self.validate_address(address)
         return self._access_latency[address]
 
     def link(self, source: int, destination: int) -> LinkProperties:
+        cached = self._link_cache.get((source, destination))
+        if cached is not None:
+            return cached
         self.validate_address(source)
         self.validate_address(destination)
         if source == destination:
-            return LinkProperties(latency_s=0.0, bandwidth_bps=float("inf"))
-        latency = self._access_latency[source] + self._access_latency[destination]
-        return LinkProperties(latency_s=latency, bandwidth_bps=self.access_bandwidth_bps)
+            link = LinkProperties(latency_s=0.0, bandwidth_bps=float("inf"))
+        else:
+            latency = self._access_latency[source] + self._access_latency[destination]
+            link = LinkProperties(latency_s=latency, bandwidth_bps=self.access_bandwidth_bps)
+        self._link_cache[(source, destination)] = link
+        return link
 
 
 class TransitStubTopology(Topology):

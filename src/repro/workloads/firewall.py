@@ -38,6 +38,9 @@ class FirewallWorkload:
         self._rng = random.Random(self.seed)
         self._sources = [self._random_ip(index) for index in range(self.source_pool)]
         self._heavy = self._sources[: self.heavy_hitters]
+        # Heavy hitters are themselves Zipf-ranked; the weights depend only
+        # on the pool, so build them once instead of per generated event.
+        self._heavy_weights = [1.0 / (rank + 1) for rank in range(len(self._heavy))]
 
     def _random_ip(self, index: int) -> str:
         octets = (
@@ -55,9 +58,7 @@ class FirewallWorkload:
         rows: List[Tuple] = []
         for event_index in range(self.events_per_node):
             if node_rng.random() < self.heavy_hitter_share:
-                # Heavy hitters are themselves Zipf-ranked.
-                weights = [1.0 / (rank + 1) for rank in range(len(self._heavy))]
-                source = node_rng.choices(self._heavy, weights=weights, k=1)[0]
+                source = node_rng.choices(self._heavy, weights=self._heavy_weights, k=1)[0]
             else:
                 source = node_rng.choice(self._sources)
             rows.append(

@@ -1,0 +1,170 @@
+"""Pinned message-size estimates for representative wire messages.
+
+The structural sizing rules drive the congestion models and every
+bandwidth experiment, so they are pinned here byte-for-byte: the interned
+tuple wire form must cost exactly what the legacy dict form cost, batches
+must cost their envelope plus the sum of cached element sizes, and
+``__slots__`` objects must be charged for their real payload fields
+(they used to fall through to ``sys.getsizeof`` and undercount).
+"""
+
+import pytest
+
+from repro.qp.tuples import Tuple
+from repro.runtime.simulation import estimate_message_size
+from repro.runtime.sizing import HEADER_BYTES, deep_size
+
+HEADER = HEADER_BYTES
+
+
+# -- scalar and container pins --------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "payload, expected",
+    [
+        (None, HEADER + 8),
+        (7, HEADER + 8),
+        (3.5, HEADER + 8),
+        (True, HEADER + 8),
+        ("abc", HEADER + 16 + 3),
+        (b"abcd", HEADER + 16 + 4),
+        ([1, 2, 3], HEADER + 16 + 24),
+        ((1, "ab"), HEADER + 16 + 8 + 18),
+        ({"k": 1}, HEADER + 16 + (16 + 1) + 8),
+        ({1, 2}, HEADER + 16 + 16),
+    ],
+)
+def test_scalar_and_container_sizes_are_pinned(payload, expected):
+    assert estimate_message_size(payload) == expected
+
+
+def test_depth_cutoff_charges_flat_bytes():
+    nested = [[[[[[[["deep string ignored"]]]]]]]]
+    # Depth 7 exceeds the cutoff: the innermost list is charged 8 flat.
+    assert estimate_message_size(nested) == HEADER + 16 * 7 + 8
+
+
+# -- tuple wire form -------------------------------------------------------------- #
+
+
+def test_interned_tuple_costs_exactly_its_legacy_dict_form():
+    tup = Tuple.make("events", src="10.0.0.1", port=22, count=3, proto="tcp")
+    assert estimate_message_size(tup) == estimate_message_size(tup.to_dict())
+    assert tup.wire_size(0) == deep_size(tup.to_dict(), 0)
+
+
+def test_tuple_wire_size_is_memoized():
+    tup = Tuple.make("t", a=1, b="xyz")
+    assert tup._wire_size is None
+    first = tup.wire_size()
+    assert tup._wire_size == (1, first)
+    assert tup.wire_size() == first
+
+
+def test_tuple_wire_size_tracks_embedding_depth():
+    """Nested-container column values interact with the recursion cutoff,
+    so the memoized size must match the legacy walk at *every* embedding
+    depth — not just the single-``put`` depth."""
+    tup = Tuple.make("t", k=1, tags=[["alpha", "beta"], ["gamma"]])
+    for depth in range(0, 9):
+        assert tup.wire_size(depth) == deep_size(tup.to_dict(), depth), depth
+
+
+def test_put_message_size_unchanged_by_zero_copy():
+    """A ``put`` carrying the tuple object must cost the same bytes as one
+    carrying the old per-tuple dict."""
+    tup = Tuple.make("events", src="10.0.0.1", count=3)
+
+    def put_message(value):
+        return {
+            "kind": "put",
+            "namespace": "events",
+            "key": "10.0.0.1",
+            "suffix": "abcdef123456",
+            "value": value,
+            "lifetime": 600.0,
+            "request_id": None,
+            "origin": 3,
+        }
+
+    assert estimate_message_size(put_message(tup)) == estimate_message_size(
+        put_message(tup.to_dict())
+    )
+
+
+def test_put_batch_size_is_envelope_plus_cached_elements():
+    tuples = [Tuple.make("t", k=i, v=f"val-{i}") for i in range(5)]
+
+    def batch_message(entries):
+        return {
+            "kind": "put_batch",
+            "namespace": "t",
+            "key": 1,
+            "entries": entries,
+            "lifetime": 600.0,
+            "request_id": None,
+            "origin": 0,
+        }
+
+    zero_copy = batch_message([(f"{i:012x}", tup) for i, tup in enumerate(tuples)])
+    legacy = batch_message(
+        [[f"{i:012x}", tup.to_dict()] for i, tup in enumerate(tuples)]
+    )
+    assert estimate_message_size(zero_copy) == estimate_message_size(legacy)
+    # The batch is priced off the elements' memoized sizes.
+    header_only = estimate_message_size(batch_message([]))
+    per_element = [16 + (16 + 12) + tup.wire_size() for tup in tuples]
+    assert estimate_message_size(zero_copy) == header_only + sum(per_element)
+
+
+# -- __slots__ objects ------------------------------------------------------------- #
+
+
+class _SlottedAck:
+    __slots__ = ("request_id", "success")
+
+    def __init__(self, request_id: int, success: bool) -> None:
+        self.request_id = request_id
+        self.success = success
+
+
+class _SlottedDerived(_SlottedAck):
+    __slots__ = ("hops",)
+
+    def __init__(self) -> None:
+        super().__init__(7, True)
+        self.hops = 3
+
+
+class _DictPayload:
+    def __init__(self) -> None:
+        self.a = 1
+        self.b = "xy"
+
+
+def test_slots_objects_are_charged_for_their_fields():
+    ack = _SlottedAck(request_id=12, success=True)
+    fields_dict = {"request_id": 12, "success": True}
+    expected = HEADER + 32 + deep_size(fields_dict, 1)
+    assert estimate_message_size(ack) == expected
+    # Regression guard: the old estimator undercounted slots-only objects
+    # (no __dict__ -> sys.getsizeof of the bare object, fields ignored).
+    assert estimate_message_size(ack) > HEADER + 32 + 16
+
+
+def test_slots_are_collected_across_the_mro():
+    derived = _SlottedDerived()
+    fields_dict = {"request_id": 7, "success": True, "hops": 3}
+    assert estimate_message_size(derived) == HEADER + 32 + deep_size(fields_dict, 1)
+
+
+def test_dict_backed_objects_keep_their_old_size():
+    payload = _DictPayload()
+    assert estimate_message_size(payload) == HEADER + 32 + deep_size(vars(payload), 1)
+
+
+def test_unset_slots_are_skipped():
+    ack = _SlottedAck.__new__(_SlottedAck)
+    ack.request_id = 1  # "success" left unset
+    assert estimate_message_size(ack) == HEADER + 32 + deep_size({"request_id": 1}, 1)

@@ -122,3 +122,116 @@ def test_event_subclasses_share_one_queue():
     )
     scheduler.run()
     assert order == ["network", "timer"]
+
+
+# -- O(1) live-event accounting and lazy deletion -------------------------------- #
+
+
+def test_len_reflects_cancellations_immediately():
+    scheduler = MainScheduler()
+    events = [scheduler.schedule_callback(float(i), lambda d: None, None) for i in range(10)]
+    assert len(scheduler) == 10
+    # Cancel events in the *middle* of the heap: the old O(n) scan was the
+    # only way to count these; the live counter must see them instantly.
+    for event in events[3:7]:
+        event.cancel()
+    assert len(scheduler) == 6
+    # Double-cancel must not double-decrement.
+    events[3].cancel()
+    assert len(scheduler) == 6
+
+
+def test_peek_time_skips_cancelled_heap_head():
+    scheduler = MainScheduler()
+    first = scheduler.schedule_callback(1.0, lambda d: None, None)
+    scheduler.schedule_callback(2.0, lambda d: None, None)
+    first.cancel()
+    assert scheduler.peek_time() == 2.0
+    assert len(scheduler) == 1
+
+
+def test_cancel_heavy_workload_compacts_ghost_entries():
+    scheduler = MainScheduler()
+    events = [
+        scheduler.schedule_callback(float(i), lambda d: None, None) for i in range(1000)
+    ]
+    for event in events[:900]:
+        event.cancel()
+    assert len(scheduler) == 100
+    # Lazy deletion must not keep 900 ghosts parked in the heap: once the
+    # ghosts dominate, a compaction pass drops them wholesale.
+    assert len(scheduler._queue) < 500
+    assert scheduler.run() == 100
+    assert len(scheduler) == 0
+
+
+def test_cancel_after_dispatch_keeps_counters_consistent():
+    scheduler = MainScheduler()
+    event = scheduler.schedule_callback(1.0, lambda d: None, None)
+    scheduler.schedule_callback(2.0, lambda d: None, None)
+    scheduler.run()
+    assert len(scheduler) == 0
+    event.cancel()  # already dispatched: must be a no-op for the accounting
+    assert len(scheduler) == 0
+    scheduler.schedule_callback(3.0, lambda d: None, None)
+    assert len(scheduler) == 1
+
+
+def test_peak_live_events_tracks_high_water_mark():
+    scheduler = MainScheduler()
+    for i in range(5):
+        scheduler.schedule_callback(float(i), lambda d: None, None)
+    assert scheduler.peak_live_events == 5
+    scheduler.run()
+    assert scheduler.peak_live_events == 5
+    scheduler.schedule_callback(1.0, lambda d: None, None)
+    assert scheduler.peak_live_events == 5
+
+
+def test_cancelled_event_scheduled_again_is_skipped_and_uncounted():
+    scheduler = MainScheduler()
+    event = scheduler.schedule_callback(1.0, lambda d: None, None)
+    event.cancel()
+    assert len(scheduler) == 0
+    fired = []
+    scheduler.schedule_callback(2.0, lambda d: fired.append("ok"), None)
+    scheduler.run()
+    assert fired == ["ok"]
+
+
+def test_shutdown_resets_live_accounting():
+    scheduler = MainScheduler()
+    events = [scheduler.schedule_callback(float(i), lambda d: None, None) for i in range(5)]
+    scheduler.shutdown()
+    assert len(scheduler) == 0
+    events[0].cancel()  # detached from the scheduler: must not corrupt counts
+    assert len(scheduler) == 0
+
+
+def test_compaction_during_stop_condition_does_not_double_dispatch():
+    scheduler = MainScheduler()
+    fired = []
+    keepers = [
+        scheduler.schedule_callback(100.0 + i, lambda d: fired.append(d), i)
+        for i in range(5)
+    ]
+    victims = [
+        scheduler.schedule_callback(float(i), lambda d: fired.append(("victim", d)), i)
+        for i in range(200)
+    ]
+    state = {"done": False}
+
+    def stop_condition():
+        # Side-effecting stop_condition: mass-cancel mid-run, which trips
+        # the ghost compaction and replaces the heap list.
+        if not state["done"]:
+            state["done"] = True
+            for event in victims:
+                event.cancel()
+        return False
+
+    dispatched = scheduler.run(stop_condition=stop_condition)
+    assert dispatched == 5
+    assert fired == [0, 1, 2, 3, 4]
+    assert len(scheduler) == 0
+    assert scheduler._ghosts == 0
