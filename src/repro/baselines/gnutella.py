@@ -14,10 +14,10 @@ and latency model as PIER, so latency comparisons are apples-to-apples.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.runtime.rand import derive_rng
 from repro.runtime.simulation import SimulationEnvironment
 from repro.workloads.filesharing import FileDescriptor
 
@@ -132,7 +132,7 @@ class GnutellaNetwork:
         self.environment = environment
         self.default_ttl = default_ttl
         self.messages_sent = 0
-        self._rng = random.Random(seed)
+        self._rng = derive_rng(seed)
         self.peers: List[_GnutellaPeer] = [
             _GnutellaPeer(self, address) for address in range(environment.node_count)
         ]

@@ -8,13 +8,13 @@ spurious collisions within a table.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.overlay.identifiers import object_identifier
+from repro.runtime.rand import derive_rng
 
-_suffix_rng = random.Random(0xF1E7)
+_suffix_rng = derive_rng(0xF1E7)
 
 
 def random_suffix() -> str:
@@ -25,7 +25,7 @@ def random_suffix() -> str:
 def reseed_suffixes(seed: int) -> None:
     """Make suffix generation deterministic for a test or experiment."""
     global _suffix_rng
-    _suffix_rng = random.Random(seed)
+    _suffix_rng = derive_rng(seed)
 
 
 @dataclass(frozen=True, slots=True)

@@ -231,6 +231,11 @@ class QueryExecutor:
             operator.stop()
         self._release_query_state(installed)
         self.graphs_completed += 1
+        sanitizer = getattr(self.overlay.runtime, "sanitizer", None)
+        if sanitizer is not None:
+            # Teardown ledger: prove no timer stayed armed and no operator
+            # still buffers tuples after stop() (raises SanitizerError).
+            sanitizer.check_teardown(installed, node_address=self.overlay.address)
 
     def cancel_query(self, query_id: str) -> int:
         """Abort every opgraph of ``query_id`` running on this node, and

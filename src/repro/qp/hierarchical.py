@@ -134,10 +134,10 @@ class HierarchicalAggregate(_BaseGroupBy):
             self.namespace, lambda _ns, _key, value: self._on_root_arrival(_ns, _key, value)
         )
         if self.window_spec is None:
-            self.context.schedule(self.local_wait, self._ship_local)
+            self.arm_timer(self.local_wait, self._ship_local)
         if self._monitoring:
             self.context.overlay.lookup(self.root_identifier, self._on_owner_resolved)
-            self.context.schedule(self.monitor_interval, self._monitor_root)
+            self.arm_timer(self.monitor_interval, self._monitor_root)
 
     @property
     def _monitoring(self) -> bool:
@@ -166,7 +166,7 @@ class HierarchicalAggregate(_BaseGroupBy):
                 for key, states in drained.items():
                     self._enqueue_partial(key, states)
         if self.window:
-            self.context.schedule(self.window, self._ship_local)
+            self.arm_timer(self.window, self._ship_local)
 
     # -- windowed (continuous-query) mode ----------------------------------- #
     def _on_pane_close(self, _data: object) -> None:
@@ -216,7 +216,7 @@ class HierarchicalAggregate(_BaseGroupBy):
         delay = self.window_spec.watermark(epoch) - self.context.now
         if delay <= 0:
             delay = LATE_EPOCH_SETTLE
-        self.context.schedule(delay, self._on_epoch_watermark, data=epoch)
+        self.arm_timer(delay, self._on_epoch_watermark, data=epoch)
 
     def _note_partial_keys(self, keys: Iterable[Any]) -> None:
         for key in keys:
@@ -330,7 +330,7 @@ class HierarchicalAggregate(_BaseGroupBy):
     def _arm_hold_timer(self) -> None:
         if not self._hold_scheduled:
             self._hold_scheduled = True
-            self.context.schedule(self.hold, self._forward_held)
+            self.arm_timer(self.hold, self._forward_held)
 
     # -- origin-accounted batches (resilient mode) ----------------------------- #
     def _make_batch(
@@ -528,7 +528,7 @@ class HierarchicalAggregate(_BaseGroupBy):
         if self._stopped:
             return
         self.context.overlay.lookup(self.root_identifier, self._on_owner_resolved)
-        self.context.schedule(self.monitor_interval, self._monitor_root)
+        self.arm_timer(self.monitor_interval, self._monitor_root)
 
     def _on_owner_resolved(self, owner: Any, _hops: int) -> None:
         if self._stopped or owner is None:
@@ -737,7 +737,12 @@ class HierarchicalJoinExchange(PhysicalOperator):
     def _on_upcall(self, _namespace: str, _key: object, value: object) -> bool:
         if not isinstance(value, dict) or "side" not in value:
             return True
-        value["path"] = list(value.get("path", [])) + [self.context.overlay.identifier]
+        # Routed-envelope exception: "path" is per-hop routing state that the
+        # envelope accumulates as it travels (like the wrapper's hop count),
+        # mutated only by the node that currently owns the message.
+        value["path"] = list(value.get("path", [])) + [  # pierlint: disable=P02
+            self.context.overlay.identifier
+        ]
         self._process(value, emit_early=True)
         return True  # keep routing toward the bucket owner
 

@@ -190,7 +190,7 @@ class StreamAccess(PhysicalOperator):
 
     def start(self) -> None:
         self._active = True
-        self.context.schedule(self.interval, self._tick)
+        self.arm_timer(self.interval, self._tick)
 
     def stop(self) -> None:
         self._active = False
@@ -207,7 +207,7 @@ class StreamAccess(PhysicalOperator):
                     self.stats.tuples_dropped += 1
                     continue
                 self.emit(tup)
-        self.context.schedule(self.interval, self._tick)
+        self.arm_timer(self.interval, self._tick)
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         raise MalformedTupleError("access methods have no inputs")

@@ -48,12 +48,29 @@ class ExecutionContext:
     lifetime: float = 120.0
     extras: Dict[str, Any] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Timer ledger (SimSanitizer): when the runtime sanitizes, every
+        # event armed through this context is recorded so that query
+        # teardown can prove nothing stayed armed after stop().  ``None``
+        # (the default) keeps the hot path a single branch.
+        sanitizing = getattr(self.overlay.runtime, "sanitizer", None) is not None
+        self.armed_events: Optional[List[Any]] = [] if sanitizing else None
+        self.timers_armed_total = 0
+
     @property
     def now(self) -> float:
         return self.overlay.runtime.get_current_time()
 
     def schedule(self, delay: float, callback: Callable[[Any], None], data: Any = None) -> Any:
-        return self.overlay.runtime.schedule_event(delay, data, callback)
+        event = self.overlay.runtime.schedule_event(delay, data, callback)
+        armed = self.armed_events
+        if armed is not None:
+            self.timers_armed_total += 1
+            if len(armed) >= 256:
+                # Prune dispatched/cancelled entries; only live timers matter.
+                armed[:] = [e for e in armed if e._in_heap and not e.cancelled]
+            armed.append(event)
+        return event
 
     def scoped_namespace(self, name: str) -> str:
         """A DHT namespace private to this query."""
@@ -77,6 +94,8 @@ class PhysicalOperator:
         # Downstream consumers: (operator, input-slot index at the consumer).
         self._parents: List[PyTuple["PhysicalOperator", int]] = []
         self._stopped = False
+        # Timers armed through arm_timer(), cancelled wholesale by stop().
+        self._armed_timers: List[Any] = []
 
     # -- wiring ----------------------------------------------------------- #
     def add_parent(self, parent: "PhysicalOperator", slot: int) -> None:
@@ -94,13 +113,57 @@ class PhysicalOperator:
             raise ValueError(f"operator {self.spec.operator_id!r} missing param {name!r}")
         return self.spec.params[name]
 
+    # -- timers ------------------------------------------------------------ #
+    def arm_timer(
+        self, delay: float, callback: Callable[[Any], None], data: Any = None
+    ) -> Any:
+        """Schedule a timer whose lifetime is bound to this operator.
+
+        Every timer an operator arms MUST go through here (pierlint rule
+        P05): the event is tracked so the base :meth:`stop` cancels it,
+        which is what keeps a torn-down query from firing callbacks into
+        dead state — and what the SimSanitizer's teardown ledger verifies.
+        Returns the :class:`~repro.runtime.events.Event` (re-arming
+        operators may cancel it individually).
+        """
+        timers = self._armed_timers
+        if len(timers) >= 8:
+            # Drop dispatched/cancelled entries so re-arming operators
+            # (interval ticks, per-epoch watermarks) keep the list small.
+            self._armed_timers = timers = [
+                event for event in timers if event._in_heap and not event.cancelled
+            ]
+        event = self.context.schedule(delay, callback, data)
+        timers.append(event)
+        return event
+
+    def disarm_timers(self) -> int:
+        """Cancel every timer still armed; returns how many were live."""
+        cancelled = 0
+        for event in self._armed_timers:
+            if event._in_heap and not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        self._armed_timers.clear()
+        return cancelled
+
     # -- lifecycle --------------------------------------------------------- #
     def start(self) -> None:
         """Called once when the opgraph is installed on this node."""
 
     def stop(self) -> None:
-        """Called at query teardown (timeout)."""
+        """Called at query teardown (timeout).  Cancels armed timers;
+        overriding subclasses must call ``super().stop()``."""
         self._stopped = True
+        self.disarm_timers()
+
+    def residual_buffered(self) -> int:
+        """Tuples still buffered after :meth:`stop` (sanitizer ledger).
+
+        Buffering operators override this; anything non-zero after
+        teardown is reported as a leak when sanitizing.
+        """
+        return 0
 
     def flush(self) -> None:
         """Emit any buffered state (called in topological order at timeout,

@@ -39,14 +39,14 @@ class ControlFlowManager(PhysicalOperator):
     def start(self) -> None:
         self._probe_children()
         if self.reprobe_interval:
-            self.context.schedule(self.reprobe_interval, self._reprobe)
+            self.arm_timer(self.reprobe_interval, self._reprobe)
 
     def _reprobe(self, _data: object) -> None:
         if self._stopped:
             return
         self._probe_children()
         if self.reprobe_interval:
-            self.context.schedule(self.reprobe_interval, self._reprobe)
+            self.arm_timer(self.reprobe_interval, self._reprobe)
 
     def _probe_children(self) -> None:
         self.probes_issued += 1

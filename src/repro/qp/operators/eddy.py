@@ -14,11 +14,11 @@ every member exactly once, as in the original eddies paper.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.qp.expressions import matches
+from repro.runtime.rand import derive_rng
 from repro.qp.operators.base import PhysicalOperator, register_operator
 from repro.qp.tuples import Tuple
 
@@ -65,7 +65,7 @@ class Eddy(PhysicalOperator):
             member["name"]: EddyMemberStats(cost=float(member.get("cost", 1.0)))
             for member in members
         }
-        self._rng = random.Random(self.param("seed", 0))
+        self._rng = derive_rng(self.param("seed", 0))
         self.evaluations = 0
 
     # -- routing policy --------------------------------------------------- #

@@ -37,7 +37,7 @@ class _StragglerFlushTimer:
     def _arm_flush_timer(self) -> None:
         if self.flush_interval > 0 and not self._flush_timer_scheduled:
             self._flush_timer_scheduled = True
-            self.context.schedule(self.flush_interval, self._on_flush_timer)
+            self.arm_timer(self.flush_interval, self._on_flush_timer)
 
     def _on_flush_timer(self, _data: object) -> None:
         self._flush_timer_scheduled = False
@@ -158,6 +158,9 @@ class PutExchange(_StragglerFlushTimer, PhysicalOperator):
     def buffered(self) -> int:
         return sum(len(bucket) for bucket in self._buffers.values())
 
+    def residual_buffered(self) -> int:
+        return self.buffered
+
 
 @register_operator
 class Queue(PhysicalOperator):
@@ -179,7 +182,7 @@ class Queue(PhysicalOperator):
         self._buffer.append((tup, tag))
         if not self._drain_scheduled:
             self._drain_scheduled = True
-            self.context.schedule(0.0, self._drain)
+            self.arm_timer(0.0, self._drain)
 
     def _drain(self, _data: object) -> None:
         self._drain_scheduled = False
@@ -191,15 +194,25 @@ class Queue(PhysicalOperator):
             self.emit(tup, tag)
         if self._buffer and not self._drain_scheduled:
             self._drain_scheduled = True
-            self.context.schedule(0.0, self._drain)
+            self.arm_timer(0.0, self._drain)
 
     def flush(self) -> None:
         while self._buffer:
             tup, tag = self._buffer.popleft()
             self.emit(tup, tag)
 
+    def stop(self) -> None:
+        # Teardown drops whatever a pending drain would have re-injected;
+        # the drain timer itself is cancelled by the base stop().
+        super().stop()
+        self._buffer.clear()
+        self._drain_scheduled = False
+
     @property
     def depth(self) -> int:
+        return len(self._buffer)
+
+    def residual_buffered(self) -> int:
         return len(self._buffer)
 
 
@@ -240,6 +253,9 @@ class ResultHandler(_StragglerFlushTimer, PhysicalOperator):
 
     def _discard_buffered(self) -> None:
         self._pending.clear()
+
+    def residual_buffered(self) -> int:
+        return len(self._pending)
 
     def flush(self) -> None:
         self._ship()

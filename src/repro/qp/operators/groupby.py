@@ -121,7 +121,7 @@ class _BaseGroupBy(PhysicalOperator):
     def _schedule_window(self) -> None:
         if self._stopped:
             return
-        self.context.schedule(self.window, self._on_window)
+        self.arm_timer(self.window, self._on_window)
 
     def _on_window(self, _data: object) -> None:
         if self._stopped:
@@ -144,7 +144,7 @@ class _BaseGroupBy(PhysicalOperator):
             # progress and closes it at the absolute boundary.
             self._next_close_epoch = spec.pane_of(self.context.now)
         delay = max(spec.epoch_end(self._next_close_epoch) - self.context.now, 0.0)
-        self.context.schedule(delay, self._on_pane_close)
+        self.arm_timer(delay, self._on_pane_close)
 
     def _on_pane_close(self, _data: object) -> None:
         if self._stopped:
@@ -380,7 +380,7 @@ class MergeAggregate(_BaseGroupBy):
         delay = self.window_spec.watermark(epoch) - self.context.now
         if delay <= 0:
             delay = LATE_EPOCH_SETTLE
-        self.context.schedule(delay, self._on_epoch_watermark, data=epoch)
+        self.arm_timer(delay, self._on_epoch_watermark, data=epoch)
 
     def _on_epoch_watermark(self, epoch: int) -> None:
         self._epoch_timers.discard(epoch)

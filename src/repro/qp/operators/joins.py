@@ -229,14 +229,14 @@ class BloomFilterBuild(PhysicalOperator):
         # filter see it early in the query, then keep republishing while new
         # keys arrive (e.g. streamed base data) so probe refreshes converge.
         if self.publish_delay > 0:
-            self.context.schedule(self.publish_delay, self._periodic_publish)
+            self.arm_timer(self.publish_delay, self._periodic_publish)
 
     def _periodic_publish(self, _data: object) -> None:
         if self._stopped:
             return
         if self.bloom.items_added != self._published_items:
             self._publish()
-        self.context.schedule(self.publish_delay, self._periodic_publish)
+        self.arm_timer(self.publish_delay, self._periodic_publish)
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         self.bloom.add(tup.key(self.columns))
@@ -309,12 +309,12 @@ class BloomFilterProbe(PhysicalOperator):
             # keys streamed into the build side mid-query) are picked up,
             # narrowing the false-negative window for later inner tuples.
             if self.wait > 0:
-                self.context.schedule(self.wait, fetch)
+                self.arm_timer(self.wait, fetch)
 
         # Give builders elsewhere in the network time to publish their
         # filters; input tuples buffer until the merged filter arrives.
         if self.wait > 0:
-            self.context.schedule(self.wait, fetch)
+            self.arm_timer(self.wait, fetch)
         else:
             fetch(None)
 

@@ -9,10 +9,10 @@ sweep churn rates.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Set
 
+from repro.runtime.rand import derive_rng
 from repro.runtime.simulation import SimulationEnvironment
 
 
@@ -54,7 +54,7 @@ class ChurnProcess:
         self.session_time = session_time
         self.protected = set(protected or [])
         self.recover = recover
-        self.rng = random.Random(seed)
+        self.rng = derive_rng(seed)
         self.history: List[ChurnEvent] = []
         self._failed: List[int] = []
         self._running = False

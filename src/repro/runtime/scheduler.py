@@ -57,6 +57,10 @@ class MainScheduler:
         self._live = 0
         self._ghosts = 0
         self.peak_live_events = 0
+        # Optional per-dispatch hook (SimSanitizer's event-log digest for
+        # determinism checks).  None in normal runs: the hot loop pays one
+        # identity check per event.
+        self.dispatch_observer: Optional[Callable[[Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -151,6 +155,8 @@ class MainScheduler:
         if time > self._now:
             self._now = time
         self.events_dispatched += 1
+        if self.dispatch_observer is not None:
+            self.dispatch_observer(event)
         event.dispatch()
         return event
 
@@ -172,6 +178,7 @@ class MainScheduler:
         dispatched = 0
         queue = self._queue
         heappop = heapq.heappop
+        observer = self.dispatch_observer
         self._running = True
         try:
             while self._running:
@@ -205,6 +212,8 @@ class MainScheduler:
                 if next_time > self._now:
                     self._now = next_time
                 self.events_dispatched += 1
+                if observer is not None:
+                    observer(event)
                 event.dispatch()
                 dispatched += 1
         finally:

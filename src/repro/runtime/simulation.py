@@ -13,12 +13,16 @@ complete node failures — all as described in the paper.
 
 from __future__ import annotations
 
+import os
+import random
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.congestion import CongestionModel, NetworkStats, NoCongestionModel
 from repro.runtime.events import Event, NetworkEvent
+from repro.runtime.rand import derive_rng
+from repro.runtime.sanitizer import SimSanitizer
 from repro.runtime.scheduler import MainScheduler
 
 # Sizing rules live in repro.runtime.sizing; re-exported here because the
@@ -77,6 +81,12 @@ class SimulatedNodeRuntime(VirtualRuntime):
     def _dispatch_timer(self, bound: Tuple[Callable[[Any], None], Any]) -> None:
         if self.alive:
             bound[0](bound[1])
+
+    # -- sanitizer ------------------------------------------------------- #
+    @property
+    def sanitizer(self) -> Optional[SimSanitizer]:
+        """The environment's SimSanitizer, or ``None`` when not sanitizing."""
+        return self._environment.sanitizer
 
     # -- UDP -------------------------------------------------------------#
     def listen(self, port: int, callback_client: UDPListener) -> None:
@@ -158,10 +168,19 @@ class SimulationEnvironment:
         topology: Optional[Topology] = None,
         congestion_model: Optional[CongestionModel] = None,
         seed: int = 0,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if node_count <= 0:
             raise ValueError("node_count must be positive")
         self.scheduler = MainScheduler()
+        # SimSanitizer (see repro.runtime.sanitizer): ``sanitize=True``
+        # opts in explicitly; the default consults PIER_SANITIZE so a whole
+        # test-suite run can be sanitized without touching call sites.
+        if sanitize is None:
+            sanitize = os.environ.get("PIER_SANITIZE", "") not in ("", "0")
+        self.sanitizer: Optional[SimSanitizer] = SimSanitizer() if sanitize else None
+        if self.sanitizer is not None:
+            self.scheduler.dispatch_observer = self.sanitizer.observe_dispatch
         self.topology = topology or StarTopology(node_count, seed=seed)
         if self.topology.node_count < node_count:
             raise ValueError("topology smaller than node_count")
@@ -259,6 +278,12 @@ class SimulationEnvironment:
         arrival = self.congestion_model.arrival_time(
             self.scheduler.now, source, destination_address, size, link
         )
+        sanitizer = self.sanitizer
+        record = (
+            sanitizer.note_send(source, destination_address, payload, self.scheduler.now)
+            if sanitizer is not None
+            else None
+        )
 
         def deliver(_src: Any, _payload: Any) -> None:
             target = self._runtimes[destination_address]
@@ -271,6 +296,11 @@ class SimulationEnvironment:
                 self.stats.record_drop()
                 self._complete_ack(source, ack, success=False)
                 return
+            if record is not None:
+                # Verify the freeze-on-send fingerprint *before* the
+                # receiver runs (its own mutations are checked later, from
+                # the retained-delivery window).
+                sanitizer.verify_delivery(record, self.scheduler.now)
             self.stats.record_delivery()
             self.bytes_received_by_node[destination_address] += size
             listener.handle_udp((source, source_port), payload)
@@ -416,7 +446,26 @@ class SimulationEnvironment:
         loop runs until the event queue drains.
         """
         until = None if duration is None else self.scheduler.now + duration
-        return self.scheduler.run(until=until, max_events=max_events, stop_condition=stop_condition)
+        dispatched = self.scheduler.run(
+            until=until, max_events=max_events, stop_condition=stop_condition
+        )
+        if self.sanitizer is not None:
+            # Re-verify the retained window of delivered payloads for
+            # receiver-side aliasing writes.  This runs at the end of every
+            # run() call, drained or not — realistic deployments keep
+            # soft-state refresh timers pending forever, so gating on an
+            # empty queue would skip the check exactly where it matters.
+            self.sanitizer.final_check()
+        return dispatched
+
+    def rng(self, label: Optional[str] = None) -> random.Random:
+        """A seeded RNG derived from the environment seed (and ``label``).
+
+        This is the sanctioned randomness source for simulator-driven
+        components (pierlint rule P03): streams are stable per
+        ``(seed, label)`` pair, keeping seeded runs reproducible.
+        """
+        return derive_rng(self.seed, label)
 
     @property
     def now(self) -> float:

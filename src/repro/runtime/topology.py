@@ -13,9 +13,10 @@ A topology answers two questions for the network model:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.rand import derive_rng
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,7 +68,7 @@ class StarTopology(Topology):
         seed: int = 0,
     ) -> None:
         super().__init__(node_count)
-        rng = random.Random(seed)
+        rng = derive_rng(seed)
         self.access_bandwidth_bps = access_bandwidth_bps
         self._access_latency: List[float] = [
             rng.uniform(min_access_latency, max_access_latency)
@@ -129,7 +130,7 @@ class TransitStubTopology(Topology):
         self.lan_latency = lan_latency
         self.access_bandwidth_bps = access_bandwidth_bps
         self.core_bandwidth_bps = core_bandwidth_bps
-        rng = random.Random(seed)
+        rng = derive_rng(seed)
         stub_count = transit_domains * stubs_per_transit
         # Jitter each stub's uplink latency a little so paths are not all equal.
         self._stub_uplink: List[float] = [

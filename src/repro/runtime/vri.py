@@ -90,6 +90,12 @@ class VirtualRuntime(abc.ABC):
     node's network address in whatever address space the environment uses.
     """
 
+    # The environment's SimSanitizer when running under
+    # ``SimulationEnvironment(sanitize=True)`` / ``PIER_SANITIZE=1``.
+    # ``None`` everywhere else (including the physical runtime), so program
+    # code can probe it with a plain attribute read.
+    sanitizer: Optional[Any] = None
+
     # ------------------------------------------------------------------ #
     # Clock and Main Scheduler                                            #
     # ------------------------------------------------------------------ #

@@ -12,9 +12,10 @@ probability growing in the sample size.
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.rand import derive_rng
 
 
 def commit_to_inputs(values: Sequence[float]) -> str:
@@ -57,7 +58,7 @@ class SpotChecker:
         self.aggregate = aggregate
         self.sample_size = sample_size
         self.tolerance = tolerance
-        self._rng = random.Random(seed)
+        self._rng = derive_rng(seed)
         self.checks_run = 0
         self.failures_detected = 0
 

@@ -16,11 +16,11 @@ statistics synthetically:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.qp.tuples import Tuple
+from repro.runtime.rand import derive_rng
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,7 @@ class FilesharingWorkload:
     def __post_init__(self) -> None:
         if self.node_count <= 0 or self.file_count <= 0 or self.keyword_count <= 0:
             raise ValueError("node_count, file_count, keyword_count must be positive")
-        self._rng = random.Random(self.seed)
+        self._rng = derive_rng(self.seed)
         self._keywords = [f"kw{i:04d}" for i in range(self.keyword_count)]
         self._weights = [1.0 / ((rank + 1) ** self.zipf_exponent) for rank in range(self.keyword_count)]
         self._generate_files()

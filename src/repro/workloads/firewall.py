@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple as PyTuple
 
 from repro.qp.tuples import Tuple
+from repro.runtime.rand import derive_rng
 
 
 @dataclass
@@ -35,7 +36,7 @@ class FirewallWorkload:
             raise ValueError("node_count must be positive and events_per_node non-negative")
         if not 0.0 <= self.heavy_hitter_share <= 1.0:
             raise ValueError("heavy_hitter_share must be in [0, 1]")
-        self._rng = random.Random(self.seed)
+        self._rng = derive_rng(self.seed)
         self._sources = [self._random_ip(index) for index in range(self.source_pool)]
         self._heavy = self._sources[: self.heavy_hitters]
         # Heavy hitters are themselves Zipf-ranked; the weights depend only
@@ -54,7 +55,7 @@ class FirewallWorkload:
     # -- generation ---------------------------------------------------------- #
     def events_for_node(self, address: int) -> List[Tuple]:
         """The firewall log of one node, as self-describing tuples."""
-        node_rng = random.Random(self.seed * 1_000_003 + address)
+        node_rng = derive_rng(self.seed * 1_000_003 + address)
         rows: List[Tuple] = []
         for event_index in range(self.events_per_node):
             if node_rng.random() < self.heavy_hitter_share:

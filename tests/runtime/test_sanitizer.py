@@ -1,0 +1,192 @@
+"""SimSanitizer tests: wire-object freezing, teardown ledgers, determinism.
+
+The sanitizer is the runtime half of the zero-copy contract checks (the
+static half is pierlint).  Each test seeds exactly the bug class the mode
+exists to catch and asserts the diagnostic names the guilty party.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qp.executor import QueryExecutor
+from repro.qp.opgraph import OpGraph
+from repro.qp.operators.base import PhysicalOperator, register_operator
+from repro.runtime.sanitizer import SanitizerError, payload_fingerprint, verify_determinism
+from repro.runtime.simulation import SimulationEnvironment
+from repro.simnet import build_overlay
+
+
+class _Listener:
+    def __init__(self) -> None:
+        self.received = []
+
+    def handle_udp(self, source, payload) -> None:
+        self.received.append(payload)
+
+    def handle_udp_ack(self, callback_data, success) -> None:
+        pass
+
+
+def _two_node_env(**kwargs) -> SimulationEnvironment:
+    return SimulationEnvironment(2, seed=7, **kwargs)
+
+
+# -- wire-object freezing ----------------------------------------------------- #
+def test_sender_side_mutation_caught_at_delivery():
+    env = _two_node_env(sanitize=True)
+    listener = _Listener()
+    env.runtime(1).listen(9000, listener)
+    payload = {"kind": "data", "items": [1, 2, 3]}
+    env.runtime(0).send(9000, (1, 9000), payload)
+    payload["items"].append(4)  # sender keeps writing through a live alias
+    with pytest.raises(SanitizerError, match="mutated in flight.*sent by node 0"):
+        env.run(5.0)
+
+
+def test_receiver_side_mutation_caught_at_final_check():
+    env = _two_node_env(sanitize=True)
+
+    class Mutator(_Listener):
+        def handle_udp(self, source, payload) -> None:
+            payload["seen"] = True  # writes into the shared wire object
+
+    env.runtime(1).listen(9000, Mutator())
+    env.runtime(0).send(9000, (1, 9000), {"kind": "data", "items": [1]})
+    with pytest.raises(SanitizerError, match="mutated after delivery.*node 1"):
+        env.run(5.0)
+
+
+def test_clean_traffic_passes_and_counts():
+    env = _two_node_env(sanitize=True)
+    listener = _Listener()
+    env.runtime(1).listen(9000, listener)
+    for i in range(5):
+        env.runtime(0).send(9000, (1, 9000), {"kind": "data", "i": i})
+    env.run(5.0)
+    assert len(listener.received) == 5
+    assert env.sanitizer.sends_fingerprinted == 5
+    assert env.sanitizer.deliveries_verified == 5
+    assert env.sanitizer.final_checks >= 1
+
+
+def test_routing_envelope_keys_are_exempt():
+    # "hops", "final" and "path" are per-hop routing state the overlay and
+    # in-path operators mutate by design; the fingerprint must not cover
+    # them — including nested occurrences (hierarchical envelopes ride
+    # inside the overlay message's "value" field).
+    base = {
+        "kind": "lookup",
+        "key": 42,
+        "hops": 0,
+        "final": False,
+        "value": {"side": 0, "path": ["n1"]},
+    }
+    digest = payload_fingerprint(base)
+    base["hops"] = 3
+    base["final"] = True
+    base["value"]["path"].append("n2")
+    assert payload_fingerprint(base) == digest
+    base["key"] = 43  # every other key is frozen
+    assert payload_fingerprint(base) != digest
+
+
+def test_pier_sanitize_env_var_toggles_mode(monkeypatch):
+    monkeypatch.setenv("PIER_SANITIZE", "1")
+    assert SimulationEnvironment(1).sanitizer is not None
+    monkeypatch.setenv("PIER_SANITIZE", "0")
+    assert SimulationEnvironment(1).sanitizer is None
+    monkeypatch.delenv("PIER_SANITIZE")
+    assert SimulationEnvironment(1).sanitizer is None
+    # Explicit argument wins over the environment.
+    monkeypatch.setenv("PIER_SANITIZE", "1")
+    assert SimulationEnvironment(1, sanitize=False).sanitizer is None
+
+
+# -- teardown ledgers --------------------------------------------------------- #
+@register_operator
+class _LeakyTimerOperator(PhysicalOperator):
+    """Arms a far-future timer with raw context.schedule — exactly the bug
+    P05 flags statically and the teardown ledger catches dynamically."""
+
+    op_type = "test_leaky_timer"
+
+    def start(self) -> None:
+        self.context.schedule(120.0, self._never)  # pierlint: disable=P05
+
+    def _never(self, _data) -> None:  # pragma: no cover - never fires
+        pass
+
+
+@register_operator
+class _LeakyBufferOperator(PhysicalOperator):
+    """Reports residual buffered tuples after stop()."""
+
+    op_type = "test_leaky_buffer"
+
+    def start(self) -> None:
+        self._hoard = ["tuple"] * 3
+
+    def residual_buffered(self) -> int:
+        return len(getattr(self, "_hoard", ()))
+
+
+def _install_and_finish(op_type: str):
+    deployment = build_overlay(1, seed=3)
+    executor = QueryExecutor(deployment.node(0))
+    graph = OpGraph("g0")
+    graph.add_operator("leaky", op_type)
+    installed = executor.install(
+        "q-leak", graph, timeout=5.0, proxy_address=deployment.node(0).address
+    )
+    executor.finish(installed)
+
+
+def test_timer_leak_reported_at_teardown(monkeypatch):
+    monkeypatch.setenv("PIER_SANITIZE", "1")
+    with pytest.raises(SanitizerError, match="timer leak.*q-leak.*_never"):
+        _install_and_finish("test_leaky_timer")
+
+
+def test_buffer_leak_reported_at_teardown(monkeypatch):
+    monkeypatch.setenv("PIER_SANITIZE", "1")
+    with pytest.raises(SanitizerError, match="buffer leak.*_LeakyBufferOperator"):
+        _install_and_finish("test_leaky_buffer")
+
+
+def test_tracked_arm_timer_is_disarmed_by_stop(monkeypatch):
+    monkeypatch.setenv("PIER_SANITIZE", "1")
+
+    @register_operator
+    class _TidyOperator(PhysicalOperator):
+        op_type = "test_tidy_timer"
+
+        def start(self) -> None:
+            self.arm_timer(120.0, self._never)
+
+        def _never(self, _data) -> None:  # pragma: no cover - cancelled
+            pass
+
+    _install_and_finish("test_tidy_timer")  # no SanitizerError
+
+
+# -- determinism -------------------------------------------------------------- #
+def _seeded_run(seed: int) -> SimulationEnvironment:
+    env = SimulationEnvironment(3, seed=seed, sanitize=True)
+    listener = _Listener()
+    env.runtime(1).listen(9000, listener)
+    rng = env.rng("traffic")
+    for i in range(10):
+        env.runtime(0).send(9000, (1, 9000), {"kind": "data", "i": rng.random()})
+    env.run(10.0)
+    return env
+
+
+def test_same_seed_runs_are_deterministic():
+    digest = verify_determinism(lambda index: _seeded_run(1234), runs=2)
+    assert len(digest) == 64
+
+
+def test_divergent_runs_are_reported():
+    with pytest.raises(SanitizerError, match="determinis"):
+        verify_determinism(lambda index: _seeded_run(1000 + index), runs=2)

@@ -1,0 +1,7 @@
+"""Fixture: P01 violations — direct Schema construction."""
+
+
+def make_schemas(tuples):
+    direct = Schema("events", ("a", "b"))  # noqa: F821
+    qualified = tuples.Schema("events", ("a", "b"))
+    return direct, qualified

@@ -1,0 +1,5 @@
+"""Fixture: P01 clean twin — interned construction only."""
+
+
+def make_schema():
+    return Schema.intern("events", ("a", "b"))  # noqa: F821

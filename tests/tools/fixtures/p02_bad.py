@@ -1,0 +1,15 @@
+"""Fixture: P02 violations — mutating received wire objects."""
+
+
+class Receiver:
+    def handle_udp(self, source, payload):
+        payload["seen"] = True
+        payload["hops"] += 1
+        del payload["final"]
+        payload["items"].append(1)
+
+    def on_receive(self, tup, slot, tag):
+        tup._values = {}
+
+    def rewrite(self, tup: "Tuple"):  # noqa: F821
+        tup.values_cache = None

@@ -1,0 +1,14 @@
+"""Fixture: P02 clean twin — copy before mutating, rebind is fine."""
+
+
+class Receiver:
+    def handle_udp(self, source, payload):
+        payload = dict(payload)  # rebinding releases the parameter
+        payload["seen"] = True
+        local = {"items": list(payload.get("items", []))}
+        local["items"].append(1)
+        return local
+
+    def on_receive(self, tup, slot, tag):
+        projected = tup.project(["a"])  # read-only access is fine
+        return projected

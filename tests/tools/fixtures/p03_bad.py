@@ -1,0 +1,18 @@
+"""Fixture: P03 violations — ambient randomness and wall-clock reads."""
+
+import random
+import time
+from datetime import datetime
+
+
+def jitter():
+    return random.random() * 5
+
+
+def pick(options, seed):
+    rng = random.Random(seed)
+    return rng.choice(options)
+
+
+def stamp():
+    return time.time(), datetime.now()

@@ -1,0 +1,15 @@
+"""Fixture: P03 clean twin — seeded RNG helper and virtual clock."""
+
+import random  # noqa: F401  (annotation use only)
+
+
+def jitter(environment):
+    return environment.rng("jitter").random() * 5
+
+
+def pick(options, rng: random.Random):  # annotation is not a call
+    return rng.choice(options)
+
+
+def stamp(runtime):
+    return runtime.get_current_time()

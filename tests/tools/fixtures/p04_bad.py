@@ -1,0 +1,9 @@
+"""Fixture: P04 violations — dict round-trips on the hot path."""
+
+
+def ship(tup, overlay):
+    overlay.put("ns", "key", "suffix", tup.to_dict(), 60.0)
+
+
+def receive(payload):
+    return Tuple.from_dict(payload)  # noqa: F821

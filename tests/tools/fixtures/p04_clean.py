@@ -1,0 +1,14 @@
+"""Fixture: P04 clean twin — wire form ships by reference."""
+
+
+def ship(tup, overlay):
+    overlay.put("ns", "key", "suffix", tup.to_wire(), 60.0)
+
+
+def receive(payload):
+    return Tuple.from_wire(payload)  # noqa: F821
+
+
+def diagnostics(config):
+    # to_dict on a non-tuple-ish receiver is not flagged
+    return config.to_dict()

@@ -1,0 +1,13 @@
+"""Fixture: P05 violations — raw timer arms and a stop() without super()."""
+
+
+class LeakyOperator:
+    def start(self):
+        self.context.schedule(5.0, self._tick)
+
+    def _tick(self, _data):
+        context = self.context
+        context.schedule(5.0, self._tick)
+
+    def stop(self):
+        self._stopped = True  # never calls super().stop()

@@ -1,0 +1,18 @@
+"""Fixture: P05 clean twin — tracked arms, chained stop()."""
+
+
+class TidyOperator:
+    def start(self):
+        self.arm_timer(5.0, self._tick)
+
+    def _tick(self, _data):
+        self.arm_timer(5.0, self._tick)
+
+    def stop(self):
+        super().stop()
+        self._buffer.clear()
+
+
+def module_level_helper(context):
+    # context.schedule outside a class body is not an operator timer
+    context.schedule(0.0, module_level_helper)

@@ -1,0 +1,14 @@
+"""Fixture: suppression comments silence specific rules."""
+# pierlint: disable-file=P04
+
+
+def inline(tuples):
+    return tuples.Schema("t", ("a",))  # pierlint: disable=P01
+
+
+def file_wide(tup):
+    return tup.to_dict()  # suppressed by the disable-file above
+
+
+def still_flagged(tuples):
+    return tuples.Schema("t", ("b",))

@@ -1,0 +1,1 @@
+"""Developer tooling for the PIER reproduction (not shipped with the package)."""

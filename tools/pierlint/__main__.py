@@ -1,0 +1,7 @@
+"""Entry point for ``python -m tools.pierlint``."""
+
+import sys
+
+from tools.pierlint.runner import main
+
+sys.exit(main())

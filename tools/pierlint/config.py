@@ -1,0 +1,63 @@
+"""Rule scoping: which rules apply to which files.
+
+Scopes are expressed as path prefixes (or exact paths) relative to the
+``repro`` package root, because each rule guards a convention that only
+holds in part of the tree:
+
+* P01 applies everywhere except ``qp/tuples.py`` — the one module allowed
+  to construct ``Schema`` (inside ``Schema.intern``).
+* P02 applies to code that receives wire objects: operators, the proxy,
+  the hierarchical aggregation layer, and the overlay.
+* P03 applies to every simulator-driven module.  ``runtime/rand.py`` is
+  the sanctioned ``random.Random`` construction site, and
+  ``runtime/physical.py`` is *defined* by its use of the wall clock.
+* P04 applies to the query-processor and overlay hot path; ``qp/tuples.py``
+  itself defines the dict round-trip helpers it guards against.
+* P05 applies to operator implementations, which must arm timers through
+  the tracked ``PhysicalOperator.arm_timer`` helper.  The helper itself
+  lives in ``qp/operators/base.py``, which is therefore exempt.
+
+Files outside the ``repro`` package (tests, benchmarks, tools) are not
+linted by default — conventions like seeded RNG access are free to be
+broken by test fixtures on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# (include prefixes, exclude prefixes); a prefix ending in ".py" matches
+# exactly, otherwise it matches any file under that directory.
+_Scope = Tuple[List[str], List[str]]
+
+RULE_SCOPES: Dict[str, _Scope] = {
+    "P01": ([""], ["qp/tuples.py"]),
+    "P02": (
+        ["qp/operators/", "qp/proxy.py", "qp/hierarchical.py", "overlay/"],
+        [],
+    ),
+    "P03": ([""], ["runtime/rand.py", "runtime/physical.py"]),
+    "P04": (["qp/", "overlay/"], ["qp/tuples.py"]),
+    "P05": (["qp/operators/", "qp/hierarchical.py"], ["qp/operators/base.py"]),
+}
+
+ALL_RULE_IDS = sorted(RULE_SCOPES)
+
+
+def _matches(relative_path: str, prefix: str) -> bool:
+    if prefix.endswith(".py"):
+        return relative_path == prefix
+    return relative_path.startswith(prefix)
+
+
+def rules_for(relative_path: str) -> List[str]:
+    """Rule ids that apply to ``relative_path`` (relative to the ``repro``
+    package root, using ``/`` separators)."""
+    selected = []
+    for rule_id in ALL_RULE_IDS:
+        includes, excludes = RULE_SCOPES[rule_id]
+        if any(_matches(relative_path, prefix) for prefix in includes) and not any(
+            _matches(relative_path, prefix) for prefix in excludes
+        ):
+            selected.append(rule_id)
+    return selected

@@ -1,0 +1,42 @@
+"""P01: ``Schema(...)`` must not be constructed outside ``Schema.intern``.
+
+Interning is what makes schema identity checks (``tup.schema is other``)
+and the per-schema wire-overhead cache correct: two tuples with the same
+table and columns must share one ``Schema`` object.  A stray
+``Schema(...)`` call creates an un-interned twin that defeats both, and
+the bug only shows up as mysteriously-missed cache hits or failed
+identity fast paths far from the construction site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+RULE_ID = "P01"
+SUMMARY = "Schema(...) constructed outside Schema.intern"
+
+
+def _is_schema_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "Schema"
+    if isinstance(func, ast.Attribute):
+        # e.g. tuples.Schema(...); Schema.intern(...) is an Attribute whose
+        # attr is "intern", so it never matches here.
+        return func.attr == "Schema"
+    return False
+
+
+def check(tree: ast.AST, path: str) -> List[Tuple[int, str]]:
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _is_schema_call(node):
+            violations.append(
+                (
+                    node.lineno,
+                    "Schema(...) constructed directly; use Schema.intern(table, columns) "
+                    "so equal schemas share one interned instance",
+                )
+            )
+    return violations

@@ -1,0 +1,173 @@
+"""P02: received wire payloads and ``Tuple`` internals must not be mutated.
+
+The simulator ships message payloads by reference (zero-copy), so a
+receiver that writes into its ``payload`` argument corrupts state shared
+with the sender, with other receivers, and with DHT replicas.  The rule
+flags stores into (and mutating method calls on) the payload-like
+parameters of receiver entry points, plus any assignment to a tuple's
+``_values`` backing store anywhere in scope.
+
+Receiver entry points are recognised two ways: by name (``handle_udp``,
+``on_receive`` and friends) and by parameters annotated as ``Tuple``.
+Mutations of *local* copies are fine — the rule only tracks names bound
+as parameters, and a parameter rebound to a fresh object (``payload =
+dict(payload)``) is released from tracking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+RULE_ID = "P02"
+SUMMARY = "mutation of received wire payload / Tuple internals"
+
+# Entry points whose non-self parameters arrive by reference off the wire.
+_RECEIVER_FUNCTIONS = {
+    "handle_udp",
+    "on_receive",
+    "receive",
+    "_on_new_data",
+    "_on_upcall",
+    "_on_root_arrival",
+}
+
+# Parameter annotations that mark a by-reference wire object.
+_WIRE_ANNOTATIONS = {"Tuple", "WireTuple"}
+
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "sort",
+    "reverse",
+}
+
+
+def _annotation_name(annotation: ast.AST) -> str:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value
+    return ""
+
+
+def _wire_params(func: ast.FunctionDef) -> Set[str]:
+    """Parameter names of ``func`` that carry wire objects."""
+    args = list(func.args.posonlyargs) + list(func.args.args) + list(func.args.kwonlyargs)
+    named_receiver = func.name in _RECEIVER_FUNCTIONS
+    params = set()
+    for arg in args:
+        if arg.arg in ("self", "cls") or arg.arg.startswith("_"):
+            continue
+        if named_receiver or _annotation_name(arg.annotation or ast.Constant(value=None)) in (
+            _WIRE_ANNOTATIONS
+        ):
+            params.add(arg.arg)
+    return params
+
+
+def _root_name(node: ast.AST) -> str:
+    """The base identifier of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    def __init__(self, params: Set[str]) -> None:
+        self.params = set(params)
+        self.violations: List[Tuple[int, str]] = []
+
+    def _flag(self, node: ast.AST, name: str, how: str) -> None:
+        self.violations.append(
+            (
+                node.lineno,
+                f"wire payload {name!r} {how}; received objects are shared "
+                "by reference and must be treated as immutable (copy first)",
+            )
+        )
+
+    def _check_target(self, target: ast.AST, node: ast.AST, how: str) -> None:
+        # Only compound targets mutate the object; a bare Name rebinds the
+        # local and releases it from tracking.
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if root in self.params:
+                self._flag(node, root, how)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node, "assigned into")
+            if isinstance(target, ast.Name) and target.id in self.params:
+                self.params.discard(target.id)  # rebound to a fresh object
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node, "assigned into")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node, "augmented-assigned into")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node, "deleted from")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            root = _root_name(func.value)
+            if root in self.params:
+                self._flag(node, root, f"mutated via .{func.attr}()")
+        self.generic_visit(node)
+
+    # Nested defs get their own parameter scopes via the outer walk.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def check(tree: ast.AST, path: str) -> List[Tuple[int, str]]:
+    violations: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            params = _wire_params(node)
+            if params:
+                checker = _FunctionChecker(params)
+                for statement in node.body:
+                    checker.visit(statement)
+                violations.extend(checker.violations)
+        # Tuple._values is the zero-copy backing store: writing to it on
+        # any object is a contract violation regardless of context.
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "_values":
+                    root = _root_name(target)
+                    if root != "self":
+                        violations.append(
+                            (
+                                node.lineno,
+                                "assignment to Tuple._values outside the Tuple class; "
+                                "tuple payloads are immutable once constructed",
+                            )
+                        )
+    violations.sort()
+    return violations

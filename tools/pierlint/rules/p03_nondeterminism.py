@@ -1,0 +1,64 @@
+"""P03: no ambient randomness or wall-clock reads in simulator-driven code.
+
+Deterministic replay — same seed, same event sequence, byte-identical
+results — is the property every regression test and the SimSanitizer's
+determinism check rest on.  Module-level ``random.*`` calls share global
+interpreter state across tests, and ``time.time()`` / ``datetime.now()``
+smuggle the host's wall clock into virtual time.  Simulator-driven code
+must derive RNGs via ``repro.runtime.rand.derive_rng`` (or
+``SimulationEnvironment.rng``) and read time from the VRI clock
+(``get_current_time`` / ``environment.now``).
+
+``random.Random(seed)`` constructed directly is also flagged: routing the
+construction through ``derive_rng`` keeps one grep-able choke point for
+seed derivation.  Type annotations (``rng: random.Random``) are not calls
+and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+RULE_ID = "P03"
+SUMMARY = "ambient random.*/wall-clock call in simulator-driven module"
+
+_TIME_CALLS = {
+    ("time", "time"): "time.time()",
+    ("time", "monotonic"): "time.monotonic()",
+    ("time", "perf_counter"): "time.perf_counter()",
+    ("datetime", "now"): "datetime.now()",
+    ("datetime", "utcnow"): "datetime.utcnow()",
+    ("datetime", "today"): "datetime.today()",
+}
+
+
+def check(tree: ast.AST, path: str) -> List[Tuple[int, str]]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        base = func.value
+        base_name = base.id if isinstance(base, ast.Name) else ""
+        if base_name == "random":
+            violations.append(
+                (
+                    node.lineno,
+                    f"random.{func.attr}(...) called directly; derive a seeded RNG via "
+                    "repro.runtime.rand.derive_rng (or environment.rng()) instead",
+                )
+            )
+        elif (base_name, func.attr) in _TIME_CALLS:
+            pretty = _TIME_CALLS[(base_name, func.attr)]
+            violations.append(
+                (
+                    node.lineno,
+                    f"{pretty} reads the host wall clock; simulator-driven code must use "
+                    "the virtual clock (runtime.get_current_time() / environment.now)",
+                )
+            )
+    violations.sort()
+    return violations

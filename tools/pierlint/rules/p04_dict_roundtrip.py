@@ -1,0 +1,77 @@
+"""P04: no ``to_dict()``/``from_dict`` round-trips on the hot path.
+
+The zero-copy messaging layer ships ``Tuple`` objects (or their compact
+``to_wire`` form) by reference.  Round-tripping a tuple through a plain
+dict at a send or receive site silently re-materialises every column name
+per message — exactly the overhead the interned-schema work removed — and
+the resulting dict no longer shares the interned schema, so downstream
+identity fast paths miss.
+
+The rule flags ``<tuple-ish>.to_dict()`` calls (receiver variables whose
+terminal name looks like a tuple: ``tup``, ``row``, ``wire``...) and any
+``Tuple.from_dict(...)`` call in hot-path modules.  Diagnostic and
+client-boundary code can suppress with a justified ``# pierlint:
+disable=P04``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+RULE_ID = "P04"
+SUMMARY = "to_dict()/from_dict round-trip on the hot send/receive path"
+
+_TUPLEISH_NAMES = {
+    "tup",
+    "tuple",
+    "tuples",
+    "row",
+    "rows",
+    "result",
+    "results",
+    "wire",
+    "payload",
+    "value",
+    "values",
+    "record",
+    "records",
+}
+
+
+def _terminal_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def check(tree: ast.AST, path: str) -> List[Tuple[int, str]]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr == "to_dict":
+            receiver = _terminal_name(func.value).lower().rstrip("0123456789_")
+            if receiver in _TUPLEISH_NAMES:
+                violations.append(
+                    (
+                        node.lineno,
+                        "tuple round-tripped through to_dict() on the hot path; ship the "
+                        "Tuple (or tup.to_wire()) by reference instead",
+                    )
+                )
+        elif func.attr == "from_dict" and _terminal_name(func.value) == "Tuple":
+            violations.append(
+                (
+                    node.lineno,
+                    "Tuple.from_dict(...) re-materialises column names per message; "
+                    "receive the Tuple (or Tuple.from_wire) by reference instead",
+                )
+            )
+    violations.sort()
+    return violations

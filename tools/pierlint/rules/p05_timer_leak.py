@@ -1,0 +1,84 @@
+"""P05: operator timers must be armed through the tracked helper, and
+``stop()`` overrides must chain to ``super().stop()``.
+
+An operator that arms a timer with raw ``context.schedule`` has no
+matching disarm path: at query teardown the event stays live in the Main
+Scheduler's heap, fires into a stopped operator, and — under churn-heavy
+continuous queries — accumulates into real memory and dispatch overhead.
+``PhysicalOperator.arm_timer`` records the event so the base ``stop()``
+(and the SimSanitizer's teardown ledger) can disarm and audit it.
+
+Two patterns are flagged inside operator classes:
+
+* ``self.context.schedule(...)`` / ``context.schedule(...)`` calls — use
+  ``self.arm_timer(delay, callback, data)`` instead;
+* a ``def stop`` override whose body never calls ``super().stop()`` — the
+  base method is what disarms the tracked timers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+RULE_ID = "P05"
+SUMMARY = "untracked timer arm (raw context.schedule) or stop() missing super().stop()"
+
+
+def _is_context_schedule(node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "schedule"):
+        return False
+    base = func.value
+    # self.context.schedule(...)
+    if (
+        isinstance(base, ast.Attribute)
+        and base.attr == "context"
+        and isinstance(base.value, ast.Name)
+        and base.value.id == "self"
+    ):
+        return True
+    # context.schedule(...)
+    return isinstance(base, ast.Name) and base.id == "context"
+
+
+def _calls_super_stop(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stop"
+        ):
+            base = node.func.value
+            if isinstance(base, ast.Call) and isinstance(base.func, ast.Name):
+                if base.func.id == "super":
+                    return True
+    return False
+
+
+def check(tree: ast.AST, path: str) -> List[Tuple[int, str]]:
+    violations: List[Tuple[int, str]] = []
+    for class_node in ast.walk(tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        for node in ast.walk(class_node):
+            if isinstance(node, ast.Call) and _is_context_schedule(node):
+                violations.append(
+                    (
+                        node.lineno,
+                        "timer armed with raw context.schedule(...); use "
+                        "self.arm_timer(delay, callback, data) so stop() can disarm it",
+                    )
+                )
+        for member in class_node.body:
+            if isinstance(member, ast.FunctionDef) and member.name == "stop":
+                if not _calls_super_stop(member):
+                    violations.append(
+                        (
+                            member.lineno,
+                            "stop() override never calls super().stop(); tracked timers "
+                            "armed via arm_timer() are only disarmed by the base method",
+                        )
+                    )
+    violations.sort()
+    return violations
