@@ -229,6 +229,10 @@ class PIERNetwork:
         # turns it on, and query()/execute()/stream() accept per-query
         # overrides.
         self.default_resilience: Optional[ResiliencePolicy] = None
+        # The deployment-owned multi-query sharing registry (created
+        # lazily — see the ``sharing`` property): maps plan fingerprints
+        # to shared standing-query installs with per-subscriber refcounts.
+        self._sharing = None
         # Failure/recovery notifications: the stand-in for the failure
         # detection a stabilization layer performs.  Failures reach the
         # proxies' coverage tracking; recoveries additionally restart the
@@ -273,6 +277,16 @@ class PIERNetwork:
     def statistics(self) -> Statistics:
         """The planner's statistics catalog (lives on :attr:`catalog`)."""
         return self.catalog.statistics
+
+    @property
+    def sharing(self):
+        """The deployment's multi-query sharing registry (see
+        :class:`~repro.cq.sharing.SharingRegistry`)."""
+        if self._sharing is None:
+            from repro.cq.sharing import SharingRegistry
+
+            self._sharing = SharingRegistry(self)
+        return self._sharing
 
     def run(self, duration: float) -> int:
         """Advance the simulation by ``duration`` virtual seconds."""
@@ -538,6 +552,7 @@ class PIERNetwork:
         proxy: int = 0,
         epoch_grace: Optional[float] = None,
         resilience: Any = None,
+        shared: Optional[bool] = None,
         **planner_opts: Any,
     ):
         """Submit a *continuous* (windowed) query and return a
@@ -551,9 +566,13 @@ class PIERNetwork:
         expires.  Tuples published after submission — ``publish()`` for
         DHT tables, :meth:`append_local_rows` for local tables — flow into
         the standing query.
-        """
-        from repro.cq.continuous import ContinuousQuery
 
+        Subscriptions route through the deployment's :attr:`sharing`
+        registry: queries computing the same aggregation (same plan
+        fingerprint) share one installed opgraph, with epochs re-assembled
+        per subscriber from broadcast window panes.  ``shared=False``
+        forces a private install (the PR 4 per-client path).
+        """
         plan = sql if isinstance(sql, QueryPlan) else self.plan_sql(sql, **planner_opts)
         if not plan.metadata.get("cq"):
             raise ValueError(
@@ -562,7 +581,9 @@ class PIERNetwork:
                 "use stream()/query() for one-shot statements"
             )
         self._apply_resilience(plan, resilience)
-        return ContinuousQuery(self, plan, proxy=proxy, epoch_grace=epoch_grace)
+        return self.sharing.subscribe(
+            plan, proxy=proxy, epoch_grace=epoch_grace, shared=shared
+        )
 
     def renew_lifetime(self, query: Union[str, QueryHandle], proxy: int = 0) -> bool:
         """Propagate a standing query's extended lifetime deployment-wide.
@@ -589,10 +610,16 @@ class PIERNetwork:
     def explain(self, sql: str, **planner_opts: Any) -> str:
         """Compile ``sql`` and render the plan — opgraph trees plus the
         planner's strategy choices (fetch/rehash/bloom, pushdown) — without
-        executing anything."""
+        executing anything.  Windowed statements additionally get a
+        sharing line: the plan fingerprint, what ``subscribe()`` would do
+        right now (attach vs fresh install), and the current subscriber
+        count."""
         from repro.sql.explain import render_explain
 
-        return render_explain(self.plan_sql(sql, **planner_opts))
+        plan = self.plan_sql(sql, **planner_opts)
+        if plan.metadata.get("cq"):
+            plan.metadata["sharing"] = self.sharing.describe(plan)
+        return render_explain(plan)
 
     def cancel(self, query: Union[str, QueryHandle]) -> bool:
         """Cancel a running query everywhere in the deployment.
@@ -615,10 +642,15 @@ class PIERNetwork:
         self.environment.recover_node(address)
 
     def _on_node_failure(self, address: int) -> None:
-        """Propagate a node failure to every live proxy's coverage view."""
+        """Propagate a node failure to every live proxy's coverage view,
+        and repair the distribution tree: survivors re-advertise so any
+        node whose tree parent was the casualty re-attaches immediately
+        (broadcast fan-out — e.g. shared-plan panes — resumes within a
+        routing round-trip instead of a soft-state refresh interval)."""
         for node in self.nodes:
             if node.address != address and self.environment.is_alive(node.address):
                 node.proxy.note_failure(address)
+                node.tree.refresh()
 
     def _on_node_recovery(self, address: int) -> None:
         """Bring a recovered node back into running queries.
@@ -632,6 +664,10 @@ class PIERNetwork:
         recovered = self.nodes[address]
         recovered.executor.on_node_recovered()
         recovered.overlay.rejoin()
+        # The periodic tree-advert timer was dropped while the node was
+        # down: restart the chain so the node re-attaches to the broadcast
+        # tree (and keeps re-advertising) instead of silently falling out.
+        recovered.tree.restart()
         for node in self.nodes:
             if self.environment.is_alive(node.address):
                 node.proxy.note_recovery(address)

@@ -2,9 +2,8 @@
 
 ``PIERNetwork.subscribe(sql)`` compiles a windowed statement, submits it
 as a standing query, and returns a :class:`ContinuousQuery` — a handle
-built on :class:`~repro.session.StreamingQuery` that assembles the
-epoch-stamped result tuples produced by the windowed operators into
-:class:`WindowEpoch` objects and delivers them in order:
+that assembles epoch-stamped result rows into :class:`WindowEpoch`
+objects and delivers them in order:
 
 * ``on_epoch(callback)`` — push delivery while the caller advances the
   simulation (a live dashboard),
@@ -18,13 +17,30 @@ epoch-stamped result tuples produced by the windowed operators into
 * lifetime expiry tears the query down cleanly: the remaining complete
   epochs are delivered, ``on_done`` fires, and the opgraphs stop.
 
+A handle runs in one of two modes:
+
+* **Private** (the PR 4 path): it owns a
+  :class:`~repro.session.StreamingQuery` whose installed opgraphs emit
+  final rows per epoch; the handle groups them by epoch stamp.
+* **Shared** (``shared=`` a :class:`~repro.cq.sharing.SharedPlan`): no
+  private query is installed.  The shared plan broadcasts mergeable
+  *pane* states over the distribution tree; this handle buffers the
+  panes its proxy node receives, merges them into its own epochs (its
+  own window length, slide, landmark folding), finalizes the aggregate
+  states, and applies its own per-epoch ORDER BY / LIMIT.  Lifecycle
+  verbs map onto the shared plan's refcounts: ``renew`` extends the
+  shared deadline to the max across subscribers, and ``cancel`` /
+  expiry release one refcount — the shared opgraph is only torn down
+  when the last subscriber detaches.
+
 An epoch closes client-side when its *client watermark* passes — the
 merge-site watermark (``end + grace``, carried in ``plan.metadata["cq"]``)
-plus ``epoch_grace`` for the final result hop.  Rows arriving for an
-epoch after it closed (e.g. re-emission after an aggregation-tree root
-handoff) are dropped and counted in ``late_rows``; rows arriving *before*
-the close replace earlier rows of the same group, so a post-handoff
-re-emission — which is at least as complete — supersedes the original.
+plus ``epoch_grace`` for the final result hop (shared mode adds the
+fan-out hop).  Rows arriving for an epoch after it closed (e.g.
+re-emission after an aggregation-tree root handoff) are dropped and
+counted in ``late_rows``; rows arriving *before* the close replace
+earlier rows of the same group, so a post-handoff re-emission — which is
+at least as complete — supersedes the original.
 """
 
 from __future__ import annotations
@@ -32,12 +48,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple as PyTuple
 
+from repro.cq.sharing import SHARED_LIFETIME_MARGIN
 from repro.cq.windows import EPOCH_COLUMN, WindowSpec, strip_stamp
 from repro.qp.opgraph import QueryPlan
 from repro.qp.tuples import Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api import PIERNetwork
+    from repro.cq.sharing import SharedPlan
 
 EpochCallback = Callable[["WindowEpoch"], None]
 DoneCallback = Callable[["ContinuousQuery"], None]
@@ -46,6 +64,11 @@ DoneCallback = Callable[["ContinuousQuery"], None]
 # considered complete: covers the result hop to the proxy plus the
 # periodic result flush.
 DEFAULT_EPOCH_GRACE = 1.0
+
+# Shared mode adds one more hop past the merge watermark: the result
+# flush into the shared proxy, the fan-out debounce, and the tree
+# broadcast routing before pane rows reach a subscriber.
+SHARED_FANOUT_SETTLE = 0.75
 
 
 @dataclass
@@ -84,6 +107,7 @@ class ContinuousQuery:
         proxy: int = 0,
         epoch_grace: Optional[float] = None,
         extra_time: float = 3.0,
+        shared: Optional["SharedPlan"] = None,
     ) -> None:
         from repro.session import StreamingQuery
 
@@ -100,7 +124,7 @@ class ContinuousQuery:
         self.epoch_grace = (
             epoch_grace if epoch_grace is not None else DEFAULT_EPOCH_GRACE
         )
-        self.stream = StreamingQuery(network, plan, proxy=proxy, extra_time=extra_time)
+        self.shared = shared
         # Epoch assembly: per-epoch, per-group latest row (replace-on-
         # arrival makes post-handoff re-emission supersede, never add).
         self._pending: Dict[int, Dict[PyTuple[Any, ...], Tuple]] = {}
@@ -117,9 +141,41 @@ class ContinuousQuery:
         # watermark fell past the query deadline — their merges cannot be
         # complete, and a standing query never reports partial windows.
         self.dropped_partial_epochs = 0
+        # Shared mode: epochs skipped because their window reaches back
+        # before this subscriber attached (its first observed pane).
+        self.warmup_epochs_skipped = 0
         self._runtime = network.nodes[proxy].runtime
-        self.stream.on_result(self._on_tuple)
-        self.stream.on_done(lambda _s: self._on_stream_done())
+        if shared is not None:
+            # Shared mode: no private standing query.  Pane states arrive
+            # via the shared plan's tree broadcasts; this handle merges
+            # them into its own epochs client-side.
+            self.stream = None
+            self._submitted_at = network.now
+            self._shared_finished = False
+            self._shared_cancelled = False
+            # pane index -> group key -> aggregate state list (wire data:
+            # never mutated, replaced per (pane, group) on arrival).
+            self._pane_states: Dict[int, Dict[PyTuple[Any, ...], List[Any]]] = {}
+            # pane index -> contributor count of the buffered emission: a
+            # post-handoff root may re-emit a pane from a thinner catch-up
+            # ledger, and such a burst must not overwrite a fuller one.
+            self._pane_contrib: Dict[int, int] = {}
+            self.superseded_pane_rows = 0
+            self._landmark_folded: Dict[PyTuple[Any, ...], List[Any]] = {}
+            self._merge_functions = [
+                agg.build() for agg in shared.components.aggregates
+            ]
+            self._first_pane = shared.pane_spec.pane_of(network.now)
+            self._min_live_pane = 0
+            self._sub_id = shared.attach(self)
+            self._arm_expiry()
+        else:
+            self.stream = StreamingQuery(
+                network, plan, proxy=proxy, extra_time=extra_time
+            )
+            self._submitted_at = self.stream.handle.submitted_at
+            self.stream.on_result(self._on_tuple)
+            self.stream.on_done(lambda _s: self._on_stream_done())
         self._arm_epoch_clock()
 
     # -- subscription ---------------------------------------------------------- #
@@ -142,14 +198,20 @@ class ContinuousQuery:
     # -- state ------------------------------------------------------------------ #
     @property
     def query_id(self) -> str:
+        if self.shared is not None:
+            return self.shared.query_id
         return self.stream.query_id
 
     @property
     def finished(self) -> bool:
+        if self.shared is not None:
+            return self._shared_finished
         return self.stream.finished
 
     @property
     def cancelled(self) -> bool:
+        if self.shared is not None:
+            return self._shared_cancelled
         return self.stream.cancelled
 
     @property
@@ -158,10 +220,14 @@ class ContinuousQuery:
 
     @property
     def coverage(self) -> float:
+        if self.shared is not None:
+            return self.shared.stream.coverage
         return self.stream.coverage
 
     @property
     def down_nodes(self) -> List:
+        if self.shared is not None:
+            return self.shared.stream.down_nodes
         return self.stream.down_nodes
 
     @property
@@ -169,12 +235,14 @@ class ContinuousQuery:
         return list(self._delivered)
 
     @property
+    def deadline(self) -> float:
+        """Virtual time this subscription's lifetime ends."""
+        return self._submitted_at + self.plan.timeout
+
+    @property
     def remaining_lifetime(self) -> float:
         """Virtual seconds until the standing query expires."""
-        return max(
-            0.0,
-            self.stream.handle.submitted_at + self.plan.timeout - self.network.now,
-        )
+        return max(0.0, self.deadline - self.network.now)
 
     # -- result assembly ----------------------------------------------------------- #
     def _on_tuple(self, tup: Tuple) -> None:
@@ -188,18 +256,61 @@ class ContinuousQuery:
         key = tuple(tup.get(column) for column in self.spec.group_columns)
         self._pending.setdefault(epoch, {})[key] = tup
 
+    def _receive_pane_rows(self, rows: List[Tuple]) -> None:
+        """Shared mode: one fan-out burst of pane-state rows arrived at
+        this subscriber's proxy node."""
+        if self.finished:
+            return
+        for tup in rows:
+            pane = tup.get(EPOCH_COLUMN)
+            states = tup.get("__partial_states__")
+            if pane is None or states is None:
+                continue
+            pane = int(pane)
+            if pane < self._min_live_pane:
+                # Every epoch needing this pane already closed here (e.g.
+                # a post-handoff re-broadcast arriving very late).
+                self.late_rows += 1
+                continue
+            contrib = tup.get("__contributors__")
+            if contrib is not None:
+                stored = self._pane_contrib.get(pane)
+                if stored is not None and contrib < stored:
+                    # A re-emission folded from fewer sources than what is
+                    # already buffered (handoff root catching up): keep the
+                    # fuller emission.
+                    self.superseded_pane_rows += 1
+                    continue
+                if stored is not None and contrib > stored:
+                    # Strictly fuller emission: drop the thinner pane
+                    # wholesale rather than mixing groups across emissions.
+                    self._pane_states.pop(pane, None)
+                self._pane_contrib[pane] = contrib
+            key = tuple(tup.require("__group_key__"))
+            self._pane_states.setdefault(pane, {})[key] = states
+
+    def _close_deadline(self, epoch: int) -> float:
+        """Virtual time epoch ``epoch`` closes client-side."""
+        deadline = self.spec.watermark(epoch) + self.epoch_grace
+        if self.shared is not None:
+            shared_watermark = self.spec.epoch_end(epoch) + self.shared.grace
+            deadline = (
+                max(deadline, shared_watermark + self.epoch_grace)
+                + SHARED_FANOUT_SETTLE
+            )
+        return deadline
+
     def _arm_epoch_clock(self) -> None:
-        if self.stream.finished:
+        if self.finished:
             return
         if self._next_close is None:
             self._next_close = self.spec.pane_of(self.network.now)
-        deadline = self.spec.watermark(self._next_close) + self.epoch_grace
-        delay = max(deadline - self.network.now, 0.0)
+        delay = max(self._close_deadline(self._next_close) - self.network.now, 0.0)
         self._runtime.schedule_event(delay, None, self._on_epoch_clock)
 
     def _on_epoch_clock(self, _data: object) -> None:
-        if self.stream.finished:
-            # The stream-done hook delivers the remaining epochs.
+        if self.finished:
+            # The done path delivers the remaining epochs.
             return
         epoch = self._next_close
         self._next_close = epoch + 1
@@ -210,10 +321,13 @@ class ContinuousQuery:
         if epoch in self._closed:
             return
         self._closed.add(epoch)
-        bucket = self._pending.pop(epoch, None)
-        if not bucket:
+        if self.shared is not None:
+            tuples = self._assemble_shared_epoch(epoch)
+        else:
+            bucket = self._pending.pop(epoch, None)
+            tuples = self._finalize_rows(list(bucket.values())) if bucket else []
+        if not tuples:
             return  # empty windows are not delivered
-        tuples = self._finalize_rows(list(bucket.values()))
         window = WindowEpoch(
             index=epoch,
             start=self.spec.epoch_start(epoch),
@@ -235,18 +349,93 @@ class ContinuousQuery:
         ]
         return apply_result_clauses_to_tuples(self.plan.metadata, stripped)
 
+    # -- shared-pane epoch assembly -------------------------------------------------- #
+    def _assemble_shared_epoch(self, epoch: int) -> List[Tuple]:
+        """Merge the buffered shared panes epoch ``epoch`` covers into
+        final rows, then evict panes no future epoch needs."""
+        from repro.sql.planner import apply_result_clauses_to_tuples
+
+        spec = self.spec
+        pane_width = self.shared.pane_spec.slide
+        hi = int(round(spec.epoch_end(epoch) / pane_width))
+        if spec.landmark:
+            # Fold every closed pane into the cumulative state once.
+            for pane in sorted(p for p in self._pane_states if p < hi):
+                bucket = self._pane_states.pop(pane)
+                for key, states in bucket.items():
+                    self._merge_shared_states(self._landmark_folded, key, states)
+            self._evict_panes_below(hi)
+            merged = {
+                key: list(states) for key, states in self._landmark_folded.items()
+            }
+        else:
+            lo = int(round(spec.epoch_start(epoch) / pane_width))
+            next_lo = int(round(spec.epoch_start(epoch + 1) / pane_width))
+            if lo < self._first_pane:
+                # The window reaches back before this subscriber attached:
+                # its panes were broadcast before we listened, so the
+                # epoch cannot be complete.  Skip it (counted), but still
+                # evict like a normal close so state never accumulates.
+                self.warmup_epochs_skipped += 1
+                self._evict_panes_below(next_lo)
+                return []
+            merged: Dict[PyTuple[Any, ...], List[Any]] = {}
+            for pane in range(lo, hi):
+                bucket = self._pane_states.get(pane)
+                if not bucket:
+                    continue
+                for key, states in bucket.items():
+                    self._merge_shared_states(merged, key, states)
+            self._evict_panes_below(next_lo)
+        if not merged:
+            return []
+        rows = []
+        for key, states in merged.items():
+            values = dict(zip(spec.group_columns, key))
+            for agg, function, state in zip(
+                self.shared.components.aggregates, self._merge_functions, states
+            ):
+                values[agg.output] = function.result(state)
+            rows.append(Tuple(self.shared.components.output_table, values))
+        return apply_result_clauses_to_tuples(self.plan.metadata, rows)
+
+    def _merge_shared_states(
+        self,
+        buffer: Dict[PyTuple[Any, ...], List[Any]],
+        key: PyTuple[Any, ...],
+        states: List[Any],
+    ) -> None:
+        """Fold one pane's states for one group into ``buffer`` — always
+        into fresh lists; the incoming states are frozen wire data."""
+        existing = buffer.get(key)
+        if existing is None:
+            buffer[key] = list(states)
+            return
+        buffer[key] = [
+            function.merge(left, right)
+            for function, left, right in zip(self._merge_functions, existing, states)
+        ]
+
+    def _evict_panes_below(self, pane_index: int) -> None:
+        self._min_live_pane = max(self._min_live_pane, pane_index)
+        for pane in [p for p in self._pane_states if p < self._min_live_pane]:
+            del self._pane_states[pane]
+        for pane in [p for p in self._pane_contrib if p < self._min_live_pane]:
+            del self._pane_contrib[pane]
+
     def _deliver(self, window: WindowEpoch) -> None:
         self._delivered.append(window)
         for callback in self._epoch_callbacks:
             callback(window)
 
+    # -- termination paths ----------------------------------------------------------- #
     def _on_stream_done(self) -> None:
         # Lifetime expired (or the query was cancelled): deliver the
         # pending epochs whose merge-site watermark fit inside the
         # lifetime (their merges are complete), drop the rest, then fire
         # the done callbacks.  Size LIFETIME with the grace in mind if the
         # last window matters.
-        deadline = self.stream.handle.submitted_at + self.plan.timeout
+        deadline = self.deadline
         for epoch in sorted(self._pending):
             if self.spec.watermark(epoch) <= deadline:
                 self._close_epoch(epoch)
@@ -254,6 +443,61 @@ class ContinuousQuery:
                 self._closed.add(epoch)
                 self._pending.pop(epoch, None)
                 self.dropped_partial_epochs += 1
+        self._fire_done()
+
+    def _arm_expiry(self) -> None:
+        delay = max(self._expiry_time() - self.network.now, 0.0)
+        self._runtime.schedule_event(delay, None, self._on_expiry)
+
+    def _expiry_time(self) -> float:
+        return (
+            self.deadline + self.shared.grace + self.epoch_grace + SHARED_FANOUT_SETTLE
+        )
+
+    def _on_expiry(self, _data: object) -> None:
+        if self._shared_finished:
+            return
+        if self.network.now + 1e-9 < self._expiry_time():
+            # renew() moved the deadline since this event was armed.
+            self._arm_expiry()
+            return
+        self._finish_shared(self.deadline)
+
+    def _finish_shared(self, deadline: float) -> None:
+        """Shared mode: detach from the shared plan (dropping one
+        refcount) and finalize: close every epoch whose merge watermark
+        fit inside ``deadline``, account the rest as dropped partials."""
+        if self._shared_finished:
+            return
+        self._shared_finished = True
+        self.shared.release(self._sub_id)
+        if self._next_close is None:
+            self._next_close = self.spec.pane_of(self._submitted_at)
+        while self.spec.watermark(self._next_close) <= deadline + 1e-9:
+            epoch = self._next_close
+            self._next_close = epoch + 1
+            self._close_epoch(epoch)
+        if self._pane_states:
+            # Buffered panes belong to epochs past the deadline — their
+            # merges cannot complete inside the lifetime.
+            pane_width = self.shared.pane_spec.slide
+            last_pane = max(self._pane_states)
+            last_epoch = self.spec.pane_of((last_pane + 1) * pane_width - 1e-9)
+            for epoch in range(self._next_close, last_epoch + 1):
+                if epoch not in self._closed:
+                    self._closed.add(epoch)
+                    self.dropped_partial_epochs += 1
+            self._pane_states.clear()
+        self._fire_done()
+
+    def _on_shared_done(self) -> None:
+        """Backstop: the shared plan's stream ended while this subscriber
+        was still attached (e.g. its proxy died)."""
+        if self._shared_finished:
+            return
+        self._finish_shared(min(self.deadline, self.network.now))
+
+    def _fire_done(self) -> None:
         if self._paused:
             # The query is over: a paused subscription's buffer would
             # otherwise be lost — deliver it before reporting completion.
@@ -284,20 +528,40 @@ class ContinuousQuery:
     def renew(self, extra_lifetime: float) -> float:
         """Extend the standing query's lifetime by ``extra_lifetime``
         virtual seconds, across the whole deployment; returns the new
-        remaining lifetime."""
+        remaining lifetime.  On a shared plan, the shared deadline grows
+        to the max across subscribers."""
         if extra_lifetime <= 0:
             raise ValueError("extra_lifetime must be positive")
-        if self.stream.finished:
+        if self.finished:
             raise RuntimeError("cannot renew a finished continuous query")
         self.plan.timeout += extra_lifetime
-        self.network.renew_lifetime(self.stream.handle, proxy=self.proxy)
+        if self.shared is not None:
+            self.shared.extend_deadline(
+                self.deadline + self.shared.grace + SHARED_LIFETIME_MARGIN
+            )
+        else:
+            self.network.renew_lifetime(self.stream.handle, proxy=self.proxy)
         return self.remaining_lifetime
 
     def cancel(self) -> bool:
-        """Tear the standing query down across the deployment now."""
+        """Tear the standing query down now.  A shared subscriber only
+        releases its refcount — surviving subscribers keep their buffered
+        panes, and the shared opgraph survives until the last refcount —
+        while a private subscriber cancels deployment-wide."""
+        if self.shared is not None:
+            if self._shared_finished:
+                return False
+            self._shared_cancelled = True
+            self._finish_shared(self.network.now)
+            return True
         return self.stream.cancel()
 
     # -- consumption -------------------------------------------------------------------- #
+    def _iter_deadline(self) -> float:
+        if self.shared is not None:
+            return self._expiry_time() + 3.0
+        return self.deadline + self.epoch_grace + 3.0
+
     def __iter__(self) -> Iterator[WindowEpoch]:
         """Yield epochs as their watermarks pass, stepping the simulator in
         between (the epoch-granular analogue of streaming iteration)."""
@@ -307,12 +571,7 @@ class ContinuousQuery:
                 window = self._delivered[yielded]
                 yielded += 1
                 yield window
-            deadline = (
-                self.stream.handle.submitted_at
-                + self.plan.timeout
-                + self.epoch_grace
-                + 3.0
-            )
+            deadline = self._iter_deadline()
             if self._done_fired or self.network.now >= deadline:
                 break
             before = self.network.now

@@ -54,6 +54,11 @@ class DistributionTree:
         self._handlers: List[BroadcastHandler] = []
         self._seen_broadcasts: set = set()
         self._started = False
+        # Advert-chain generation: a timer that fired while the node was
+        # dead is dropped by the runtime, killing the periodic chain; a
+        # restart() bumps the generation and starts a fresh chain while
+        # any stale pending timer expires as a no-op.
+        self._advert_generation = 0
         self.broadcasts_forwarded = 0
 
     # ------------------------------------------------------------------ #
@@ -67,7 +72,7 @@ class DistributionTree:
         self.overlay.upcall(self._advertise_namespace(), self._on_advertise_upcall)
         self.overlay.new_data(self._advertise_namespace(), self._on_advertise_at_root)
         self.overlay.new_data(self._broadcast_namespace(), self._on_broadcast_arrival)
-        self._advertise(None)
+        self._advertise(self._advert_generation)
 
     def stop(self) -> None:
         self._started = False
@@ -84,9 +89,15 @@ class DistributionTree:
     # ------------------------------------------------------------------ #
     # Tree maintenance (soft state)                                       #
     # ------------------------------------------------------------------ #
-    def _advertise(self, _data: Any) -> None:
-        if not self._started:
+    def _advertise(self, generation: int) -> None:
+        if not self._started or generation != self._advert_generation:
             return
+        self._send_advert()
+        self.overlay.runtime.schedule_event(
+            self.advertise_interval, generation, self._advertise
+        )
+
+    def _send_advert(self) -> None:
         self.overlay.send(
             self._advertise_namespace(),
             self.root_key,
@@ -95,7 +106,24 @@ class DistributionTree:
             lifetime=self.child_lifetime,
             target=self.root_identifier,
         )
-        self.overlay.runtime.schedule_event(self.advertise_interval, None, self._advertise)
+
+    def refresh(self) -> None:
+        """One immediate re-advertisement, without touching the periodic
+        schedule.  Failure-triggered tree repair: a node whose tree parent
+        just died re-routes its advert around the dead hop *now* — its new
+        first hop toward the root records it as a child — instead of losing
+        every broadcast until the next soft-state refresh."""
+        if self._started:
+            self._send_advert()
+
+    def restart(self) -> None:
+        """Re-join the tree after this node recovers from a failure.  The
+        periodic advert chain is single-threaded through a timer that the
+        runtime drops while the node is down, so recovery must start a new
+        chain (the generation bump retires any stale pending timer)."""
+        if self._started:
+            self._advert_generation += 1
+            self._advertise(self._advert_generation)
 
     def _record_child(self, value: object) -> None:
         if not isinstance(value, dict) or "child_address" not in value:

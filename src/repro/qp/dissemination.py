@@ -140,9 +140,13 @@ class QueryDisseminator:
 
     # -- inbound -------------------------------------------------------------- #
     def _on_broadcast(self, payload: object) -> None:
-        if isinstance(payload, dict) and ("graph" in payload or "control" in payload):
+        if isinstance(payload, dict) and (
+            "graph" in payload or "control" in payload or "panes" in payload
+        ):
             self.install_handler(payload)
 
     def _on_targeted(self, _namespace: str, _key: object, value: object) -> None:
-        if isinstance(value, dict) and ("graph" in value or "control" in value):
+        if isinstance(value, dict) and (
+            "graph" in value or "control" in value or "panes" in value
+        ):
             self.install_handler(value)

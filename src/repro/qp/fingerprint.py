@@ -1,0 +1,171 @@
+"""Canonical plan fingerprints for multi-query sharing.
+
+Two standing windowed queries can share one installed opgraph when they
+compute the same aggregation over the same data: same base table, same
+predicate, same group keys, same aggregate set.  Window *geometry*
+(window length, slide, lifetime, grace) is deliberately excluded — the
+pane-compatibility layer in :mod:`repro.cq.sharing` serves subscribers
+at different slides from one shared pane stream, and lifetimes are
+refcounted per subscriber.
+
+The fingerprint is computed from what the plan actually executes, not
+from the SQL text: the scan / selection / aggregation operator params of
+the compiled opgraphs, canonicalised through the interned
+:class:`~repro.qp.tuples.Schema` of the output shape.  Two statements
+that differ only in formatting, window clause, or ORDER BY / LIMIT
+(applied client-side per epoch) therefore collide — which is the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple as PyTuple
+
+from repro.cq.windows import CQ_METADATA_KEY
+from repro.qp.aggregates import AggregateSpec
+from repro.qp.opgraph import QueryPlan
+from repro.qp.tuples import Schema
+
+# Version tag folded into every digest so a change to the canonical form
+# can never collide with fingerprints minted by an older release.
+_FINGERPRINT_VERSION = "pier-shared-plan/1"
+
+# Opgraph shapes the sharing layer understands: the aggregation op that
+# defines group keys + aggregate set, per multi-phase strategy.
+_AGGREGATION_OPS = ("partial_aggregate", "hierarchical_aggregate")
+_SCAN_OPS = ("local_table", "dht_scan")
+
+
+@dataclass(frozen=True)
+class PlanComponents:
+    """The sharing-relevant pieces of one compiled windowed plan.
+
+    ``predicate`` keeps the plan's original expression form (nested
+    lists) so a shared plan can be rebuilt from it; fingerprinting
+    canonicalises it separately.
+    """
+
+    table: str
+    source: str  # "local_table" | "dht_scan" — the access method
+    predicate: Any
+    group_columns: PyTuple[str, ...]
+    aggregates: PyTuple[AggregateSpec, ...]
+    output_table: str
+    strategy: str  # "flat" | "hierarchical"
+
+
+def plan_components(plan: QueryPlan) -> Optional[PlanComponents]:
+    """Extract the shareable shape of ``plan``, or ``None``.
+
+    Only windowed (continuous) aggregation plans in one of the known
+    multi-phase shapes are shareable; anything else — one-shot plans,
+    joins, hand-built opgraphs the walk does not recognise — returns
+    ``None`` and the subscriber gets a private install.
+    """
+    from repro.qp.operators.groupby import parse_aggregate_specs
+
+    if not (plan.metadata or {}).get(CQ_METADATA_KEY):
+        return None
+    aggregation = None
+    strategy = "flat"
+    scan = None
+    for graph in plan.opgraphs:
+        for spec in graph.operators.values():
+            if spec.op_type in _AGGREGATION_OPS and aggregation is None:
+                aggregation = spec
+                if spec.op_type == "hierarchical_aggregate":
+                    strategy = "hierarchical"
+            elif spec.op_type in _SCAN_OPS and scan is None:
+                # Query-scoped scans read the plan's own rendezvous
+                # namespace — an internal edge, not the base table.
+                if spec.op_type == "dht_scan" and spec.params.get("scoped"):
+                    continue
+                scan = spec
+    if aggregation is None or scan is None:
+        return None
+    table = scan.params.get("table") or scan.params.get("namespace")
+    if not table:
+        return None
+    predicate = _base_predicate(plan)
+    try:
+        aggregates = tuple(parse_aggregate_specs(aggregation.params.get("aggregates", [])))
+    except (KeyError, TypeError, ValueError):
+        return None
+    return PlanComponents(
+        table=table,
+        source=scan.op_type,
+        predicate=predicate,
+        group_columns=tuple(aggregation.params.get("group_columns", [])),
+        aggregates=aggregates,
+        output_table=aggregation.params.get("output_table", "aggregate"),
+        strategy=strategy,
+    )
+
+
+def _base_predicate(plan: QueryPlan) -> Any:
+    """The selection applied directly to the base-table scan, if any."""
+    for graph in plan.opgraphs:
+        scan_id = None
+        for spec in graph.operators.values():
+            if spec.op_type == "local_table" or (
+                spec.op_type == "dht_scan" and not spec.params.get("scoped")
+            ):
+                scan_id = spec.operator_id
+                break
+        if scan_id is None:
+            continue
+        for spec in graph.operators.values():
+            if spec.op_type == "selection" and spec.inputs and spec.inputs[0] == scan_id:
+                return spec.params.get("predicate")
+    return None
+
+
+def _canonical(value: Any) -> Any:
+    """Hashable canonical form of an expression / param value."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _canonical(item)) for key, item in value.items()))
+    return value
+
+
+def fingerprint_components(components: PlanComponents) -> str:
+    """Digest one extracted plan shape into a short stable fingerprint.
+
+    The output shape passes through ``Schema.intern`` so two plans whose
+    results share one interned schema canonicalise identically, and the
+    aggregate set is order-insensitive (``COUNT, SUM`` == ``SUM, COUNT``).
+    The multi-phase *strategy* is excluded: flat and hierarchical
+    execution of the same aggregation produce identical results, so they
+    may share.
+    """
+    schema = Schema.intern(
+        components.output_table,
+        components.group_columns + tuple(spec.output for spec in components.aggregates),
+    )
+    canonical = (
+        _FINGERPRINT_VERSION,
+        components.table,
+        components.source,
+        _canonical(components.predicate),
+        schema.table,
+        schema.columns,
+        components.group_columns,
+        tuple(
+            sorted(
+                (spec.function, spec.column or "", spec.output, _canonical(spec.params))
+                for spec in components.aggregates
+            )
+        ),
+    )
+    digest = hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+def plan_fingerprint(plan: QueryPlan) -> Optional[str]:
+    """The sharing fingerprint of ``plan``, or ``None`` when not shareable."""
+    components = plan_components(plan)
+    if components is None:
+        return None
+    return fingerprint_components(components)

@@ -288,11 +288,17 @@ class HierarchicalAggregate(_BaseGroupBy):
         if epoch in self._emitted_epochs:
             return
         final: Dict[PyTuple[Any, ...], List[Any]] = {}
+        contributors = 0
 
         def take(buffer: Dict[PyTuple[Any, ...], List[Any]]) -> None:
+            nonlocal contributors
+            matched = False
             for key, states in buffer.items():
                 if isinstance(key, tuple) and key and key[0] == epoch:
                     self._merge_into(final, tuple(key[1:]), states)
+                    matched = True
+            if matched:
+                contributors += 1
 
         take(self._root_states)
         for origin, entry in self._origin_folds.items():
@@ -306,6 +312,14 @@ class HierarchicalAggregate(_BaseGroupBy):
             # the epoch unemitted so a later arrival can re-arm the timer.
             return
         self._emitted_epochs.add(epoch)
+        if self.emit_states:
+            # Shared plans want mergeable states at the root too, so the
+            # fan-out layer can re-slice epochs per subscriber slide.  A
+            # handoff root re-emitting from a thinner catch-up ledger must
+            # not degrade subscriber buffers, so each emission carries its
+            # contributor count.
+            self._emit_window_states(epoch, final, contributors=contributors)
+            return
         stamp = epoch_stamp(self.window_spec, epoch)
         for key, states in final.items():
             payload = {
@@ -499,6 +513,11 @@ class HierarchicalAggregate(_BaseGroupBy):
 
     # -- upcall (intermediate hop) ------------------------------------------- #
     def _on_upcall(self, _namespace: str, _key: object, value: object) -> bool:
+        if self._stopped:
+            # A purged incarnation's overlay registration outlives the
+            # operator (rejoin re-installs a fresh one); consuming here
+            # would starve the live incarnation's handler behind it.
+            return True
         if not isinstance(value, dict):
             return True
         if "batches" in value:
@@ -568,7 +587,7 @@ class HierarchicalAggregate(_BaseGroupBy):
         return self.context.overlay.router.is_responsible(self.root_identifier)
 
     def _on_root_arrival(self, _namespace: str, _key: object, value: object) -> None:
-        if not isinstance(value, dict):
+        if self._stopped or not isinstance(value, dict):
             return
         if "batches" in value:
             for batch in value["batches"]:

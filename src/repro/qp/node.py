@@ -41,6 +41,10 @@ class PIERNode:
             self.overlay, self.tree, self._install_envelope, pht_resolver=pht_resolver
         )
         self.proxy = ProxyService(self.overlay, self.executor, self.disseminator)
+        # Shared-plan epoch fan-out (repro.cq.sharing): subscribers attached
+        # through this node register here for pane bursts broadcast over
+        # the distribution tree, keyed by the shared plan's query id.
+        self._pane_listeners: Dict[str, List[Callable[[List[Tuple]], None]]] = {}
         self._started = False
 
     # -- lifecycle ------------------------------------------------------------ #
@@ -131,12 +135,36 @@ class PIERNode:
         self.executor.cancel_query(query_id)
         return cancelled
 
+    # -- shared-plan pane fan-out ------------------------------------------------ #
+    def add_pane_listener(
+        self, query_id: str, callback: Callable[[List[Tuple]], None]
+    ) -> None:
+        self._pane_listeners.setdefault(query_id, []).append(callback)
+
+    def remove_pane_listener(
+        self, query_id: str, callback: Callable[[List[Tuple]], None]
+    ) -> None:
+        listeners = self._pane_listeners.get(query_id)
+        if not listeners:
+            return
+        try:
+            listeners.remove(callback)
+        except ValueError:
+            return
+        if not listeners:
+            del self._pane_listeners[query_id]
+
     # -- dissemination sink ---------------------------------------------------------- #
     def _install_envelope(self, envelope: Dict[str, Any]) -> None:
         """Install an opgraph (or apply a control message) that arrived via
         dissemination."""
         from repro.qp.opgraph import OpGraph
 
+        panes = envelope.get("panes")
+        if panes is not None:
+            for callback in list(self._pane_listeners.get(envelope["query_id"], ())):
+                callback(panes)
+            return
         control = envelope.get("control")
         if control is not None:
             if control.get("action") == "renew":

@@ -96,6 +96,10 @@ class _BaseGroupBy(PhysicalOperator):
         self.window_spec: Optional[WindowSpec] = WindowSpec.from_params(
             self.param("window_spec")
         )
+        # Shared plans (repro.cq.sharing) ask merge sites for mergeable
+        # partial-state rows instead of final values so subscribers can
+        # re-assemble epochs at their own slides client-side.
+        self.emit_states = bool(self.param("emit_states", False))
         # Merge functions are stateless combiners shared by every merge on
         # this node (building them per merge was hot-path waste).
         self._merge_functions = [spec.build() for spec in self.aggregate_specs]
@@ -184,6 +188,9 @@ class _BaseGroupBy(PhysicalOperator):
         self, epoch: int, states: Dict[PyTuple[Any, ...], List[Any]]
     ) -> None:
         """Ship one closed epoch downstream; final-row form by default."""
+        if self.emit_states:
+            self._emit_window_states(epoch, states)
+            return
         stamp = epoch_stamp(self.window_spec, epoch)
         for key, state_list in states.items():
             payload = {
@@ -193,6 +200,30 @@ class _BaseGroupBy(PhysicalOperator):
                 )
             }
             payload.update(stamp)
+            self.emit(self._group_tuple(key, payload))
+        self.epochs_emitted += 1
+
+    def _emit_window_states(
+        self,
+        epoch: int,
+        states: Dict[PyTuple[Any, ...], List[Any]],
+        contributors: Optional[int] = None,
+    ) -> None:
+        """Ship one closed epoch as mergeable partial-state rows.
+
+        ``contributors`` — when the emitter can re-emit an epoch after an
+        ownership handoff (hierarchical roots), it stamps each row with how
+        many distinct sources were folded in, so downstream buffers can
+        refuse to replace a more complete emission with a thinner one.
+        """
+        for key, state_list in states.items():
+            payload = {
+                "__partial_states__": list(state_list),
+                "__group_key__": tuple(key),
+                EPOCH_COLUMN: epoch,
+            }
+            if contributors is not None:
+                payload["__contributors__"] = contributors
             self.emit(self._group_tuple(key, payload))
         self.epochs_emitted += 1
 
@@ -297,18 +328,7 @@ class PartialAggregate(_BaseGroupBy):
     def _emit_window(
         self, epoch: int, states: Dict[PyTuple[Any, ...], List[Any]]
     ) -> None:
-        for key, state_list in states.items():
-            self.emit(
-                self._group_tuple(
-                    key,
-                    {
-                        "__partial_states__": list(state_list),
-                        "__group_key__": tuple(key),
-                        EPOCH_COLUMN: epoch,
-                    },
-                )
-            )
-        self.epochs_emitted += 1
+        self._emit_window_states(epoch, states)
 
     def flush(self) -> None:
         for key, state in self._groups.items():

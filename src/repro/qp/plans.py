@@ -89,6 +89,7 @@ def flat_aggregation_plan(
     output_table: str = "aggregate",
     rendezvous: str = "agg_rehash",
     window_spec: Optional[Dict[str, Any]] = None,
+    emit_states: bool = False,
 ) -> QueryPlan:
     """Two-opgraph multi-phase aggregation via a rehash exchange.
 
@@ -140,6 +141,10 @@ def flat_aggregation_plan(
     }
     if window_spec is not None:
         merge_params["window_spec"] = dict(window_spec)
+    if emit_states:
+        # Shared plans (repro.cq.sharing): merge sites emit mergeable
+        # partial-state rows per epoch instead of final values.
+        merge_params["emit_states"] = True
     consumer.add_operator("merge", "merge_aggregate", merge_params, inputs=["scan_partials"])
     consumer.add_operator("results", "result_handler", {"batch": 16}, inputs=["merge"])
     return plan
@@ -156,6 +161,7 @@ def hierarchical_aggregation_plan(
     local_wait: float = 2.0,
     hold: float = 1.0,
     window_spec: Optional[Dict[str, Any]] = None,
+    emit_states: bool = False,
 ) -> QueryPlan:
     """Single-opgraph aggregation over the in-network aggregation tree.
 
@@ -182,6 +188,8 @@ def hierarchical_aggregation_plan(
     }
     if window_spec is not None:
         agg_params["window_spec"] = dict(window_spec)
+    if emit_states:
+        agg_params["emit_states"] = True
     graph.add_operator("hier_agg", "hierarchical_aggregate", agg_params, inputs=[upstream])
     graph.add_operator("results", "result_handler", {"batch": 16}, inputs=["hier_agg"])
     return plan

@@ -61,6 +61,13 @@ def render_explain(plan: QueryPlan) -> str:
             f"epoch grace {cq.get('grace', 0):g}s); result epochs are emitted "
             f"at each window close"
         )
+        sharing = plan.metadata.get("sharing")
+        if sharing:
+            lines.append(
+                f"sharing: fingerprint {sharing.get('fingerprint') or 'none'}; "
+                f"{sharing.get('decision')}; "
+                f"current subscribers: {sharing.get('subscribers', 0)}"
+            )
     clauses = _render_result_clauses(plan.metadata)
     if clauses:
         lines.append(clauses)

@@ -390,8 +390,12 @@ def test_merge_aggregate_with_window_spec_still_folds_raw_tuples():
 
 def test_renew_extends_lifetime_across_the_deployment(live_network):
     network = live_network
+    # shared=False: this test asserts the *per-query* renew broadcast and
+    # per-node deadlines of a private install; shared-plan renewals are
+    # covered in tests/cq/test_plan_sharing.py.
     cq = network.subscribe(
-        "SELECT src, COUNT(*) AS n FROM events WINDOW 4 LIFETIME 10 GROUP BY src"
+        "SELECT src, COUNT(*) AS n FROM events WINDOW 4 LIFETIME 10 GROUP BY src",
+        shared=False,
     )
     _feed(network, until=26.0)
     epochs = []
@@ -421,7 +425,8 @@ def test_repeated_renewals_each_reach_every_node(live_network):
     every renewal after the first."""
     network = live_network
     cq = network.subscribe(
-        "SELECT src, COUNT(*) AS n FROM events WINDOW 4 LIFETIME 8 GROUP BY src"
+        "SELECT src, COUNT(*) AS n FROM events WINDOW 4 LIFETIME 8 GROUP BY src",
+        shared=False,
     )
     _feed(network, until=34.0)
     epochs = []

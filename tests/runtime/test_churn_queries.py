@@ -231,7 +231,9 @@ def test_standing_windowed_aggregate_survives_root_failure_with_exact_epochs():
         aggregation_strategy="hierarchical",
         resilience=policy,
     )
-    owner = _root_owner(network, cq.plan)
+    # Under plan sharing the installed query is the shared plan, so the
+    # aggregation-tree root belongs to *its* query id, not the handle's.
+    owner = _root_owner(network, cq.shared.plan if cq.shared is not None else cq.plan)
 
     log = []
 
@@ -276,9 +278,13 @@ def test_rejoining_node_reinstalls_standing_query_with_remaining_lifetime():
     network = PIERNetwork(12, seed=53)
     for address in range(12):
         network.register_local_table(address, "events", [])
+    # shared=False: this test inspects the private handle's
+    # redissemination counter and per-node deadlines; the shared-plan
+    # rejoin path is covered in tests/cq/test_shared_plan_churn.py.
     cq = network.subscribe(
         "SELECT src, COUNT(*) AS n FROM events WINDOW 5 LIFETIME 35 GROUP BY src",
         resilience=ResiliencePolicy.enabled(liveness_interval=1.0),
+        shared=False,
     )
     victim = 5
     log = []

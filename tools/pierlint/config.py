@@ -15,7 +15,10 @@ holds in part of the tree:
   itself defines the dict round-trip helpers it guards against.
 * P05 applies to operator implementations, which must arm timers through
   the tracked ``PhysicalOperator.arm_timer`` helper.  The helper itself
-  lives in ``qp/operators/base.py``, which is therefore exempt.
+  lives in ``qp/operators/base.py``, which is therefore exempt.  The
+  continuous-query layer (``cq/``) is in scope too: its shared-plan
+  fan-out and epoch clocks run timer-driven state machines held to the
+  same teardown discipline.
 
 Files outside the ``repro`` package (tests, benchmarks, tools) are not
 linted by default — conventions like seeded RNG access are free to be
@@ -38,7 +41,10 @@ RULE_SCOPES: Dict[str, _Scope] = {
     ),
     "P03": ([""], ["runtime/rand.py", "runtime/physical.py"]),
     "P04": (["qp/", "overlay/"], ["qp/tuples.py"]),
-    "P05": (["qp/operators/", "qp/hierarchical.py"], ["qp/operators/base.py"]),
+    "P05": (
+        ["qp/operators/", "qp/hierarchical.py", "cq/"],
+        ["qp/operators/base.py"],
+    ),
 }
 
 ALL_RULE_IDS = sorted(RULE_SCOPES)
