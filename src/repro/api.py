@@ -53,6 +53,8 @@ from repro.qp.resilience import ResiliencePolicy, resolve_resilience
 from repro.qp.stats import Statistics
 from repro.qp.tuples import Tuple
 from repro.runtime.congestion import CongestionModel
+from repro.runtime.endpoint import NetworkEndpoint
+from repro.runtime.physical import PhysicalEnvironment
 from repro.runtime.simulation import SimulationEnvironment
 from repro.runtime.topology import Topology
 
@@ -159,22 +161,33 @@ def _looks_like_rows(value: Any) -> bool:
 
 
 class PIERNetwork:
-    """A simulated PIER deployment of ``node_count`` nodes.
+    """A PIER deployment of ``node_count`` nodes — simulated or physical.
 
     Parameters
     ----------
     node_count:
-        Number of simulated PIER nodes.
+        Number of PIER nodes.
+    mode:
+        ``"simulated"`` (default) runs every node under the discrete-event
+        simulator in virtual time; ``"physical"`` boots each node on a real
+        loopback UDP socket (binary codec wire format, receiver-acked
+        delivery) driven by one selector loop in wall-clock time.  The
+        whole session surface — ``query``/``stream``/``subscribe``/
+        ``explain`` — works unchanged in either mode.
+    host:
+        Bind address for ``mode="physical"`` sockets.
     topology, congestion_model:
         Network model for the simulator (defaults: star topology, no
         congestion), see :mod:`repro.runtime.topology` and
-        :mod:`repro.runtime.congestion`.
+        :mod:`repro.runtime.congestion`.  Simulated mode only.
     router:
         ``"chord"`` (default) or ``"bamboo"`` — PIER is agnostic to the DHT
         routing algorithm.
     settle_time:
-        Virtual seconds to run after start-up so distribution-tree
-        advertisements propagate before the first query.
+        Seconds to run after start-up so distribution-tree advertisements
+        propagate before the first query (virtual seconds when simulated,
+        wall seconds when physical).  Defaults to 2.0 simulated / 1.0
+        physical.
     exchange_batch_size, exchange_flush_interval:
         Deployment-wide defaults for the batching exchange (``put``
         operators): same-destination tuples are coalesced into one DHT
@@ -195,17 +208,36 @@ class PIERNetwork:
         congestion_model: Optional[CongestionModel] = None,
         router: str = "chord",
         seed: int = 0,
-        settle_time: float = 2.0,
+        settle_time: Optional[float] = None,
         auto_start: bool = True,
         exchange_batch_size: int = 1,
         exchange_flush_interval: float = 0.25,
         catalog: Optional[Catalog] = None,
+        mode: str = "simulated",
+        host: str = "127.0.0.1",
     ) -> None:
         if router not in ROUTER_FACTORIES:
             raise ValueError(f"unknown router {router!r}; options: {sorted(ROUTER_FACTORIES)}")
-        self.environment = SimulationEnvironment(
-            node_count, topology=topology, congestion_model=congestion_model, seed=seed
-        )
+        if mode not in ("simulated", "physical"):
+            raise ValueError(f"unknown mode {mode!r}; options: ['physical', 'simulated']")
+        self.mode = mode
+        if mode == "physical":
+            if topology is not None or congestion_model is not None:
+                raise ValueError(
+                    "topology/congestion_model describe the simulator's network "
+                    "model; mode='physical' uses the real loopback network"
+                )
+            self.environment: NetworkEndpoint = PhysicalEnvironment(
+                node_count, host=host, seed=seed
+            )
+            if settle_time is None:
+                settle_time = 1.0
+        else:
+            self.environment = SimulationEnvironment(
+                node_count, topology=topology, congestion_model=congestion_model, seed=seed
+            )
+            if settle_time is None:
+                settle_time = 2.0
         self.directory = BootstrapDirectory()
         router_factory = ROUTER_FACTORIES[router]
         exchange_defaults = {
@@ -261,6 +293,21 @@ class PIERNetwork:
             node.start()
         # Let tree advertisements and initial maintenance traffic settle.
         self.run(self.settle_time)
+
+    def close(self) -> None:
+        """Release the environment's OS resources (sockets, selector).
+
+        A no-op for simulated deployments; physical deployments should be
+        closed (or used as a context manager) so loopback sockets are
+        returned promptly.
+        """
+        self.environment.close()
+
+    def __enter__(self) -> "PIERNetwork":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
 
     # -- access ----------------------------------------------------------------- #
     def node(self, address: int) -> PIERNode:
@@ -634,6 +681,18 @@ class PIERNetwork:
             cancelled = node.cancel(query_id) or cancelled
         return cancelled
 
+    def _node_for(self, address: Any) -> PIERNode:
+        """The node owning ``address`` — a creation index (simulated mode)
+        or the runtime's own address (socket pairs in physical mode)."""
+        if isinstance(address, int) and address < len(self.nodes):
+            node = self.nodes[address]
+            if node.address == address or self.mode == "simulated":
+                return node
+        for node in self.nodes:
+            if node.address == address:
+                return node
+        raise KeyError(f"no node with address {address!r}")
+
     # -- fault injection / churn integration --------------------------------------------#
     def fail_node(self, address: int) -> None:
         self.environment.fail_node(address)
@@ -661,7 +720,7 @@ class PIERNetwork:
         proxies learn about the recovery — their rejoin re-dissemination
         lands on a node that is ready to install fresh opgraphs.
         """
-        recovered = self.nodes[address]
+        recovered = self._node_for(address)
         recovered.executor.on_node_recovered()
         recovered.overlay.rejoin()
         # The periodic tree-advert timer was dropped while the node was

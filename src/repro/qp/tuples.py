@@ -43,7 +43,7 @@ class Schema:
     ``Schema`` directly creates an un-shared instance.
     """
 
-    __slots__ = ("table", "columns", "index", "_wire_overhead")
+    __slots__ = ("table", "columns", "index", "_wire_overhead", "_packed_header")
 
     _interned: Dict[PyTuple[str, PyTuple[str, ...]], "Schema"] = {}
 
@@ -54,6 +54,7 @@ class Schema:
             column: position for position, column in enumerate(columns)
         }
         self._wire_overhead: Optional[int] = None
+        self._packed_header: Optional[bytes] = None
 
     @classmethod
     def intern(cls, table: str, columns: Iterable[str]) -> "Schema":
@@ -81,7 +82,22 @@ class Schema:
             self._wire_overhead = overhead
         return overhead
 
-    def __reduce__(self):  # pickled by the physical runtime's wire format
+    @property
+    def packed_header(self) -> bytes:
+        """Cached binary header (table + column names) for the wire codec.
+
+        Computed once per interned schema; every tuple of this shape
+        reuses it, so the per-tuple encoding cost is just the values.
+        """
+        header = self._packed_header
+        if header is None:
+            from repro.runtime import codec
+
+            header = codec.pack_schema(self)
+            self._packed_header = header
+        return header
+
+    def __reduce__(self):  # legacy pickle fallback (codec is the wire format)
         return (Schema.intern, (self.table, self.columns))
 
     def __repr__(self) -> str:
@@ -96,13 +112,14 @@ def _restore_tuple(table: str, columns: PyTuple[str, ...], values: PyTuple[Any, 
 class Tuple:
     """An immutable, self-describing relational tuple: schema + values."""
 
-    __slots__ = ("schema", "_values", "_wire_size", "_hash")
+    __slots__ = ("schema", "_values", "_wire_size", "_hash", "_encoded")
 
     def __init__(self, table: str, values: Mapping[str, Any]) -> None:
         self.schema = Schema.intern(table, values.keys())
         self._values: PyTuple[Any, ...] = tuple(values.values())
         self._wire_size: Optional[PyTuple[int, int]] = None  # (depth, size)
         self._hash: Optional[int] = None
+        self._encoded: Optional[bytes] = None
 
     @classmethod
     def _from_parts(cls, schema: Schema, values: PyTuple[Any, ...]) -> "Tuple":
@@ -112,6 +129,7 @@ class Tuple:
         tup._values = values
         tup._wire_size = None
         tup._hash = None
+        tup._encoded = None
         return tup
 
     # -- construction ------------------------------------------------------ #
@@ -249,6 +267,40 @@ class Tuple:
             raise MalformedTupleError(
                 f"tuple of table {self.table!r} has no column {exc.args[0]!r}"
             ) from exc
+
+    # -- binary wire form --------------------------------------------------- #
+    def to_bytes(self) -> bytes:
+        """The codec's binary encoding of this tuple, memoized.
+
+        The schema header (table + columns) comes from the interned
+        schema's cached blob; only the values are packed per tuple.
+        Tuples are immutable once created, so the encoding is computed
+        at most once no matter how many messages carry the tuple.
+        """
+        encoded = self._encoded
+        if encoded is None:
+            from repro.runtime import codec
+
+            parts: List[bytes] = [
+                bytes((codec.TAG_WIRE_TUPLE,)),
+                self.schema.packed_header,
+            ]
+            for value in self._values:
+                codec._encode_value(value, parts)
+            encoded = b"".join(parts)
+            self._encoded = encoded
+        return encoded
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Tuple":
+        """Decode a tuple produced by :meth:`to_bytes`, re-interning the
+        schema in the receiving process."""
+        from repro.runtime import codec
+
+        value = codec.decode(data)
+        if not isinstance(value, Tuple):
+            raise MalformedTupleError(f"not an encoded tuple: {value!r}")
+        return value
 
     # -- accounting ---------------------------------------------------------------- #
     def wire_size(self, depth: int = 1) -> int:

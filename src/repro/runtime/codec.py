@@ -1,0 +1,400 @@
+"""Binary wire codec for the physical runtime (paper Section 3.1).
+
+The simulator passes payload objects between virtual nodes by reference,
+so it never serialises anything.  The physical runtime cannot: every
+message crosses a real socket.  This module is the single place where
+PIER payloads become bytes and back.
+
+The encoding is a tagged, struct-packed format designed around the
+interned-schema tuples from the hot-path overhaul:
+
+* **Scalars** are one tag byte plus a fixed-width ``struct`` value
+  (small ints collapse to a single signed byte; arbitrary-precision
+  ints get a length-prefixed big-endian form).
+* **Containers** (list/tuple/dict/set/frozenset) are a tag, a u32
+  count, and their encoded children.  Set elements are sorted by their
+  encoded bytes so equal sets encode identically.
+* **Well-known strings** — the envelope keys and message kinds that
+  dominate routed traffic (``"kind"``, ``"namespace"``, ``"put_batch"``,
+  ...) — collapse to two bytes via a static table shared by every
+  process.
+* **PIER tuples** are encoded *by their schema*: the interned
+  :class:`~repro.qp.tuples.Schema` contributes one cached header blob
+  (table + column names) and the tuple contributes only its packed
+  values, in column order.  ``Tuple.to_bytes`` memoizes the full
+  encoding on the (immutable) tuple, so a tuple that crosses many hops
+  or rides in many batches is packed once.
+* **Pickle is a declared fallback**, not the wire format.  Payload
+  shapes the tagged encoding does not know (exotic application objects)
+  fall back to a length-prefixed pickle frame, and the module counts
+  every such frame in :data:`FALLBACKS` so tests — and the P06 lint
+  scope — can assert the hot wire path never takes it.
+
+On top of the value encoding this module defines the datagram envelope
+used by the physical runtime: a fixed ``!BBIII`` header (magic, kind,
+transport id, logical source port, logical destination port) followed by
+the encoded payload.  DATA frames carry a payload; ACK frames are the
+header alone — receiver-sent, so delivery callbacks reflect receipt.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
+
+from repro.qp.tuples import Schema, Tuple
+
+# --------------------------------------------------------------------------- #
+# value tags
+# --------------------------------------------------------------------------- #
+
+TAG_NONE = 0x00
+TAG_TRUE = 0x01
+TAG_FALSE = 0x02
+TAG_INT8 = 0x03
+TAG_INT32 = 0x04
+TAG_INT64 = 0x05
+TAG_BIGINT = 0x06
+TAG_FLOAT = 0x07
+TAG_SHORT_STR = 0x08
+TAG_STR = 0x09
+TAG_BYTES = 0x0A
+TAG_LIST = 0x0B
+TAG_TUPLE = 0x0C
+TAG_DICT = 0x0D
+TAG_SET = 0x0E
+TAG_FROZENSET = 0x0F
+TAG_WIRE_TUPLE = 0x10
+TAG_WELLKNOWN = 0x11
+TAG_PICKLE = 0x12
+
+_INT8 = struct.Struct("!b")
+_INT32 = struct.Struct("!i")
+_INT64 = struct.Struct("!q")
+_FLOAT = struct.Struct("!d")
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+
+# Envelope keys and message kinds that dominate routed messages, control
+# traffic, and aggregate partials.  Appending is safe; reordering or
+# removing entries changes the wire format.
+WELLKNOWN_STRINGS: PyTuple[str, ...] = (
+    # overlay message vocabulary (overlay/wrapper.py)
+    "kind", "namespace", "key", "suffix", "value", "lifetime",
+    "request_id", "origin", "target", "hops", "final", "entries",
+    "lookup", "lookup_response", "put", "put_batch", "ack", "direct",
+    "send", "get_request", "get_response", "renew", "ping", "hello",
+    "contact", "found", "address", "identifier", "values",
+    # query dissemination / control envelopes (qp/dissemination.py)
+    "query_id", "timeout", "proxy", "metadata", "graph", "control",
+    "panes", "graph_id", "dissemination", "operators", "id", "type",
+    "params", "inputs", "table", "action", "source", "port",
+    # continuous-query pane/epoch traffic
+    "epoch", "pane", "watermark", "seq", "rows", "results", "status",
+    "coverage", "count", "group", "window", "slide", "payload",
+    # transport framing (runtime/udpcc.py)
+    "udpcc", "udpcc_id", "data",
+)
+
+_WELLKNOWN_INDEX: Dict[str, int] = {
+    text: position for position, text in enumerate(WELLKNOWN_STRINGS)
+}
+
+
+class CodecError(Exception):
+    """Raised when a byte stream does not parse as a codec value."""
+
+
+class _FallbackCounter:
+    """Counts pickle-fallback frames so tests can pin them to zero."""
+
+    __slots__ = ("encodes", "decodes")
+
+    def __init__(self) -> None:
+        self.encodes = 0
+        self.decodes = 0
+
+    def reset(self) -> None:
+        self.encodes = 0
+        self.decodes = 0
+
+    def total(self) -> int:
+        return self.encodes + self.decodes
+
+
+FALLBACKS = _FallbackCounter()
+
+
+# --------------------------------------------------------------------------- #
+# encoding
+# --------------------------------------------------------------------------- #
+
+def encode(value: Any) -> bytes:
+    """Encode one payload value to its tagged binary form."""
+    parts: List[bytes] = []
+    _encode_value(value, parts)
+    return b"".join(parts)
+
+
+def _encode_value(value: Any, parts: List[bytes]) -> None:
+    if value is None:
+        parts.append(b"\x00")
+        return
+    kind = value.__class__
+    if kind is bool:
+        parts.append(b"\x01" if value else b"\x02")
+        return
+    if kind is int:
+        _encode_int(value, parts)
+        return
+    if kind is float:
+        parts.append(_U8.pack(TAG_FLOAT) + _FLOAT.pack(value))
+        return
+    if kind is str:
+        _encode_str(value, parts)
+        return
+    if kind is bytes:
+        parts.append(_U8.pack(TAG_BYTES) + _U32.pack(len(value)))
+        parts.append(value)
+        return
+    if kind is Tuple:
+        parts.append(value.to_bytes())
+        return
+    if kind is list or kind is tuple:
+        parts.append(
+            _U8.pack(TAG_LIST if kind is list else TAG_TUPLE)
+            + _U32.pack(len(value))
+        )
+        for item in value:
+            _encode_value(item, parts)
+        return
+    if kind is dict:
+        parts.append(_U8.pack(TAG_DICT) + _U32.pack(len(value)))
+        for key, item in value.items():
+            _encode_value(key, parts)
+            _encode_value(item, parts)
+        return
+    if kind is set or kind is frozenset:
+        # Sets are unordered; sort the encoded elements so equal sets
+        # produce identical bytes.
+        encoded = sorted(encode(item) for item in value)
+        parts.append(
+            _U8.pack(TAG_SET if kind is set else TAG_FROZENSET)
+            + _U32.pack(len(encoded))
+        )
+        parts.extend(encoded)
+        return
+    if isinstance(value, Tuple):  # Tuple subclass
+        parts.append(value.to_bytes())
+        return
+    _encode_fallback(value, parts)
+
+
+def _encode_int(value: int, parts: List[bytes]) -> None:
+    if -128 <= value <= 127:
+        parts.append(_U8.pack(TAG_INT8) + _INT8.pack(value))
+    elif -(2 ** 31) <= value < 2 ** 31:
+        parts.append(_U8.pack(TAG_INT32) + _INT32.pack(value))
+    elif -(2 ** 63) <= value < 2 ** 63:
+        parts.append(_U8.pack(TAG_INT64) + _INT64.pack(value))
+    else:
+        raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+        parts.append(_U8.pack(TAG_BIGINT) + _U32.pack(len(raw)))
+        parts.append(raw)
+
+
+def _encode_str(value: str, parts: List[bytes]) -> None:
+    wellknown = _WELLKNOWN_INDEX.get(value)
+    if wellknown is not None:
+        parts.append(_U8.pack(TAG_WELLKNOWN) + _U8.pack(wellknown))
+        return
+    raw = value.encode("utf-8")
+    if len(raw) < 256:
+        parts.append(_U8.pack(TAG_SHORT_STR) + _U8.pack(len(raw)))
+    else:
+        parts.append(_U8.pack(TAG_STR) + _U32.pack(len(raw)))
+    parts.append(raw)
+
+
+def _encode_fallback(value: Any, parts: List[bytes]) -> None:
+    FALLBACKS.encodes += 1
+    raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    parts.append(_U8.pack(TAG_PICKLE) + _U32.pack(len(raw)))
+    parts.append(raw)
+
+
+def pack_schema(schema: Schema) -> bytes:
+    """The cached header blob for one interned schema: table + columns."""
+    table = schema.table.encode("utf-8")
+    out = [_U16.pack(len(table)), table, _U16.pack(len(schema.columns))]
+    for column in schema.columns:
+        raw = column.encode("utf-8")
+        out.append(_U16.pack(len(raw)))
+        out.append(raw)
+    return b"".join(out)
+
+
+# --------------------------------------------------------------------------- #
+# decoding
+# --------------------------------------------------------------------------- #
+
+def decode(data: bytes) -> Any:
+    """Decode one payload value; raises :class:`CodecError` on junk."""
+    view = memoryview(data)
+    try:
+        value, offset = _decode_value(view, 0)
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise CodecError(f"truncated or corrupt frame: {exc}") from exc
+    if offset != len(view):
+        raise CodecError(
+            f"trailing garbage: consumed {offset} of {len(view)} bytes"
+        )
+    return value
+
+
+def _decode_value(view: memoryview, offset: int) -> PyTuple[Any, int]:
+    tag = view[offset]
+    offset += 1
+    if tag == TAG_NONE:
+        return None, offset
+    if tag == TAG_TRUE:
+        return True, offset
+    if tag == TAG_FALSE:
+        return False, offset
+    if tag == TAG_INT8:
+        return _INT8.unpack_from(view, offset)[0], offset + 1
+    if tag == TAG_INT32:
+        return _INT32.unpack_from(view, offset)[0], offset + 4
+    if tag == TAG_INT64:
+        return _INT64.unpack_from(view, offset)[0], offset + 8
+    if tag == TAG_BIGINT:
+        length = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        raw = bytes(view[offset:offset + length])
+        if len(raw) != length:
+            raise CodecError("truncated bigint")
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == TAG_FLOAT:
+        return _FLOAT.unpack_from(view, offset)[0], offset + 8
+    if tag == TAG_SHORT_STR:
+        length = view[offset]
+        offset += 1
+        return str(view[offset:offset + length], "utf-8"), offset + length
+    if tag == TAG_STR:
+        length = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        return str(view[offset:offset + length], "utf-8"), offset + length
+    if tag == TAG_WELLKNOWN:
+        return WELLKNOWN_STRINGS[view[offset]], offset + 1
+    if tag == TAG_BYTES:
+        length = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        raw = bytes(view[offset:offset + length])
+        if len(raw) != length:
+            raise CodecError("truncated bytes value")
+        return raw, offset + length
+    if tag == TAG_LIST or tag == TAG_TUPLE:
+        count = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        items: List[Any] = []
+        for _ in range(count):
+            item, offset = _decode_value(view, offset)
+            items.append(item)
+        return (items if tag == TAG_LIST else tuple(items)), offset
+    if tag == TAG_DICT:
+        count = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        out: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _decode_value(view, offset)
+            item, offset = _decode_value(view, offset)
+            out[key] = item
+        return out, offset
+    if tag == TAG_SET or tag == TAG_FROZENSET:
+        count = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        members: List[Any] = []
+        for _ in range(count):
+            member, offset = _decode_value(view, offset)
+            members.append(member)
+        return (set(members) if tag == TAG_SET else frozenset(members)), offset
+    if tag == TAG_WIRE_TUPLE:
+        return _decode_wire_tuple(view, offset)
+    if tag == TAG_PICKLE:
+        length = _U32.unpack_from(view, offset)[0]
+        offset += 4
+        FALLBACKS.decodes += 1
+        raw = bytes(view[offset:offset + length])
+        if len(raw) != length:
+            raise CodecError("truncated pickle fallback frame")
+        return pickle.loads(raw), offset + length
+    raise CodecError(f"unknown tag byte 0x{tag:02x}")
+
+
+def _decode_wire_tuple(view: memoryview, offset: int) -> PyTuple[Tuple, int]:
+    table_len = _U16.unpack_from(view, offset)[0]
+    offset += 2
+    table = str(view[offset:offset + table_len], "utf-8")
+    offset += table_len
+    column_count = _U16.unpack_from(view, offset)[0]
+    offset += 2
+    columns: List[str] = []
+    for _ in range(column_count):
+        length = _U16.unpack_from(view, offset)[0]
+        offset += 2
+        columns.append(str(view[offset:offset + length], "utf-8"))
+        offset += length
+    values: List[Any] = []
+    for _ in range(column_count):
+        value, offset = _decode_value(view, offset)
+        values.append(value)
+    schema = Schema.intern(table, tuple(columns))
+    return Tuple._from_parts(schema, tuple(values)), offset
+
+
+# --------------------------------------------------------------------------- #
+# datagram envelope
+# --------------------------------------------------------------------------- #
+
+MAGIC = 0xB7
+
+KIND_DATA = 1
+KIND_ACK = 2
+
+_ENVELOPE = struct.Struct("!BBIII")
+ENVELOPE_BYTES = _ENVELOPE.size
+
+
+def pack_datagram(
+    kind: int,
+    transport_id: int,
+    source_port: int,
+    dest_port: int,
+    payload: Any = None,
+) -> bytes:
+    """One physical-wire datagram: envelope header plus encoded payload.
+
+    ACK frames (``kind=KIND_ACK``) are the header alone.
+    """
+    header = _ENVELOPE.pack(MAGIC, kind, transport_id, source_port, dest_port)
+    if kind == KIND_ACK:
+        return header
+    return header + encode(payload)
+
+
+def unpack_datagram(data: bytes) -> PyTuple[int, int, int, int, Any]:
+    """Parse a datagram into (kind, transport_id, source_port, dest_port,
+    payload); the payload is ``None`` for ACK frames."""
+    if len(data) < ENVELOPE_BYTES:
+        raise CodecError(f"short datagram: {len(data)} bytes")
+    magic, kind, transport_id, source_port, dest_port = _ENVELOPE.unpack_from(
+        data, 0
+    )
+    if magic != MAGIC:
+        raise CodecError(f"bad magic byte 0x{magic:02x}")
+    if kind == KIND_ACK:
+        return kind, transport_id, source_port, dest_port, None
+    payload = decode(data[ENVELOPE_BYTES:])
+    return kind, transport_id, source_port, dest_port, payload

@@ -1,0 +1,109 @@
+"""The NetworkEndpoint seam: one environment surface, two bindings.
+
+The paper's architectural claim (Section 3.1, Figure 3) is that PIER's
+program logic is written once against the Virtual Runtime Interface and
+runs unchanged in the Simulation Environment and the Physical Runtime
+Environment.  The per-*node* half of that seam is
+:class:`~repro.runtime.vri.VirtualRuntime`; this module defines the
+per-*deployment* half: the environment object that owns the nodes, the
+event loop, and the traffic accounting.
+
+:class:`NetworkEndpoint` is the surface :class:`repro.api.PIERNetwork`,
+the query sessions, and the workload apps program against.  Its two
+implementations are :class:`repro.runtime.simulation.SimulationEnvironment`
+(virtual time, message-level network model) and
+:class:`repro.runtime.physical.PhysicalEnvironment` (wall-clock time, real
+UDP sockets on one selector loop) — which one you get is a constructor
+choice (``PIERNetwork(mode=...)``), not a different code path.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, List, Optional
+
+from repro.runtime.congestion import NetworkStats
+from repro.runtime.vri import VirtualRuntime
+
+
+class NetworkEndpoint(abc.ABC):
+    """A deployment environment hosting many VRI-bound nodes.
+
+    Addresses are opaque to callers: integers in the simulator,
+    ``(host, port)`` socket pairs in the physical runtime.  Methods that
+    take an address also accept the node's creation index, so deployment
+    code can iterate ``range(node_count)`` in either mode.
+    """
+
+    # Shared state every binding provides (assigned in __init__).
+    node_count: int
+    seed: Any
+    stats: NetworkStats
+    sanitizer: Optional[Any] = None
+
+    # -- node access ------------------------------------------------------ #
+    @abc.abstractmethod
+    def runtime(self, address: Any) -> VirtualRuntime:
+        """The VRI runtime for one node (by address or creation index)."""
+
+    @abc.abstractmethod
+    def runtimes(self) -> List[VirtualRuntime]:
+        """All node runtimes, in creation order."""
+
+    @abc.abstractmethod
+    def add_node(self) -> VirtualRuntime:
+        """Grow the deployment by one node."""
+
+    # -- failure model ----------------------------------------------------- #
+    @abc.abstractmethod
+    def on_failure(self, callback: Callable[[Any], None]) -> None:
+        """Observe node failures (called with the failed node's address)."""
+
+    @abc.abstractmethod
+    def on_recovery(self, callback: Callable[[Any], None]) -> None:
+        """Observe node recoveries (called with the recovered address)."""
+
+    @abc.abstractmethod
+    def fail_node(self, address: Any) -> None:
+        """Take one node down: it stops receiving and its timers freeze."""
+
+    @abc.abstractmethod
+    def recover_node(self, address: Any) -> None:
+        """Bring a failed node back."""
+
+    @abc.abstractmethod
+    def is_alive(self, address: Any) -> bool:
+        """Whether the node is currently up."""
+
+    # -- event loop --------------------------------------------------------- #
+    @abc.abstractmethod
+    def run(
+        self,
+        duration: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Drive the deployment's event loop.
+
+        ``duration`` bounds time (virtual seconds in the simulator, wall
+        seconds on sockets); ``max_events`` bounds dispatches;
+        ``stop_condition`` ends the run early.  Returns the number of
+        events dispatched.
+        """
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in the environment's clock domain."""
+
+    @abc.abstractmethod
+    def rng(self, label: Optional[str] = None) -> random.Random:
+        """A seeded RNG derived from the deployment seed (pierlint P03)."""
+
+    # -- lifecycle ---------------------------------------------------------- #
+    def close(self) -> None:
+        """Release any OS resources (sockets, selectors).  Idempotent.
+
+        The simulator holds none, so the default is a no-op.
+        """

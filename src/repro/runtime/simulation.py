@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.congestion import CongestionModel, NetworkStats, NoCongestionModel
+from repro.runtime.endpoint import NetworkEndpoint
 from repro.runtime.events import Event, NetworkEvent
 from repro.runtime.rand import derive_rng
 from repro.runtime.sanitizer import SimSanitizer
@@ -157,8 +158,14 @@ class _TCPPipe:
     server_address: int
 
 
-class SimulationEnvironment:
-    """Discrete-event simulation of many PIER nodes in one process."""
+class SimulationEnvironment(NetworkEndpoint):
+    """Discrete-event simulation of many PIER nodes in one process.
+
+    One of the two :class:`~repro.runtime.endpoint.NetworkEndpoint`
+    bindings (the other is
+    :class:`repro.runtime.physical.PhysicalEnvironment`); deployment code
+    selects between them with ``PIERNetwork(mode=...)``.
+    """
 
     UDP_ACK_OVERHEAD_BYTES = 60
 

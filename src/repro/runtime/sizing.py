@@ -36,6 +36,22 @@ HEADER_BYTES = 48
 MAX_DEPTH = 6
 
 
+def wire_size(payload: Any) -> int:
+    """Exact size, in bytes, of ``payload`` in the physical wire format.
+
+    Unlike :func:`estimate_message_size` — a *structural* estimate whose
+    per-value rules are pinned by the simulator's congestion models and
+    byte counters — this is the true encoded length of the payload under
+    :mod:`repro.runtime.codec`, plus the fixed datagram envelope.  The
+    memoization contract carries over: immutable wire tuples cache their
+    encoding, so repeated sizing (or sending) of the same tuple packs it
+    once.
+    """
+    from repro.runtime import codec
+
+    return codec.ENVELOPE_BYTES + len(codec.encode(payload))
+
+
 def estimate_message_size(payload: Any) -> int:
     """Rough size, in bytes, of an application message.
 

@@ -5,8 +5,17 @@ per-message acknowledgements and TCP-style congestion control, without
 in-order delivery guarantees.  This module reproduces the transport's
 observable behaviour on top of the VRI ``send``/``listen`` primitives:
 
-* every message is tracked until acknowledged;
-* senders are notified of delivery success or failure (after retries);
+* every message is tracked until acknowledged **by the receiver** — an
+  explicit ack frame travels back over the wire, so delivery callbacks
+  reflect actual receipt, not local send success.  This is what keeps the
+  transport honest on real sockets, where ``sendto()`` succeeding says
+  nothing about delivery;
+* retransmissions back off exponentially with seeded jitter
+  (:func:`~repro.runtime.rand.derive_rng`), and senders are notified of
+  delivery success or failure after :data:`~UdpCCTransport.MAX_ATTEMPTS`;
+* receivers keep a dedup window of recently seen message ids per sender,
+  so a retransmission whose original did arrive is re-acked without being
+  delivered to the application twice;
 * an AIMD congestion window bounds the number of unacknowledged messages
   in flight to any one destination, with additional messages queued.
 """
@@ -16,11 +25,15 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, DefaultDict, Deque, Dict, Optional, Set, Tuple
 
+from repro.runtime.rand import derive_rng
 from repro.runtime.vri import VirtualRuntime
 
 DeliveryCallback = Callable[[bool, Any], None]
+
+# How many recently seen message ids to remember per sender for dedup.
+DEDUP_WINDOW = 1024
 
 
 @dataclass
@@ -50,8 +63,26 @@ class _FlowState:
         self.window = max(self.window / 2.0, 1.0)
 
 
+@dataclass
+class _DedupState:
+    """Recently seen message ids from one sender (bounded FIFO window)."""
+
+    seen: Set[int] = field(default_factory=set)
+    order: Deque[int] = field(default_factory=deque)
+
+    def check_and_add(self, message_id: int) -> bool:
+        """True if ``message_id`` is new; remembers it either way."""
+        if message_id in self.seen:
+            return False
+        self.seen.add(message_id)
+        self.order.append(message_id)
+        if len(self.order) > DEDUP_WINDOW:
+            self.seen.discard(self.order.popleft())
+        return True
+
+
 class UdpCCTransport:
-    """Reliable (acknowledged) message transport bound to one VRI port."""
+    """Reliable (receiver-acknowledged) message transport on one VRI port."""
 
     MAX_ATTEMPTS = 4
     RETRY_TIMEOUT = 1.0
@@ -63,8 +94,11 @@ class UdpCCTransport:
         self._receive_handler: Optional[Callable[[Any, Any], None]] = None
         self._flows: DefaultDict[Tuple[Any, int], _FlowState] = defaultdict(_FlowState)
         self._outstanding: Dict[int, _OutstandingMessage] = {}
+        self._dedup: DefaultDict[Tuple[Any, int], _DedupState] = defaultdict(_DedupState)
+        self._rng = derive_rng((repr(runtime.address), port), "udpcc-backoff")
         self.messages_sent = 0
         self.messages_failed = 0
+        self.duplicates_dropped = 0
         runtime.listen(port, self)
 
     # -- public API -------------------------------------------------------#
@@ -82,7 +116,8 @@ class UdpCCTransport:
         """Queue ``payload`` for delivery to ``destination``.
 
         Returns the message id.  ``callback(success, callback_data)`` fires
-        once delivery succeeds or is abandoned after retries.
+        once the receiver's ack arrives or delivery is abandoned after
+        retries.
         """
         message = _OutstandingMessage(
             message_id=next(self._message_ids),
@@ -106,6 +141,14 @@ class UdpCCTransport:
             message = flow.queue.popleft()
             self._transmit(message)
 
+    def _retry_delay(self, attempts: int) -> float:
+        """Exponential backoff with jitter: base * 2^(attempt-1) * [0.75, 1.25)."""
+        return (
+            self.RETRY_TIMEOUT
+            * (2.0 ** (attempts - 1))
+            * (0.75 + 0.5 * self._rng.random())
+        )
+
     def _transmit(self, message: _OutstandingMessage) -> None:
         flow = self._flows[message.destination]
         flow.in_flight += 1
@@ -115,23 +158,31 @@ class UdpCCTransport:
         self.runtime.send(
             self.port,
             message.destination,
-            {"udpcc_id": message.message_id, "payload": message.payload},
-            callback_data=message.message_id,
-            callback_client=self,
+            {
+                "udpcc": "data",
+                "id": message.message_id,
+                "port": self.port,
+                "payload": message.payload,
+            },
         )
         self.runtime.schedule_event(
-            self.RETRY_TIMEOUT * message.attempts, message.message_id, self._on_timeout
+            self._retry_delay(message.attempts),
+            (message.message_id, message.attempts),
+            self._on_timeout,
         )
 
-    def _on_timeout(self, message_id: int) -> None:
+    def _on_timeout(self, timer_data: Tuple[int, int]) -> None:
+        message_id, attempt = timer_data
         message = self._outstanding.get(message_id)
-        if message is None:
+        if message is None or message.attempts != attempt:
+            # Acked, abandoned, or already retransmitted — stale timer.
+            return
+        if message.attempts >= self.MAX_ATTEMPTS:
+            # _finish charges the loss; don't halve the window twice.
+            self._finish(message, success=False)
             return
         flow = self._flows[message.destination]
         flow.on_loss()
-        if message.attempts >= self.MAX_ATTEMPTS:
-            self._finish(message, success=False)
-            return
         self._outstanding.pop(message_id, None)
         flow.in_flight = max(0, flow.in_flight - 1)
         flow.queue.appendleft(message)
@@ -153,17 +204,49 @@ class UdpCCTransport:
 
     # -- VRI UDPListener callbacks --------------------------------------------#
     def handle_udp(self, source: Any, payload: Any) -> None:
-        if isinstance(payload, dict) and "udpcc_id" in payload:
-            payload = payload["payload"]
+        if isinstance(payload, dict):
+            kind = payload.get("udpcc")
+            if kind == "ack":
+                self._handle_ack(payload.get("id"))
+                return
+            if kind == "data":
+                self._handle_data(source, payload)
+                return
+            if "udpcc_id" in payload:
+                # Legacy framing: deliver, no ack semantics to honour.
+                payload = payload["payload"]
         if self._receive_handler is not None:
             self._receive_handler(source, payload)
 
-    def handle_udp_ack(self, callback_data: Any, success: bool) -> None:
-        message = self._outstanding.get(callback_data)
-        if message is None:
+    def _handle_data(self, source: Any, frame: Dict[str, Any]) -> None:
+        message_id = frame.get("id")
+        sender_port = frame.get("port", self.port)
+        # VRI listeners see source as (node_address, source_port).
+        origin = source[0] if isinstance(source, tuple) and len(source) == 2 else source
+        # Ack first — even duplicates are re-acked, because a duplicate
+        # means our previous ack (or their timer) was lost.
+        self.runtime.send(
+            self.port, (origin, sender_port), {"udpcc": "ack", "id": message_id}
+        )
+        if not self._dedup[(origin, sender_port)].check_and_add(message_id):
+            self.duplicates_dropped += 1
             return
-        if success:
+        if self._receive_handler is not None:
+            self._receive_handler(source, frame.get("payload"))
+
+    def _handle_ack(self, message_id: Any) -> None:
+        message = self._outstanding.get(message_id)
+        if message is not None:
             self._finish(message, success=True)
-        else:
-            # Treat as loss; the retry timer will resend or give up.
+
+    def handle_udp_ack(self, callback_data: Any, success: bool) -> None:
+        """VRI-level hint (simulator only): a send to a dead node failed.
+
+        Success is ignored — delivery is only confirmed by the receiver's
+        ack frame — but an early failure hint counts as a loss signal.
+        """
+        if success:
+            return
+        message = self._outstanding.get(callback_data)
+        if message is not None:
             self._flows[message.destination].on_loss()

@@ -1,0 +1,259 @@
+"""Tests for the binary wire codec (runtime/codec.py).
+
+Round-trips every tag the format defines — scalars, containers,
+schema-packed wire tuples, well-known strings, and the counted pickle
+fallback — plus the datagram envelope the physical runtime frames
+messages in, and the error paths for junk bytes.
+"""
+
+import math
+
+import pytest
+
+from repro.qp.tuples import Schema, Tuple
+from repro.runtime import codec
+from repro.runtime.sizing import wire_size
+
+
+@pytest.fixture(autouse=True)
+def _reset_fallback_counter():
+    codec.FALLBACKS.reset()
+    yield
+    codec.FALLBACKS.reset()
+
+
+def roundtrip(value):
+    return codec.decode(codec.encode(value))
+
+
+# -- scalars ----------------------------------------------------------------- #
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        127,
+        -128,
+        128,
+        2**31 - 1,
+        -(2**31),
+        2**31,
+        2**63 - 1,
+        -(2**63),
+        2**63,          # bigint
+        -(2**200),      # bigint, negative
+        0.0,
+        -2.5,
+        1e300,
+        float("inf"),
+        "",
+        "short",
+        "x" * 255,
+        "y" * 300,      # long-string form
+        "naïve Ünicode ✓",
+        b"",
+        b"\x00\xff" * 10,
+    ],
+)
+def test_scalar_roundtrip(value):
+    decoded = roundtrip(value)
+    assert decoded == value
+    assert type(decoded) is type(value)
+    assert codec.FALLBACKS.total() == 0
+
+
+def test_nan_roundtrips():
+    assert math.isnan(roundtrip(float("nan")))
+
+
+def test_bool_is_not_confused_with_int():
+    # bool is an int subclass; the codec must keep them distinct.
+    assert roundtrip(True) is True
+    assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+
+def test_int_width_selection():
+    # One tag byte plus the narrowest struct that fits.
+    assert len(codec.encode(7)) == 2
+    assert len(codec.encode(1000)) == 5
+    assert len(codec.encode(2**40)) == 9
+
+
+# -- well-known strings ------------------------------------------------------- #
+
+def test_wellknown_strings_collapse_to_two_bytes():
+    for text in codec.WELLKNOWN_STRINGS:
+        encoded = codec.encode(text)
+        assert len(encoded) == 2, text
+        assert encoded[0] == codec.TAG_WELLKNOWN
+        assert codec.decode(encoded) == text
+
+
+def test_non_wellknown_string_uses_inline_form():
+    assert codec.encode("definitely-not-in-the-table")[0] == codec.TAG_SHORT_STR
+
+
+# -- containers --------------------------------------------------------------- #
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        [],
+        [1, "two", 3.0, None, True],
+        (1, (2, (3,))),
+        {},
+        {"kind": "put_batch", "entries": [{"key": 1}], "hops": 3},
+        {1: "a", (2, 3): ["b"], None: {"nested": True}},
+        set(),
+        {3, 1, 2},
+        frozenset({"a", "b"}),
+        [{"rows": [(1, 2)], "seen": {7, 8}}],
+    ],
+)
+def test_container_roundtrip(value):
+    decoded = roundtrip(value)
+    assert decoded == value
+    assert type(decoded) is type(value)
+    assert codec.FALLBACKS.total() == 0
+
+
+def test_set_encoding_is_order_independent():
+    forward = {f"s{i}" for i in range(20)}
+    backward = {f"s{i}" for i in reversed(range(20))}
+    assert codec.encode(forward) == codec.encode(backward)
+
+
+# -- PIER tuples --------------------------------------------------------------- #
+
+def test_wire_tuple_roundtrip_reinterns_schema():
+    row = Tuple.make("firewall_events", source="10.0.0.1", count=4)
+    decoded = roundtrip(row)
+    assert isinstance(decoded, Tuple)
+    assert decoded == row
+    assert decoded.schema is row.schema  # Schema.intern gives the same object
+
+
+def test_tuple_to_bytes_is_memoized():
+    row = Tuple.make("inv", keyword="kw1", file_id=9)
+    first = row.to_bytes()
+    assert row.to_bytes() is first
+    assert Tuple.from_bytes(first) == row
+
+
+def test_schema_packed_header_is_cached():
+    schema = Schema.intern("cache_check", ("a", "b"))
+    assert schema.packed_header is schema.packed_header
+
+
+def test_tuple_from_bytes_rejects_non_tuple_frames():
+    from repro.qp.tuples import MalformedTupleError
+
+    with pytest.raises(MalformedTupleError):
+        Tuple.from_bytes(codec.encode({"not": "a tuple"}))
+
+
+def test_tuples_nested_in_envelopes_roundtrip():
+    rows = [Tuple.make("t", k=i, v=f"val{i}") for i in range(5)]
+    envelope = {"kind": "put_batch", "namespace": "t", "entries": rows}
+    decoded = roundtrip(envelope)
+    assert decoded == envelope
+    assert all(isinstance(row, Tuple) for row in decoded["entries"])
+    assert codec.FALLBACKS.total() == 0
+
+
+def test_legacy_dict_tuple_form_roundtrips_without_fallback():
+    row = Tuple.make("legacy", k=1, v="x")
+    legacy = row.to_dict()  # {"table": ..., "values": {...}}
+    decoded = roundtrip(legacy)
+    assert decoded == legacy
+    assert Tuple.from_dict(decoded) == row
+    assert codec.FALLBACKS.total() == 0
+
+
+# -- pickle fallback ------------------------------------------------------------ #
+
+class SlottedPayload:
+    """An application object the tagged format does not know."""
+
+    __slots__ = ("label", "weight")
+
+    def __init__(self, label, weight):
+        self.label = label
+        self.weight = weight
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SlottedPayload)
+            and (self.label, self.weight) == (other.label, other.weight)
+        )
+
+
+def test_slotted_payload_falls_back_to_counted_pickle():
+    value = SlottedPayload("exotic", 2.5)
+    encoded = codec.encode(value)
+    assert encoded[0] == codec.TAG_PICKLE
+    assert codec.FALLBACKS.encodes == 1
+    assert codec.decode(encoded) == value
+    assert codec.FALLBACKS.decodes == 1
+    assert codec.FALLBACKS.total() == 2
+
+
+def test_fallback_counter_resets():
+    codec.encode(SlottedPayload("x", 1.0))
+    assert codec.FALLBACKS.total() == 1
+    codec.FALLBACKS.reset()
+    assert codec.FALLBACKS.total() == 0
+
+
+# -- datagram envelope ----------------------------------------------------------- #
+
+def test_data_datagram_roundtrip():
+    payload = {"udpcc": "data", "id": 7, "payload": Tuple.make("t", k=1)}
+    wire = codec.pack_datagram(codec.KIND_DATA, 42, 5000, 6000, payload)
+    kind, transport_id, source_port, dest_port, decoded = codec.unpack_datagram(wire)
+    assert (kind, transport_id, source_port, dest_port) == (codec.KIND_DATA, 42, 5000, 6000)
+    assert decoded == payload
+
+
+def test_ack_datagram_is_header_only():
+    wire = codec.pack_datagram(codec.KIND_ACK, 42, 6000, 5000)
+    assert len(wire) == codec.ENVELOPE_BYTES
+    kind, transport_id, _source, _dest, payload = codec.unpack_datagram(wire)
+    assert (kind, transport_id, payload) == (codec.KIND_ACK, 42, None)
+
+
+def test_wire_size_matches_actual_encoding():
+    payload = {"kind": "lookup", "key": 123456, "entries": [Tuple.make("t", k=1)]}
+    wire = codec.pack_datagram(codec.KIND_DATA, 1, 0, 0, payload)
+    assert wire_size(payload) == len(wire)
+
+
+# -- error paths ------------------------------------------------------------------ #
+
+def test_decode_rejects_unknown_tag():
+    with pytest.raises(codec.CodecError):
+        codec.decode(b"\xfe")
+
+
+def test_decode_rejects_truncated_frame():
+    encoded = codec.encode("a string long enough to truncate meaningfully")
+    with pytest.raises(codec.CodecError):
+        codec.decode(encoded[: len(encoded) // 2])
+
+
+def test_decode_rejects_trailing_garbage():
+    with pytest.raises(codec.CodecError):
+        codec.decode(codec.encode(1) + b"\x00")
+
+
+def test_unpack_rejects_short_and_bad_magic_datagrams():
+    with pytest.raises(codec.CodecError):
+        codec.unpack_datagram(b"\x00" * 4)
+    wire = bytearray(codec.pack_datagram(codec.KIND_DATA, 1, 0, 0, None))
+    wire[0] = 0x00
+    with pytest.raises(codec.CodecError):
+        codec.unpack_datagram(bytes(wire))

@@ -10,6 +10,21 @@ def _transports(env, port=7100):
     return transports
 
 
+def _intercept_send(runtime, interceptor):
+    """Wrap ``runtime.send`` so ``interceptor(payload)`` can drop (return
+    ``False``) or duplicate (return an int count) each outgoing frame."""
+    real_send = runtime.send
+
+    def wrapped(source_port, destination, payload, callback_data=None, callback_client=None):
+        verdict = interceptor(payload)
+        copies = int(verdict) if not isinstance(verdict, bool) else (1 if verdict else 0)
+        for _ in range(copies):
+            real_send(source_port, destination, payload, callback_data, callback_client)
+
+    runtime.send = wrapped
+    return real_send
+
+
 def test_udpcc_delivers_and_acknowledges():
     env = SimulationEnvironment(3)
     transports = _transports(env)
@@ -55,6 +70,83 @@ def test_udpcc_queues_beyond_window_and_delivers_all():
         transports[0].send((1, 7100), index)
     env.run(20.0)
     assert sorted(received) == list(range(50))
+
+
+def test_udpcc_retransmits_through_injected_drops():
+    env = SimulationEnvironment(2)
+    transports = _transports(env)
+    received = []
+    transports[1].on_receive(lambda s, p: received.append(p))
+    dropped = []
+
+    def drop_first_two_data_frames(payload):
+        if isinstance(payload, dict) and payload.get("udpcc") == "data" and len(dropped) < 2:
+            dropped.append(payload["id"])
+            return False
+        return True
+
+    _intercept_send(env.runtime(0), drop_first_two_data_frames)
+    outcomes = []
+    transports[0].send((1, 7100), "persistent", callback=lambda ok, data: outcomes.append(ok))
+    env.run(15.0)
+    assert dropped == [1, 1]
+    assert received == ["persistent"]  # delivered exactly once, on attempt 3
+    assert outcomes == [True]
+    assert transports[0].messages_failed == 0
+
+
+def test_udpcc_receiver_dedups_duplicated_frames():
+    env = SimulationEnvironment(2)
+    transports = _transports(env)
+    received = []
+    transports[1].on_receive(lambda s, p: received.append(p))
+
+    def duplicate_data_frames(payload):
+        if isinstance(payload, dict) and payload.get("udpcc") == "data":
+            return 3
+        return True
+
+    _intercept_send(env.runtime(0), duplicate_data_frames)
+    outcomes = []
+    transports[0].send((1, 7100), "once", callback=lambda ok, data: outcomes.append(ok))
+    env.run(5.0)
+    assert received == ["once"]  # two copies re-acked but not re-delivered
+    assert transports[1].duplicates_dropped == 2
+    assert outcomes == [True]
+
+
+def test_udpcc_dedups_retransmission_after_lost_ack():
+    env = SimulationEnvironment(2)
+    transports = _transports(env)
+    received = []
+    transports[1].on_receive(lambda s, p: received.append(p))
+    acks_dropped = []
+
+    def drop_first_ack(payload):
+        if isinstance(payload, dict) and payload.get("udpcc") == "ack" and not acks_dropped:
+            acks_dropped.append(payload["id"])
+            return False
+        return True
+
+    _intercept_send(env.runtime(1), drop_first_ack)
+    outcomes = []
+    transports[0].send((1, 7100), "acked-late", callback=lambda ok, data: outcomes.append(ok))
+    env.run(10.0)
+    assert acks_dropped == [1]
+    assert received == ["acked-late"]  # retransmission deduped, not re-delivered
+    assert transports[1].duplicates_dropped == 1
+    assert outcomes == [True]
+
+
+def test_udpcc_backoff_grows_exponentially_with_jitter():
+    env = SimulationEnvironment(2)
+    transport = _transports(env)[0]
+    base = transport.RETRY_TIMEOUT
+    for attempts in (1, 2, 3, 4):
+        envelope = base * 2.0 ** (attempts - 1)
+        for _ in range(20):
+            delay = transport._retry_delay(attempts)
+            assert envelope * 0.75 <= delay < envelope * 1.25
 
 
 def test_churn_process_fails_and_recovers_nodes():

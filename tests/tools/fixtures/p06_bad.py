@@ -1,0 +1,16 @@
+"""Fixture: P06 violations — pickle on the wire path."""
+
+import pickle
+from pickle import loads as unmarshal
+
+
+def marshal(payload, sock, destination):
+    sock.sendto(pickle.dumps(payload), destination)
+
+
+def receive(wire):
+    return unmarshal(wire)
+
+
+def make_serializer():
+    return pickle.Pickler

@@ -1,0 +1,15 @@
+"""Fixture: P06 clean twin — the codec is the wire format."""
+
+from repro.runtime import codec
+
+
+def marshal(payload, sock, destination):
+    sock.sendto(codec.encode(payload), destination)
+
+
+def receive(wire):
+    return codec.decode(wire)
+
+
+def make_serializer():
+    return codec.encode

@@ -19,6 +19,9 @@ holds in part of the tree:
   continuous-query layer (``cq/``) is in scope too: its shared-plan
   fan-out and epoch clocks run timer-driven state machines held to the
   same teardown discipline.
+* P06 applies everywhere except ``runtime/codec.py`` — the codec owns the
+  wire format, and its counted pickle-fallback frame is the one declared
+  pickle site.
 
 Files outside the ``repro`` package (tests, benchmarks, tools) are not
 linted by default — conventions like seeded RNG access are free to be
@@ -45,6 +48,7 @@ RULE_SCOPES: Dict[str, _Scope] = {
         ["qp/operators/", "qp/hierarchical.py", "cq/"],
         ["qp/operators/base.py"],
     ),
+    "P06": ([""], ["runtime/codec.py"]),
 }
 
 ALL_RULE_IDS = sorted(RULE_SCOPES)

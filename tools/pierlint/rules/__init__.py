@@ -16,6 +16,7 @@ from tools.pierlint.rules import (
     p03_nondeterminism,
     p04_dict_roundtrip,
     p05_timer_leak,
+    p06_pickle_wire,
 )
 
 RULE_MODULES: Dict[str, object] = {
@@ -26,5 +27,6 @@ RULE_MODULES: Dict[str, object] = {
         p03_nondeterminism,
         p04_dict_roundtrip,
         p05_timer_leak,
+        p06_pickle_wire,
     )
 }

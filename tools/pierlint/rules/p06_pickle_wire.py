@@ -1,0 +1,65 @@
+"""P06: no pickle on wire paths outside the codec's declared fallback.
+
+The physical runtime's wire format is the binary codec
+(``runtime/codec.py``): a tagged, struct-packed encoding driven by each
+interned schema's column map.  Pickle survives only as the codec's
+*declared* fallback frame for exotic payloads — counted, so tests can pin
+the hot wire path to zero fallbacks.
+
+A ``pickle.dumps``/``pickle.loads`` call anywhere else on a wire path
+reintroduces exactly what the codec removed: a wire format coupled to
+Python class layout (unreadable cross-version, undersized for interned
+tuples, and an arbitrary-code-execution hazard on receive).  The rule
+flags calls *and* bare references (``partial(pickle.dumps)``, passing the
+function as a serializer argument) to ``dumps``/``loads``/``dump``/
+``load``, and ``Pickler``/``Unpickler`` construction — via the module
+attribute or imported directly from ``pickle``/``cPickle``/``dill`` —
+everywhere in scope except ``runtime/codec.py`` itself.  Genuinely
+non-wire uses (an on-disk checkpoint) can suppress with a justified
+``# pierlint: disable=P06``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+RULE_ID = "P06"
+SUMMARY = "pickle on a wire path outside the codec's declared fallback"
+
+_PICKLE_MODULES = {"pickle", "cPickle", "dill"}
+_PICKLE_ATTRS = {"dumps", "loads", "dump", "load", "Pickler", "Unpickler"}
+
+
+def _message(name: str) -> str:
+    return (
+        f"pickle.{name} on a wire path; the wire format is runtime/codec.py "
+        f"(pickle is only the codec's declared, counted fallback)"
+    )
+
+
+def check(tree: ast.AST, path: str) -> List[Tuple[int, str]]:
+    # Track names bound by ``from pickle import dumps [as d]``.
+    imported_from_pickle = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in _PICKLE_MODULES:
+            for alias in node.names:
+                if alias.name in _PICKLE_ATTRS:
+                    imported_from_pickle[alias.asname or alias.name] = alias.name
+
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            if (
+                node.attr in _PICKLE_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _PICKLE_MODULES
+            ):
+                violations.append((node.lineno, _message(node.attr)))
+        elif isinstance(node, ast.Name) and node.id in imported_from_pickle:
+            if isinstance(getattr(node, "ctx", None), ast.Load):
+                violations.append(
+                    (node.lineno, _message(imported_from_pickle[node.id]))
+                )
+    violations.sort()
+    return violations
