@@ -553,6 +553,7 @@ class PIERNetwork:
         extra_time: float = 3.0,
         include_explain: bool = True,
         resilience: Any = None,
+        analyze: bool = False,
         **planner_opts: Any,
     ) -> QueryResult:
         """The one-call SQL path: parse -> plan (catalog + statistics) ->
@@ -567,10 +568,20 @@ class PIERNetwork:
         :class:`QueryResult` carries the originating SQL, the rendered
         ``explain`` report, per-query message counts, and the ``coverage``
         metric.
+
+        ``analyze=True`` is EXPLAIN ANALYZE: tracing is enabled for the
+        run and ``result.explain`` becomes the plan tree annotated with
+        per-operator actuals (rows, messages, bytes, busy time) and the
+        per-join-edge estimation error (see :meth:`explain_analyze`).
         """
         plan = self.plan_sql(sql, **planner_opts)
+        if analyze:
+            self.enable_tracing()
         result = self.execute(plan, proxy=proxy, extra_time=extra_time, resilience=resilience)
-        return result.finalize_sql(plan, include_explain=include_explain)
+        result = result.finalize_sql(plan, include_explain=include_explain and not analyze)
+        if analyze:
+            result.explain = self.explain_analyze(result.query_id, plan=plan)
+        return result
 
     def stream(
         self,
@@ -763,3 +774,69 @@ class PIERNetwork:
 
     def dht_stats(self):
         return [node.overlay.stats for node in self.nodes]
+
+    # -- observability (repro.obs) ----------------------------------------------------------#
+    def enable_tracing(self, sample_rate: float = 1.0):
+        """Install (or re-rate) the deployment's causal tracer.
+
+        Spans are recorded in virtual seconds under the simulator and wall
+        seconds in physical mode; the span *topology* is identical.
+        ``sample_rate`` below 1.0 keeps a deterministic subset of traces
+        (hashed by trace id, so every node agrees without coordination).
+        Returns the :class:`~repro.obs.trace.Tracer`.
+        """
+        return self.environment.enable_tracing(sample_rate)
+
+    def disable_tracing(self) -> None:
+        """Remove the tracer; every hook site reverts to its one-branch
+        disabled cost."""
+        self.environment.disable_tracing()
+
+    @property
+    def tracer(self):
+        """The installed tracer, or None when tracing is off."""
+        return self.environment.tracer
+
+    def metrics(self) -> Dict[str, Any]:
+        """One flat deployment-wide metrics snapshot (see
+        :func:`repro.obs.metrics.collect_deployment_metrics`)."""
+        from repro.obs.metrics import collect_deployment_metrics
+
+        return collect_deployment_metrics(self)
+
+    def write_metrics_snapshot(self, path: Any) -> Dict[str, Any]:
+        """Collect :meth:`metrics` and dump them to ``path`` as JSON;
+        returns the snapshot."""
+        from repro.obs.metrics import collect_deployment_metrics, write_snapshot
+
+        metrics = collect_deployment_metrics(self)
+        write_snapshot(metrics, path)
+        return metrics
+
+    def explain_analyze(self, query: Union[str, QueryHandle, QueryResult], plan: Optional[QueryPlan] = None) -> str:
+        """EXPLAIN ANALYZE for a query that already ran: the explain tree
+        annotated with per-operator actuals (rows in/out, messages, bytes,
+        busy time, node count) and per-join-edge actual rows next to the
+        planner's estimates.
+
+        ``query`` is a query id, :class:`~repro.qp.proxy.QueryHandle`, or
+        :class:`QueryResult`.  Works identically in simulated and physical
+        mode — teardown keeps the install records, so the sweep runs post
+        hoc.  Busy times require the query to have run with tracing
+        enabled (``network.query(sql, analyze=True)`` does both).
+        """
+        from repro.obs.analyze import collect_actuals, render_explain_analyze
+
+        query_id = query if isinstance(query, str) else query.query_id
+        if plan is None:
+            plan = getattr(query, "plan", None)
+        if plan is None:
+            for node in self.nodes:
+                handle = node.proxy.query(query_id)
+                if handle is not None:
+                    plan = handle.plan
+                    break
+        if plan is None:
+            raise ValueError(f"no proxy in this deployment knows query {query_id!r}")
+        actuals = collect_actuals(self, query_id)
+        return render_explain_analyze(plan, actuals)

@@ -235,6 +235,21 @@ class ContinuousQuery:
         return list(self._delivered)
 
     @property
+    def first_result_latency(self) -> Optional[float]:
+        """Seconds (virtual or wall, per runtime) from submission to the
+        first answer reaching this client.
+
+        Private mode reports the underlying stream's first result tuple;
+        shared mode — which has no private stream — reports the close of
+        the first delivered epoch.
+        """
+        if self.stream is not None:
+            return self.stream.first_result_latency
+        if self._delivered:
+            return self._delivered[0].watermark - self._submitted_at
+        return None
+
+    @property
     def deadline(self) -> float:
         """Virtual time this subscription's lifetime ends."""
         return self._submitted_at + self.plan.timeout
@@ -326,6 +341,28 @@ class ContinuousQuery:
         else:
             bucket = self._pending.pop(epoch, None)
             tuples = self._finalize_rows(list(bucket.values())) if bucket else []
+        # Observability (repro.obs): pane lag is how far behind the
+        # window's end the client-side close ran — the standing query's
+        # end-to-end staleness.  Only measured when tracing is enabled.
+        tracer = getattr(self._runtime, "tracer", None)
+        if tracer is not None:
+            lag = self.network.now - self.spec.epoch_end(epoch)
+            environment = getattr(self._runtime, "_environment", None)
+            if environment is not None:
+                environment.metrics_registry.histogram(
+                    "cq.pane_lag_seconds", query=self.query_id
+                ).observe(lag)
+            trace_meta = self.plan.metadata.get("trace")
+            if trace_meta:
+                tracer.event(
+                    "cq.epoch_close",
+                    trace_meta["trace_id"],
+                    parent_id=trace_meta.get("span"),
+                    node=self._runtime.address,
+                    epoch=epoch,
+                    rows=len(tuples),
+                    lag=lag,
+                )
         if not tuples:
             return  # empty windows are not delivered
         window = WindowEpoch(
@@ -425,6 +462,18 @@ class ContinuousQuery:
 
     def _deliver(self, window: WindowEpoch) -> None:
         self._delivered.append(window)
+        tracer = getattr(self._runtime, "tracer", None)
+        if tracer is not None:
+            trace_meta = self.plan.metadata.get("trace")
+            if trace_meta:
+                tracer.event(
+                    "cq.epoch_deliver",
+                    trace_meta["trace_id"],
+                    parent_id=trace_meta.get("span"),
+                    node=self._runtime.address,
+                    epoch=window.index,
+                    rows=len(window.tuples),
+                )
         for callback in self._epoch_callbacks:
             callback(window)
 

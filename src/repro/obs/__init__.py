@@ -1,0 +1,33 @@
+"""piertrace: observability for the PIER reproduction.
+
+Three pieces, one package:
+
+* :mod:`repro.obs.trace` — causal tracing.  A :class:`~repro.obs.trace.TraceContext`
+  (trace id, parent span, origin node) travels in the query dissemination
+  envelope and as a well-known codec key; a per-deployment
+  :class:`~repro.obs.trace.Tracer` records spans at every stage a query
+  touches (DHT lookups and route choices, opgraph install, per-operator
+  tuple/timer work, transport send/ack/retransmit ladders, pane close and
+  epoch delivery).
+* :mod:`repro.obs.metrics` — a deployment-wide metrics registry
+  (counters/gauges/histograms per node and per query) pulled together by
+  :meth:`PIERNetwork.metrics` and snapshotted to JSON.
+* :mod:`repro.obs.analyze` — EXPLAIN ANALYZE: the planner's explain tree
+  annotated with per-operator actuals (rows, messages, bytes, busy time)
+  next to its estimates.
+
+The whole layer is opt-in: with no tracer installed every hook is a single
+``is None`` (or absent-dict-key) check, so the hot path stays at its
+benchmarked speed (``BENCH_hotpath.json`` gates this in CI).
+"""
+
+from repro.obs.metrics import MetricsRegistry, collect_deployment_metrics
+from repro.obs.trace import Span, TraceContext, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "collect_deployment_metrics",
+]

@@ -448,6 +448,11 @@ class OverlayNode:
             "hops": 0,
             "origin": self.address,
         }
+        tracer = getattr(self.runtime, "tracer", None)
+        if tracer is not None:
+            scope = tracer.current()
+            if scope is not None:
+                message["trace"] = scope[0]
         self._handle_send(message, arrived_over_network=False)
 
     # ------------------------------------------------------------------ #
@@ -478,15 +483,34 @@ class OverlayNode:
 
     def _lookup(self, identifier: int, callback: LookupCallback) -> None:
         self.stats.lookups_issued += 1
+        # Causal tracing: when the caller runs inside a trace scope (e.g.
+        # query dissemination), the lookup is recorded as a span and the
+        # routed message carries the trace id so every hop can attribute
+        # its route choice.  One None-check when tracing is off.
+        tracer = getattr(self.runtime, "tracer", None)
+        scope = tracer.current() if tracer is not None else None
         if self.router.is_responsible(identifier):
             self.stats.lookups_completed += 1
+            if scope is not None:
+                tracer.event(
+                    "dht.lookup", scope[0], parent_id=scope[1],
+                    node=self.address, hops=0, local=True,
+                )
             callback(self.contact, 0)
             return
+
+        span = (
+            tracer.begin("dht.lookup", scope[0], parent_id=scope[1], node=self.address)
+            if scope is not None
+            else None
+        )
 
         def complete(result: Tuple[Optional[NodeContact], int]) -> None:
             owner, hops = result
             self.stats.lookups_completed += 1
             self.stats.lookup_hops_total += hops
+            if span is not None:
+                tracer.end(span, hops=hops)
             callback(owner, hops)
 
         request_id = self._register_request(
@@ -499,6 +523,8 @@ class OverlayNode:
             "origin": self.address,
             "hops": 0,
         }
+        if scope is not None:
+            message["trace"] = scope[0]
         self._route(message)
 
     def _route(self, message: Dict[str, Any], excluded: Optional[Set[int]] = None) -> None:
@@ -518,6 +544,21 @@ class OverlayNode:
         # sanitizer exempts the top-level "hops"/"final" keys to match.
         message["final"] = final  # pierlint: disable=P02
         self.stats.messages_routed += 1
+        # Per-hop routing attribution: only messages already carrying a
+        # trace id pay for the tracer lookup, so the untraced path stays
+        # one dict.get away from the seed behaviour.
+        trace_id = message.get("trace")
+        if trace_id is not None:
+            tracer = getattr(self.runtime, "tracer", None)
+            if tracer is not None:
+                tracer.event(
+                    "dht.route_choice",
+                    trace_id,
+                    node=self.address,
+                    target=message["target"],
+                    next_hop=next_hop.address,
+                    final=final,
+                )
         self.runtime.send(
             self.port,
             (next_hop.address, self.port),
@@ -664,6 +705,11 @@ class OverlayNode:
         )
 
     def _send_direct(self, destination_address: Any, payload: Dict[str, Any]) -> None:
+        tracer = getattr(self.runtime, "tracer", None)
+        if tracer is not None:
+            scope = tracer.current()
+            if scope is not None and "trace" not in payload:
+                payload["trace"] = scope[0]
         if destination_address == self.address:
             self.handle_udp((self.address, self.port), payload)
             return

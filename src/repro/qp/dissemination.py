@@ -89,6 +89,31 @@ class QueryDisseminator:
         envelope = query_envelope(plan, graph, proxy_address)
         if timeout_override is not None:
             envelope["timeout"] = timeout_override
+        # Causal tracing: dissemination runs under the query's trace scope
+        # so that every lookup, route choice, and transport send it causes
+        # is attributed to the query (repro.obs).  The scope is ambient —
+        # restored on exit — and costs one dict.get when tracing is off.
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        trace_meta = plan.metadata.get("trace") if tracer is not None else None
+        if not trace_meta:
+            self._dispatch(plan, graph, envelope)
+            return
+        previous = tracer.activate(trace_meta["trace_id"], trace_meta["span"])
+        span = tracer.begin(
+            "query.disseminate",
+            trace_meta["trace_id"],
+            parent_id=trace_meta["span"],
+            node=self.overlay.address,
+            graph=graph.graph_id,
+            strategy=graph.dissemination.strategy,
+        )
+        try:
+            self._dispatch(plan, graph, envelope)
+        finally:
+            tracer.end(span)
+            tracer.restore(previous)
+
+    def _dispatch(self, plan: QueryPlan, graph: OpGraph, envelope: Dict[str, Any]) -> None:
         strategy = graph.dissemination.strategy
         if strategy == "broadcast":
             self.graphs_broadcast += 1

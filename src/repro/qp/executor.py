@@ -136,6 +136,11 @@ class QueryExecutor:
         resilience = (metadata or {}).get("resilience")
         if resilience is not None:
             extras["resilience"] = dict(resilience)
+        # The trace context travels the same way: every executing node sees
+        # the query's trace id and the proxy's root span (repro.obs).
+        trace = (metadata or {}).get("trace")
+        if trace is not None:
+            extras["trace"] = dict(trace)
         context = ExecutionContext(
             overlay=self.overlay,
             query_id=query_id,
@@ -165,6 +170,16 @@ class QueryExecutor:
         )
         self._installed[install_key] = installed
         self.graphs_installed += 1
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        if tracer is not None and trace is not None:
+            tracer.event(
+                "opgraph.install",
+                trace.get("trace_id"),
+                parent_id=trace.get("span"),
+                node=self.overlay.address,
+                graph=graph.graph_id,
+                operators=len(operators),
+            )
         self._start(installed)
         # A node executes an opgraph until the query's timeout expires.
         self.overlay.runtime.schedule_event(timeout, install_key, self._on_timeout)
@@ -225,8 +240,22 @@ class QueryExecutor:
             return
         installed.finished = True
         if flush:
-            for spec in installed.graph.topological_order():
-                installed.operators[spec.operator_id].flush()
+            # The teardown flush runs from the executor's timeout timer,
+            # outside any operator scope — activate the query's trace so
+            # the sends the flush triggers stay causally attributed.
+            context = installed.context
+            tracer = context.tracer
+            previous = (
+                tracer.activate(context.trace_id, context.trace_parent)
+                if tracer is not None
+                else None
+            )
+            try:
+                for spec in installed.graph.topological_order():
+                    installed.operators[spec.operator_id].flush()
+            finally:
+                if tracer is not None:
+                    tracer.restore(previous)
         for operator in installed.operators.values():
             operator.stop()
         self._release_query_state(installed)

@@ -56,6 +56,33 @@ class ExecutionContext:
         sanitizing = getattr(self.overlay.runtime, "sanitizer", None) is not None
         self.armed_events: Optional[List[Any]] = [] if sanitizing else None
         self.timers_armed_total = 0
+        # Causal tracing (repro.obs): resolve the query's trace once per
+        # installed graph.  ``tracer`` stays None when tracing is off or
+        # this query's trace was sampled out, so per-operator hook sites
+        # reduce to one attribute test.
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        trace_meta = self.extras.get("trace") if tracer is not None else None
+        if trace_meta and tracer.sampled(trace_meta.get("trace_id")):
+            self.tracer: Optional[Any] = tracer
+            self.trace_id: Optional[str] = trace_meta["trace_id"]
+            self.trace_parent: Optional[str] = trace_meta.get("span")
+        else:
+            self.tracer = None
+            self.trace_id = None
+            self.trace_parent = None
+
+    def operator_activity(self, spec: OperatorSpec) -> Optional[Any]:
+        """One per-operator work accumulator for this query's trace, or
+        None when the query is untraced (the common case)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.operator_activity(
+            self.trace_id,
+            self.trace_parent,
+            self.overlay.address,
+            spec.operator_id,
+            spec.op_type,
+        )
 
     @property
     def now(self) -> float:
@@ -96,6 +123,9 @@ class PhysicalOperator:
         self._stopped = False
         # Timers armed through arm_timer(), cancelled wholesale by stop().
         self._armed_timers: List[Any] = []
+        # Trace accumulator (None when untraced): receive()/arm_timer()
+        # touch it with two float stores instead of allocating spans.
+        self._obs = context.operator_activity(spec) if context is not None else None
 
     # -- wiring ----------------------------------------------------------- #
     def add_parent(self, parent: "PhysicalOperator", slot: int) -> None:
@@ -126,6 +156,22 @@ class PhysicalOperator:
         Returns the :class:`~repro.runtime.events.Event` (re-arming
         operators may cancel it individually).
         """
+        obs = self._obs
+        if obs is not None:
+            obs.note_timer(self.context.now)
+            # Timer-driven work (flushes, watermark ticks) must run inside
+            # the operator's trace scope, or the sends it issues would be
+            # causally unattributed — receive-path and timer-path work has
+            # to trace identically in both runtimes.
+            inner = callback
+
+            def callback(data: Any, _inner=inner, _obs=obs) -> None:
+                previous = _obs.enter_timer(self.context.now)
+                try:
+                    _inner(data)
+                finally:
+                    _obs.exit(previous)
+
         timers = self._armed_timers
         if len(timers) >= 8:
             # Drop dispatched/cancelled entries so re-arming operators
@@ -183,6 +229,8 @@ class PhysicalOperator:
         if self._stopped:
             return
         self.stats.tuples_in += 1
+        obs = self._obs
+        previous = obs.enter(self.context.now) if obs is not None else None
         try:
             self.on_receive(tup, slot, tag)
         except MalformedTupleError:
@@ -191,6 +239,9 @@ class PhysicalOperator:
             self.stats.tuples_dropped += 1
         except (TypeError, KeyError):
             self.stats.tuples_dropped += 1
+        finally:
+            if obs is not None:
+                obs.exit(previous)
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         raise NotImplementedError

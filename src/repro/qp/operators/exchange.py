@@ -16,6 +16,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple as PyTuple
 from repro.overlay.naming import random_suffix
 from repro.qp.operators.base import DEFAULT_PROBE_TAG, PhysicalOperator, register_operator
 from repro.qp.tuples import Tuple
+from repro.runtime.sizing import estimate_message_size
 
 RESULT_NAMESPACE = "__results__"
 
@@ -109,20 +110,34 @@ class PutExchange(_StragglerFlushTimer, PhysicalOperator):
             self.flush_interval = 0.25
         self.tuples_published = 0
         self.batches_published = 0
+        # EXPLAIN ANALYZE actuals: network messages this operator caused
+        # (always counted — one int add) and their estimated wire bytes
+        # (only measured for traced queries; sizing costs real work).
+        self.messages_shipped = 0
+        self.bytes_shipped = 0
         self._buffers: Dict[Any, List[Any]] = {}
+
+    def _note_shipped(self, payload: Any) -> None:
+        self.messages_shipped += 1
+        if self._obs is not None:
+            self.bytes_shipped += estimate_message_size(payload)
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         key = tup.key(self.key_columns)
         partition_key = key[0] if len(key) == 1 else key
         self.tuples_published += 1
         if self.use_send:
+            wire = tup.to_wire()
+            self._note_shipped(wire)
             self.context.overlay.send(
-                self.namespace, partition_key, random_suffix(), tup.to_wire(), self.lifetime
+                self.namespace, partition_key, random_suffix(), wire, self.lifetime
             )
             return
         if self.batch_size <= 1:
+            wire = tup.to_wire()
+            self._note_shipped(wire)
             self.context.overlay.put(
-                self.namespace, partition_key, random_suffix(), tup.to_wire(), self.lifetime
+                self.namespace, partition_key, random_suffix(), wire, self.lifetime
             )
             return
         bucket = self._buffers.setdefault(partition_key, [])
@@ -140,6 +155,9 @@ class PutExchange(_StragglerFlushTimer, PhysicalOperator):
         if not values:
             return
         self.batches_published += 1
+        self.messages_shipped += 1
+        if self._obs is not None:
+            self.bytes_shipped += estimate_message_size(values)
         self.context.overlay.put_batch(
             self.namespace,
             partition_key,
@@ -241,6 +259,8 @@ class ResultHandler(_StragglerFlushTimer, PhysicalOperator):
         )
         self._pending: List[Tuple] = []
         self.results_shipped = 0
+        self.messages_shipped = 0
+        self.bytes_shipped = 0
 
     def on_receive(self, tup: Tuple, slot: int, tag: str) -> None:
         if self.param("table"):
@@ -275,9 +295,13 @@ class ResultHandler(_StragglerFlushTimer, PhysicalOperator):
             for tup in batch:
                 self.context.deliver_result(tup)
             return
+        wire = [tup.to_wire() for tup in batch]
+        self.messages_shipped += 1
+        if self._obs is not None:
+            self.bytes_shipped += estimate_message_size(wire)
         self.context.overlay.direct_message(
             self.context.proxy_address,
             namespace=RESULT_NAMESPACE,
             key=self.context.query_id,
-            value=[tup.to_wire() for tup in batch],
+            value=wire,
         )

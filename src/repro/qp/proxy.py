@@ -136,6 +136,15 @@ class ProxyService:
             if member.identifier not in live:
                 handle.down_nodes.add(member.address)
                 handle.ever_down.add(member.address)
+        # Causal tracing: stamp the root trace context into the plan's
+        # metadata exactly once (re-dissemination and renewal reuse it, so
+        # a query has one trace for its whole life).  ``root_context``
+        # returns None for sampled-out queries.
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        if tracer is not None and "trace" not in plan.metadata:
+            context = tracer.root_context(plan.query_id, origin=self.overlay.address)
+            if context is not None:
+                plan.metadata["trace"] = context
         self._queries[plan.query_id] = handle
         for graph in plan.opgraphs:
             self.disseminator.disseminate(plan, graph, proxy_address=self.overlay.address)
@@ -231,25 +240,39 @@ class ProxyService:
         if remaining <= 0:
             return False
         handle.redisseminations += 1
-        for graph in handle.plan.opgraphs:
-            if graph.dissemination.strategy == "broadcast":
-                envelope = query_envelope(
-                    handle.plan, graph, proxy_address=self.overlay.address
-                )
-                envelope["timeout"] = remaining
-                self.overlay.direct_message(
-                    address,
-                    namespace=DISSEMINATION_NAMESPACE,
-                    key=f"rejoin:{handle.query_id}",
-                    value=envelope,
-                )
-            else:
-                self.disseminator.disseminate(
-                    handle.plan,
-                    graph,
-                    proxy_address=self.overlay.address,
-                    timeout_override=remaining,
-                )
+        # Rejoin re-dissemination runs under the query's original trace
+        # scope: the re-shipped envelopes carry the same trace id, so the
+        # span chain stays a single trace across the node's failure.
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        trace_meta = handle.plan.metadata.get("trace") if tracer is not None else None
+        previous = (
+            tracer.activate(trace_meta["trace_id"], trace_meta["span"])
+            if trace_meta
+            else None
+        )
+        try:
+            for graph in handle.plan.opgraphs:
+                if graph.dissemination.strategy == "broadcast":
+                    envelope = query_envelope(
+                        handle.plan, graph, proxy_address=self.overlay.address
+                    )
+                    envelope["timeout"] = remaining
+                    self.overlay.direct_message(
+                        address,
+                        namespace=DISSEMINATION_NAMESPACE,
+                        key=f"rejoin:{handle.query_id}",
+                        value=envelope,
+                    )
+                else:
+                    self.disseminator.disseminate(
+                        handle.plan,
+                        graph,
+                        proxy_address=self.overlay.address,
+                        timeout_override=remaining,
+                    )
+        finally:
+            if trace_meta:
+                tracer.restore(previous)
         return True
 
     # -- lifetime renewal ------------------------------------------------------ #
@@ -286,9 +309,28 @@ class ProxyService:
         handle.finished = True
         handle.cancelled = True
         handle.finished_at = self.overlay.runtime.get_current_time()
+        self._trace_finish(handle)
         if handle.done_callback is not None:
             handle.done_callback(handle)
         return True
+
+    def _trace_finish(self, handle: QueryHandle) -> None:
+        """Record the trace's terminal event (timeout or cancel)."""
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        if tracer is None:
+            return
+        trace_meta = handle.plan.metadata.get("trace")
+        if not trace_meta:
+            return
+        tracer.event(
+            "query.finish",
+            trace_meta["trace_id"],
+            parent_id=trace_meta["span"],
+            node=self.overlay.address,
+            results=len(handle.results),
+            cancelled=handle.cancelled,
+            coverage=handle.coverage,
+        )
 
     # -- result delivery -------------------------------------------------------- #
     def deliver_local_result(self, query_id: str, tup: Tuple) -> None:
@@ -325,5 +367,6 @@ class ProxyService:
             return  # lifetime was renewed; renew() armed a later timer
         handle.finished = True
         handle.finished_at = self.overlay.runtime.get_current_time()
+        self._trace_finish(handle)
         if handle.done_callback is not None:
             handle.done_callback(handle)

@@ -96,6 +96,8 @@ WELLKNOWN_STRINGS: PyTuple[str, ...] = (
     "coverage", "count", "group", "window", "slide", "payload",
     # transport framing (runtime/udpcc.py)
     "udpcc", "udpcc_id", "data",
+    # causal tracing (repro/obs): the trace context rides in envelopes
+    "trace", "trace_id", "span",
 )
 
 _WELLKNOWN_INDEX: Dict[str, int] = {

@@ -41,6 +41,41 @@ class NetworkEndpoint(abc.ABC):
     seed: Any
     stats: NetworkStats
     sanitizer: Optional[Any] = None
+    # Observability (repro.obs): both are optional and lazily created, so a
+    # deployment that never traces pays one attribute slot and nothing else.
+    tracer: Optional[Any] = None
+    _metrics_registry: Optional[Any] = None
+
+    # -- observability ----------------------------------------------------- #
+    def enable_tracing(self, sample_rate: float = 1.0) -> Any:
+        """Install (or re-tune) the deployment's causal tracer.
+
+        The tracer's clock is this environment's ``now``, so spans carry
+        virtual seconds under the simulator and wall seconds on sockets —
+        the span *topology* is identical in both modes.  Idempotent:
+        calling again just updates the sample rate.
+        """
+        if self.tracer is None:
+            from repro.obs.trace import Tracer
+
+            self.tracer = Tracer(clock=lambda: self.now, sample_rate=sample_rate)
+        else:
+            self.tracer.sample_rate = float(sample_rate)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Remove the tracer; every hook site reverts to one None-check."""
+        self.tracer = None
+
+    @property
+    def metrics_registry(self) -> Any:
+        """The environment's push-side metrics registry (lazily created)."""
+        registry = self._metrics_registry
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = self._metrics_registry = MetricsRegistry()
+        return registry
 
     # -- node access ------------------------------------------------------ #
     @abc.abstractmethod

@@ -126,12 +126,17 @@ class PhysicalEnvironment(NetworkEndpoint):
         self.selector = selectors.DefaultSelector()
         self.stats = NetworkStats()
         self.sanitizer = None
+        self.tracer = None
         self.seed = seed
         self.host = host
         self.node_count = 0
         self.bytes_sent_by_node: Dict[Address, int] = defaultdict(int)
         self.bytes_received_by_node: Dict[Address, int] = defaultdict(int)
         self.duplicates_dropped = 0
+        # DATA frames re-sent by the retry ladder (attempt >= 2); together
+        # with duplicates_dropped this is the deployment's retransmit-rate
+        # story in the metrics snapshot.
+        self.retransmits = 0
         # Wall seconds spent dispatching timers/sockets, excluding time
         # asleep in select().  Real deployments idle between timers by
         # design, so throughput comparisons against the simulator (which
@@ -361,6 +366,12 @@ class PhysicalNodeRuntime(VirtualRuntime):
     def environment(self) -> PhysicalEnvironment:
         return self._environment
 
+    # -- tracer ----------------------------------------------------------------#
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The environment's causal tracer, or ``None`` when not tracing."""
+        return self._environment.tracer
+
     # -- identity ------------------------------------------------------------#
     @property
     def address(self) -> Address:
@@ -422,10 +433,34 @@ class PhysicalNodeRuntime(VirtualRuntime):
             callback_client=callback_client,
         )
         self._pending[transport_id] = pending
+        tracer = self._environment.tracer
+        if tracer is not None and isinstance(payload, dict):
+            trace_id = payload.get("trace")
+            if trace_id is not None:
+                tracer.event(
+                    "transport.send",
+                    trace_id,
+                    node=self._address,
+                    destination=tuple(socket_destination),
+                    bytes=len(wire),
+                )
         self._transmit(pending)
 
     def _transmit(self, pending: _PendingSend) -> None:
         pending.attempts += 1
+        if pending.attempts > 1:
+            self._environment.retransmits += 1
+            tracer = self._environment.tracer
+            if tracer is not None:
+                # Retransmit ladders are transport-local (the trace id lives
+                # inside the encoded frame), so the span is unscoped.
+                tracer.event(
+                    "transport.retransmit",
+                    None,
+                    node=self._address,
+                    transport_id=pending.transport_id,
+                    attempt=pending.attempts,
+                )
         self._environment.stats.record_send(len(pending.wire))
         self._environment.bytes_sent_by_node[self._address] += len(pending.wire)
         try:
@@ -460,6 +495,15 @@ class PhysicalNodeRuntime(VirtualRuntime):
     def _abandon(self, pending: _PendingSend) -> None:
         self._pending.pop(pending.transport_id, None)
         self._environment.stats.record_drop()
+        tracer = self._environment.tracer
+        if tracer is not None:
+            tracer.event(
+                "transport.fail",
+                None,
+                node=self._address,
+                transport_id=pending.transport_id,
+                attempts=pending.attempts,
+            )
         if pending.callback_client is not None:
             pending.callback_client.handle_udp_ack(pending.callback_data, False)
 
@@ -511,6 +555,15 @@ class PhysicalNodeRuntime(VirtualRuntime):
             return
         if pending.retry_event is not None:
             pending.retry_event.cancel()
+        tracer = self._environment.tracer
+        if tracer is not None:
+            tracer.event(
+                "transport.ack",
+                None,
+                node=self._address,
+                transport_id=transport_id,
+                attempts=pending.attempts,
+            )
         if pending.callback_client is not None:
             pending.callback_client.handle_udp_ack(pending.callback_data, True)
 

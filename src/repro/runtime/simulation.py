@@ -89,6 +89,12 @@ class SimulatedNodeRuntime(VirtualRuntime):
         """The environment's SimSanitizer, or ``None`` when not sanitizing."""
         return self._environment.sanitizer
 
+    # -- tracer ----------------------------------------------------------- #
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The environment's causal tracer, or ``None`` when not tracing."""
+        return self._environment.tracer
+
     # -- UDP -------------------------------------------------------------#
     def listen(self, port: int, callback_client: UDPListener) -> None:
         self._ports.bind_udp(port, callback_client)
@@ -275,6 +281,17 @@ class SimulationEnvironment(NetworkEndpoint):
         size = estimate_message_size(payload)
         self.stats.record_send(size)
         self.bytes_sent_by_node[source] += size
+        tracer = self.tracer
+        if tracer is not None and isinstance(payload, dict):
+            trace_id = payload.get("trace")
+            if trace_id is not None:
+                tracer.event(
+                    "transport.send",
+                    trace_id,
+                    node=source,
+                    destination=destination_address,
+                    bytes=size,
+                )
         source_runtime = self._runtimes[source]
         if not source_runtime.alive:
             return
@@ -311,7 +328,7 @@ class SimulationEnvironment(NetworkEndpoint):
             self.stats.record_delivery()
             self.bytes_received_by_node[destination_address] += size
             listener.handle_udp((source, source_port), payload)
-            self._complete_ack(source, ack, success=True)
+            self._complete_ack(source, ack, success=True, acker=destination_address)
 
         event = NetworkEvent(
             time=arrival,
@@ -324,7 +341,13 @@ class SimulationEnvironment(NetworkEndpoint):
         )
         self.scheduler.schedule(event)
 
-    def _complete_ack(self, source: int, ack: Optional[_PendingAck], success: bool) -> None:
+    def _complete_ack(
+        self,
+        source: int,
+        ack: Optional[_PendingAck],
+        success: bool,
+        acker: Optional[int] = None,
+    ) -> None:
         """Deliver the UdpCC-style acknowledgement back to the sender."""
         if ack is None or ack.callback_client is None:
             return
@@ -332,6 +355,13 @@ class SimulationEnvironment(NetworkEndpoint):
         if source_runtime is None or not source_runtime.alive:
             return
         self.stats.bytes_sent += self.UDP_ACK_OVERHEAD_BYTES
+        # Per-node accounting parity: a delivered message's ack is traffic
+        # the *receiver* sends, so charge it to that node too.  Failure-path
+        # acks are synthesized by the environment (no node transmitted
+        # anything), so only the global counter moves there — under drops,
+        # sum(bytes_sent_by_node) is less than stats.bytes_sent by design.
+        if success and acker is not None:
+            self.bytes_sent_by_node[acker] += self.UDP_ACK_OVERHEAD_BYTES
         # The ack travels back over the network, so charge one RTT-ish delay.
         self.scheduler.schedule_callback(
             0.0, self._notify_ack, (ack, success), node_id=source

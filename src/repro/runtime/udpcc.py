@@ -99,6 +99,7 @@ class UdpCCTransport:
         self.messages_sent = 0
         self.messages_failed = 0
         self.duplicates_dropped = 0
+        self.retransmits = 0
         runtime.listen(port, self)
 
     # -- public API -------------------------------------------------------#
@@ -155,6 +156,17 @@ class UdpCCTransport:
         message.attempts += 1
         self._outstanding[message.message_id] = message
         self.messages_sent += 1
+        if message.attempts > 1:
+            self.retransmits += 1
+        tracer = getattr(self.runtime, "tracer", None)
+        if tracer is not None:
+            tracer.event(
+                "udpcc.send",
+                None,
+                node=self.runtime.address,
+                message_id=message.message_id,
+                attempt=message.attempts,
+            )
         self.runtime.send(
             self.port,
             message.destination,
@@ -198,6 +210,15 @@ class UdpCCTransport:
         else:
             self.messages_failed += 1
             flow.on_loss()
+        tracer = getattr(self.runtime, "tracer", None)
+        if tracer is not None:
+            tracer.event(
+                "udpcc.ack" if success else "udpcc.fail",
+                None,
+                node=self.runtime.address,
+                message_id=message.message_id,
+                attempts=message.attempts,
+            )
         if message.callback is not None:
             message.callback(success, message.callback_data)
         self._pump(message.destination)

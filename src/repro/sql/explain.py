@@ -9,11 +9,17 @@ as an operator tree, sinks first, the way the tuples flow bottom-up.
 The planner records its decisions in ``plan.metadata["planner"]`` (see
 :mod:`repro.sql.planner`); plans built directly from the UFL builders
 still render — they just have no decision section.
+
+EXPLAIN ANALYZE: pass ``actuals`` — the per-operator-id dict produced by
+:func:`repro.obs.analyze.collect_actuals` — and each operator line gains
+an ``actual:`` annotation (rows, messages, bytes, busy time, node count)
+while each join edge shows its actual output rows next to the planner's
+cardinality estimate.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.qp.opgraph import OpGraph, OperatorSpec, QueryPlan
 
@@ -38,19 +44,25 @@ _INTERESTING_PARAMS = (
 )
 
 
-def render_explain(plan: QueryPlan) -> str:
-    """A multi-line EXPLAIN report for one compiled plan."""
+def render_explain(
+    plan: QueryPlan, actuals: Optional[Dict[str, Dict[str, Any]]] = None
+) -> str:
+    """A multi-line EXPLAIN report for one compiled plan.
+
+    With ``actuals`` (EXPLAIN ANALYZE), operator and join-edge lines are
+    annotated with what actually ran.
+    """
     lines: List[str] = []
     sql = plan.metadata.get("sql")
     if sql:
-        lines.append(f"EXPLAIN {sql}")
+        lines.append(f"EXPLAIN ANALYZE {sql}" if actuals is not None else f"EXPLAIN {sql}")
     decisions: Mapping[str, Any] = plan.metadata.get("planner") or {}
     kind = decisions.get("kind", "ufl")
     lines.append(
         f"plan {plan.query_id}: {kind} over {len(plan.opgraphs)} opgraph(s), "
         f"timeout {plan.timeout:g}s"
     )
-    lines.extend(_render_decisions(decisions))
+    lines.extend(_render_decisions(decisions, actuals))
     cq = plan.metadata.get("cq")
     if cq:
         window = cq.get("window")
@@ -72,11 +84,14 @@ def render_explain(plan: QueryPlan) -> str:
     if clauses:
         lines.append(clauses)
     for graph in plan.opgraphs:
-        lines.extend(_render_graph(graph))
+        lines.extend(_render_graph(graph, actuals))
     return "\n".join(lines)
 
 
-def _render_decisions(decisions: Mapping[str, Any]) -> List[str]:
+def _render_decisions(
+    decisions: Mapping[str, Any],
+    actuals: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[str]:
     lines: List[str] = []
     detail = decisions.get("detail")
     if detail:
@@ -93,6 +108,9 @@ def _render_decisions(decisions: Mapping[str, Any]) -> List[str]:
             reason = edge.get("reason")
             if reason:
                 lines.append(f"     because {reason}")
+            estimate_line = _render_edge_estimate(edge, index - 1, actuals)
+            if estimate_line:
+                lines.append(estimate_line)
         if decisions.get("reordered"):
             lines.append("  (joins reordered by estimated cost, cheapest edge first)")
     pushdown = decisions.get("predicate_pushdown")
@@ -103,6 +121,67 @@ def _render_decisions(decisions: Mapping[str, Any]) -> List[str]:
             else "WHERE: applied after the final join"
         )
     return lines
+
+
+def _render_edge_estimate(
+    edge: Mapping[str, Any],
+    edge_index: int,
+    actuals: Optional[Dict[str, Dict[str, Any]]],
+) -> str:
+    """The estimate-vs-actual line for one join edge, or '' when there is
+    nothing to show (no estimate and no ANALYZE actuals)."""
+    estimated = edge.get("estimated_rows")
+    actual_entry = _edge_actual(actuals, edge_index) if actuals is not None else None
+    if estimated is None and actual_entry is None:
+        return ""
+    parts: List[str] = []
+    if estimated is not None:
+        parts.append(f"estimated {estimated} rows")
+    if actual_entry is not None:
+        actual_rows = actual_entry["rows_out"]
+        parts.append(f"actual {actual_rows} rows")
+        if estimated is not None:
+            error = (estimated + 1) / (actual_rows + 1)
+            if error < 1.0:
+                error = 1.0 / error
+            direction = "over" if estimated >= actual_rows else "under"
+            parts.append(f"estimation error {error:.1f}x {direction}")
+    return "     " + ", ".join(parts)
+
+
+def _edge_actual(
+    actuals: Dict[str, Dict[str, Any]], edge_index: int
+) -> Optional[Dict[str, Any]]:
+    """The merged actuals entry for join edge ``edge_index`` (0-based).
+
+    The multi-join builder names edge operators ``join_{i}`` /
+    ``fetch_join_{i}``; the compact single-join plans use the bare names.
+    """
+    for candidate in (
+        f"join_{edge_index}",
+        f"fetch_join_{edge_index}",
+        "join",
+        "fetch_join",
+    ):
+        entry = actuals.get(candidate)
+        if entry is not None:
+            return entry
+    return None
+
+
+def format_actual(entry: Mapping[str, Any]) -> str:
+    """One operator's actuals, compactly: what ran, what it cost."""
+    parts: List[str] = [f"rows in={entry['rows_in']} out={entry['rows_out']}"]
+    if entry.get("rows_dropped"):
+        parts.append(f"dropped={entry['rows_dropped']}")
+    if entry.get("messages"):
+        parts.append(f"messages={entry['messages']}")
+    if entry.get("bytes"):
+        parts.append(f"bytes={entry['bytes']}")
+    if entry.get("busy_seconds"):
+        parts.append(f"busy={entry['busy_seconds']:.3f}s")
+    parts.append(f"nodes={entry['nodes']}")
+    return "actual: " + ", ".join(parts)
 
 
 def _render_result_clauses(metadata: Mapping[str, Any]) -> str:
@@ -120,7 +199,9 @@ def _render_result_clauses(metadata: Mapping[str, Any]) -> str:
     return scope + ", ".join(parts)
 
 
-def _render_graph(graph: OpGraph) -> List[str]:
+def _render_graph(
+    graph: OpGraph, actuals: Optional[Dict[str, Dict[str, Any]]] = None
+) -> List[str]:
     spec = graph.dissemination
     target = ""
     if spec.strategy == "equality":
@@ -130,7 +211,10 @@ def _render_graph(graph: OpGraph) -> List[str]:
     lines = [f"opgraph {graph.graph_id} [dissemination={spec.strategy}{target}]"]
     rendered: set = set()
     for sink in graph.sinks():
-        _render_operator(graph, sink, prefix="", last=True, lines=lines, rendered=rendered)
+        _render_operator(
+            graph, sink, prefix="", last=True, lines=lines, rendered=rendered,
+            actuals=actuals,
+        )
     return lines
 
 
@@ -141,6 +225,7 @@ def _render_operator(
     last: bool,
     lines: List[str],
     rendered: set,
+    actuals: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> None:
     connector = "`- " if last else "|- "
     lines.append(f"{prefix}{connector}{_describe(spec)}")
@@ -151,6 +236,10 @@ def _render_operator(
         return
     rendered.add(spec.operator_id)
     child_prefix = prefix + ("   " if last else "|  ")
+    if actuals is not None:
+        entry = actuals.get(spec.operator_id)
+        if entry is not None:
+            lines.append(f"{child_prefix}  [{format_actual(entry)}]")
     for index, input_id in enumerate(spec.inputs):
         child = graph.operators[input_id]
         _render_operator(
@@ -160,6 +249,7 @@ def _render_operator(
             last=(index == len(spec.inputs) - 1),
             lines=lines,
             rendered=rendered,
+            actuals=actuals,
         )
 
 

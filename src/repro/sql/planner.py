@@ -336,6 +336,7 @@ class NaivePlanner:
             )
             edges.append((join, inner_info, strategy, reason))
         pushdown = self._can_push_down(statement.table, statement.where)
+        estimates = self._estimate_join_progression(statement.table, joins)
         decisions = {
             "kind": "join",
             "source": outer_info.source,
@@ -348,8 +349,9 @@ class NaivePlanner:
                     "right_column": join.right_column,
                     "strategy": strategy,
                     "reason": reason,
+                    "estimated_rows": estimated,
                 }
-                for join, _info, strategy, reason in edges
+                for (join, _info, strategy, reason), estimated in zip(edges, estimates)
             ],
             "predicate_pushdown": pushdown if statement.where is not None else None,
         }
@@ -459,6 +461,38 @@ class NaivePlanner:
                 best.right_column,
             )
         return ordered
+
+    def _estimate_join_progression(
+        self, base_table: str, joins: List[JoinClause]
+    ) -> List[Optional[int]]:
+        """Planner-estimated output cardinality after each edge of the
+        (already ordered) join chain — the numbers EXPLAIN ANALYZE puts
+        next to each edge's actual row count.  ``None`` per edge when the
+        catalog has no statistics to estimate from.
+        """
+        if self.statistics is None:
+            return [None] * len(joins)
+        column_distinct: Dict[str, int] = {}
+        for column in self.statistics.columns(base_table) or ():
+            distinct = self.statistics.distinct(base_table, column)
+            if distinct is not None:
+                column_distinct[column] = distinct
+        left_rows = self.statistics.cardinality(base_table)
+        estimates: List[Optional[int]] = []
+        for join in joins:
+            left_rows = self.statistics.join_cardinality(
+                left_rows,
+                column_distinct.get(join.left_column),
+                join.table,
+                join.right_column,
+            )
+            estimates.append(left_rows)
+            for column in self.statistics.columns(join.table) or ():
+                if column not in column_distinct:
+                    distinct = self.statistics.distinct(join.table, column)
+                    if distinct is not None:
+                        column_distinct[column] = distinct
+        return estimates
 
     def _edge_cost(self, left_rows: Optional[int], join: JoinClause) -> Tuple[int, int]:
         """Estimated tuples moved for one rehash edge (the dominant cost)."""

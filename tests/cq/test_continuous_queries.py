@@ -505,3 +505,29 @@ def test_explain_renders_window_clause(live_network):
     )
     assert "continuous query: sliding window" in report
     assert "lifetime 120s" in report
+
+
+def test_first_result_latency_reported_in_both_subscription_modes():
+    """ContinuousQuery.first_result_latency: private mode reports the
+    stream's first result tuple; shared mode (no private stream) reports
+    the close of the first delivered epoch."""
+    network = PIERNetwork(8, seed=19)
+    for address in range(8):
+        network.register_local_table(
+            address, "events", [Tuple.make("events", src=f"s{address % 2}")]
+        )
+    sql = "SELECT src, COUNT(*) AS n FROM events WINDOW 4 LIFETIME 14 GROUP BY src"
+    shared = network.subscribe(sql)
+    private = network.subscribe(sql, shared=False)
+    assert shared.first_result_latency is None
+    assert private.first_result_latency is None
+
+    network.run(20.0)
+
+    assert shared.epochs_delivered, "the shared subscription delivered epochs"
+    for cq in (shared, private):
+        latency = cq.first_result_latency
+        assert latency is not None and 0.0 < latency < 14.0
+    # Shared mode measures to the first epoch's watermark: it cannot beat
+    # the window length (nothing is delivered before the first pane closes).
+    assert shared.first_result_latency >= 4.0

@@ -1,0 +1,110 @@
+"""Tracer unit tests: deterministic sampling, bounded span store, the
+ambient scope, and the pooled operator-activity accumulator."""
+
+from __future__ import annotations
+
+from repro.obs.trace import TraceContext, Tracer
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_trace_context_metadata_round_trip():
+    context = TraceContext("t-q1", "s000001", origin=3)
+    metadata = context.to_metadata()
+    assert metadata == {"trace_id": "t-q1", "span": "s000001", "origin": 3}
+    assert TraceContext.from_metadata(metadata) == context
+    assert TraceContext.from_metadata(None) is None
+    assert TraceContext.from_metadata({"span": "x"}) is None  # no trace id
+
+
+def test_sampling_is_deterministic_across_tracer_instances():
+    """The keep/drop verdict is a pure function of the trace id, so every
+    node of a deployment (and every rerun) agrees without coordination."""
+    ids = [f"t-q{i}" for i in range(200)]
+    first = Tracer(_Clock(), sample_rate=0.5)
+    second = Tracer(_Clock(), sample_rate=0.5)
+    verdicts = [first.sampled(trace_id) for trace_id in ids]
+    assert verdicts == [second.sampled(trace_id) for trace_id in ids]
+    # A 50% rate keeps *some* and drops *some* of 200 ids.
+    assert any(verdicts) and not all(verdicts)
+    assert all(Tracer(_Clock(), sample_rate=1.0).sampled(t) for t in ids)
+    assert not any(Tracer(_Clock(), sample_rate=0.0).sampled(t) for t in ids)
+    assert not Tracer(_Clock()).sampled(None)
+
+
+def test_root_context_respects_sampling():
+    kept = Tracer(_Clock(), sample_rate=1.0)
+    context = kept.root_context("q1", origin=0)
+    assert context is not None and context["trace_id"] == "t-q1"
+    [root] = kept.spans_for("t-q1")
+    assert root.name == "query.submit" and root.span_id == context["span"]
+
+    dropped = Tracer(_Clock(), sample_rate=0.0)
+    assert dropped.root_context("q1", origin=0) is None
+    assert dropped.spans() == []
+
+
+def test_span_store_is_bounded_and_counts_drops():
+    tracer = Tracer(_Clock(), max_spans=3)
+    for i in range(5):
+        tracer.event("e", "t-x", n=i)
+    assert len(tracer.spans()) == 3
+    assert tracer.spans_dropped == 2
+    tracer.reset()
+    assert tracer.spans() == [] and tracer.spans_dropped == 0
+
+
+def test_begin_end_records_duration_from_injected_clock():
+    clock = _Clock()
+    tracer = Tracer(clock)
+    span = tracer.begin("dht.lookup", "t-q", node=4)
+    clock.now = 2.5
+    tracer.end(span, hops=3)
+    assert span.duration == 2.5
+    assert span.attrs["hops"] == 3
+    assert tracer.span_names("t-q") == {"dht.lookup"}
+
+
+def test_operator_activity_accumulates_and_swaps_ambient_scope():
+    clock = _Clock()
+    tracer = Tracer(clock)
+    previous = tracer.activate("t-q", "s-root")
+    activity = tracer.operator_activity("t-q", "s-root", node=1, operator_id="join_0", op_type="join")
+
+    clock.now = 1.0
+    outer = activity.enter(clock.now)
+    # While a tuple is being processed, downstream hooks see the operator.
+    assert tracer.current() == ("t-q", activity.span_id)
+    activity.exit(outer)
+    assert tracer.current() == ("t-q", "s-root")
+
+    clock.now = 4.0
+    activity.enter(clock.now)
+    activity.exit(("t-q", "s-root"))
+    activity.note_timer(5.0)
+    tracer.restore(previous)
+
+    [span] = tracer.spans_for("t-q")
+    assert span.name == "operator.work"
+    assert span.parent_id == "s-root"
+    assert span.attrs == {
+        "operator": "join_0",
+        "op_type": "join",
+        "tuples": 2,
+        "timer_arms": 1,
+    }
+    assert (span.start, span.end) == (1.0, 5.0)
+    assert activity.busy_window() == 4.0
+
+
+def test_untouched_activities_are_not_materialized():
+    tracer = Tracer(_Clock())
+    tracer.operator_activity("t-q", None, node=0, operator_id="scan", op_type="scan")
+    assert tracer.spans_for("t-q") == []
+    assert tracer.operator_activities("t-q") == []

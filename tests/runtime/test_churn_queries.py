@@ -343,6 +343,108 @@ def test_rejoining_node_reinstalls_standing_query_with_remaining_lifetime():
         assert victim_rows > 0, "the victim's data is back in the window"
 
 
+def _assert_trace_integrity(tracer, trace_id):
+    """The churn-safety contract for a trace: one root, unique span ids,
+    every parent link resolving inside the trace (no orphans), and no
+    duplicated submit from handoff or re-dissemination."""
+    spans = tracer.spans_for(trace_id)
+    assert spans, f"trace {trace_id} recorded no spans"
+    span_ids = [span.span_id for span in spans]
+    assert len(span_ids) == len(set(span_ids)), "duplicated span ids"
+    roots = [span for span in spans if span.name == "query.submit"]
+    assert len(roots) == 1, (
+        f"exactly one query.submit root expected, got {len(roots)} — "
+        "handoff/re-dissemination must extend the trace, not restart it"
+    )
+    known = set(span_ids)
+    orphans = [
+        span
+        for span in spans
+        if span.parent_id is not None and span.parent_id not in known
+    ]
+    assert not orphans, f"orphaned spans (parents outside the trace): {orphans[:3]}"
+    return spans
+
+
+def test_trace_survives_root_handoff_without_orphan_spans():
+    """Tracing stays causally stitched across an aggregation-tree root
+    failure: the post-handoff work (new root's merges, the finish event)
+    lands in the *same* trace under the same submit root."""
+    network = PIERNetwork(20, seed=52)
+    network.enable_tracing()
+    plan = hierarchical_aggregation_plan(
+        "events", ["src"], [("count", None, "n")], timeout=16, local_wait=1.0, hold=0.5
+    )
+    owner = _root_owner(network, plan)
+    for address in range(20):
+        rows = [] if address == owner else [
+            Tuple.make("events", src="a"), Tuple.make("events", src="b")
+        ]
+        network.register_local_table(address, "events", rows)
+    proxy = 0 if owner != 0 else 1
+    policy = ResiliencePolicy.enabled(liveness_interval=1.0, root_monitor_interval=0.5)
+    handle = network.submit(plan, proxy=proxy, resilience=policy)
+
+    network.run(4.0)
+    network.fail_node(owner)
+    network.run(plan.timeout + 3.0)
+
+    assert handle.finished
+    assert _totals(handle.results) == {"a": 19, "b": 19}
+
+    trace_id = f"t-{plan.query_id}"
+    spans = _assert_trace_integrity(network.tracer, trace_id)
+    names = {span.name for span in spans}
+    assert {"query.submit", "query.disseminate", "opgraph.install",
+            "operator.work", "query.finish"} <= names
+    # Work recorded after the root died is still part of this trace.
+    failed_at = 4.0
+    post_failure = [s for s in spans if s.start > failed_at and s.node != owner]
+    assert post_failure, "the handoff's work must extend the original trace"
+
+
+def test_rejoin_redissemination_extends_the_same_trace():
+    """Rejoin re-dissemination re-installs the opgraph under the original
+    trace context: the victim's second install shows up as another
+    opgraph.install span in the same trace, with no orphaned or
+    duplicated spans."""
+    network = PIERNetwork(12, seed=53)
+    network.enable_tracing()
+    for address in range(12):
+        network.register_local_table(
+            address, "events", [Tuple.make("events", src=f"s{address % 3}")]
+        )
+    plan = flat_aggregation_plan("events", ["src"], [("count", None, "n")], timeout=24)
+    victim = 5
+    policy = ResiliencePolicy.enabled(liveness_interval=2.0)
+    handle = network.submit(plan, proxy=0, resilience=policy)
+
+    network.run(1.0)
+    network.fail_node(victim)
+    network.run(7.0)
+    network.recover_node(victim)
+    network.run(plan.timeout)
+
+    assert handle.finished
+    assert handle.redisseminations >= 1
+
+    trace_id = f"t-{plan.query_id}"
+    spans = _assert_trace_integrity(network.tracer, trace_id)
+    installs = [s for s in spans if s.name == "opgraph.install" and s.node == victim]
+    assert len(installs) >= 2, (
+        "the rejoined node's re-install must be traced alongside its "
+        f"original install, got {len(installs)}"
+    )
+    # Both installs hang off the same trace root — the re-dissemination
+    # reused the envelope's context instead of minting a fresh trace.
+    root = next(s for s in spans if s.name == "query.submit")
+    known = {s.span_id for s in spans}
+    for install in installs:
+        assert install.parent_id in known
+    assert all(s.trace_id == trace_id for s in installs)
+    assert root.attrs.get("query_id") == plan.query_id
+
+
 def test_confirmed_failure_without_redissemination_stays_uncovered():
     """Regression: a recovered node whose opgraphs were purged but never
     re-installed must not snap coverage back to 1.0."""

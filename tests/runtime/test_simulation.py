@@ -159,3 +159,33 @@ def test_message_size_handles_nested_and_odd_types():
 def test_bad_node_count_rejected():
     with pytest.raises(ValueError):
         SimulationEnvironment(0)
+
+
+def test_per_node_byte_accounting_includes_ack_overhead():
+    """A delivered message's UDP ack is traffic the *receiver* sends, so it
+    is charged to that node's counter, keeping per-node accounting in
+    parity with the global byte counter on drop-free runs."""
+    env = SimulationEnvironment(3, seed=2)
+    receiver = _Recorder()
+    env.runtime(2).listen(9000, receiver)
+    sender = _Recorder()
+    env.runtime(0).send(9000, (2, 9000), {"hello": "world"}, "m", sender)
+    env.run(1.0)
+    assert sender.acks == [("m", True)]
+    # Node 2 sent no data message, only the ack.
+    assert env.bytes_sent_by_node[2] == env.UDP_ACK_OVERHEAD_BYTES
+    assert sum(env.bytes_sent_by_node.values()) == env.stats.bytes_sent
+
+
+def test_failure_path_ack_is_not_charged_to_any_node():
+    """Failure acks are synthesized by the environment — no node
+    transmitted anything — so only the global counter moves and
+    sum(per-node) stays below stats.bytes_sent under drops, by design."""
+    env = SimulationEnvironment(3, seed=2)
+    env.fail_node(2)
+    sender = _Recorder()
+    env.runtime(0).send(9000, (2, 9000), {"x": 1}, "m", sender)
+    env.run(1.0)
+    assert sender.acks == [("m", False)]
+    assert env.bytes_sent_by_node.get(2, 0) == 0
+    assert sum(env.bytes_sent_by_node.values()) < env.stats.bytes_sent

@@ -18,7 +18,11 @@ holds in part of the tree:
   lives in ``qp/operators/base.py``, which is therefore exempt.  The
   continuous-query layer (``cq/``) is in scope too: its shared-plan
   fan-out and epoch clocks run timer-driven state machines held to the
-  same teardown discipline.
+  same teardown discipline — as is the observability layer (``obs/``),
+  which hooks operator and timer paths and must not arm untracked timers
+  of its own.  (P03 already covers ``obs/`` through its catch-all
+  include: the tracer takes its clock from the environment and never
+  reads a wall clock or constructs a bare ``random.Random``.)
 * P06 applies everywhere except ``runtime/codec.py`` — the codec owns the
   wire format, and its counted pickle-fallback frame is the one declared
   pickle site.
@@ -45,7 +49,7 @@ RULE_SCOPES: Dict[str, _Scope] = {
     "P03": ([""], ["runtime/rand.py", "runtime/physical.py"]),
     "P04": (["qp/", "overlay/"], ["qp/tuples.py"]),
     "P05": (
-        ["qp/operators/", "qp/hierarchical.py", "cq/"],
+        ["qp/operators/", "qp/hierarchical.py", "cq/", "obs/"],
         ["qp/operators/base.py"],
     ),
     "P06": ([""], ["runtime/codec.py"]),
