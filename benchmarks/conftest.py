@@ -12,6 +12,23 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence
 
 
+def pytest_collection_modifyitems(items) -> None:  # noqa: ANN001
+    """Run the physical-binding comparison before the simulation sweeps.
+
+    ``test_bench_physical`` gates the simulated/physical throughput *ratio*.
+    The simulated arm is pure interpreter work and speeds up markedly once
+    the interpreter has specialized the simulator's hot code, while the
+    physical arm is syscall-bound and does not — so tens of seconds of
+    simulation-heavy sweeps beforehand inflate the ratio well past its
+    cold-start calibration.  Hoist the binding comparison ahead of the other
+    benchmarks so the gate measures the conditions it was calibrated for.
+    """
+    physical = [item for item in items if "test_bench_physical" in item.nodeid]
+    if physical:
+        rest = [item for item in items if "test_bench_physical" not in item.nodeid]
+        items[:] = physical + rest
+
+
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
     """Render a small fixed-width table to stdout."""
     rows = [list(map(str, row)) for row in rows]

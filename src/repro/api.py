@@ -47,9 +47,17 @@ from repro.catalog import Catalog, TableDescriptor
 from repro.overlay.router import BootstrapDirectory, ChordRouter, NodeContact, Router
 from repro.overlay.bamboo import BambooRouter
 from repro.qp.node import PIERNode
+from repro.qp.integrity import (
+    INTEGRITY_METADATA_KEY,
+    IntegrityPolicy,
+    IntegrityReport,
+    apply_integrity,
+    resolve_integrity,
+)
 from repro.qp.opgraph import QueryPlan
 from repro.qp.proxy import QueryHandle
 from repro.qp.resilience import ResiliencePolicy, resolve_resilience
+from repro.security.rate_limiter import QueryRejected
 from repro.qp.stats import Statistics
 from repro.qp.tuples import Tuple
 from repro.runtime.congestion import CongestionModel
@@ -94,6 +102,10 @@ class QueryResult:
     coverage: float = 1.0
     down_nodes: List[Any] = field(default_factory=list)
     redisseminations: int = 0
+    # Integrity-verified execution (repro.qp.integrity): present when the
+    # query ran under an active IntegrityPolicy — suspected nodes, per-
+    # origin verification failures and repairs, replica disagreement.
+    integrity: Optional[IntegrityReport] = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -132,6 +144,7 @@ class QueryResult:
             coverage=handle.coverage,
             down_nodes=sorted(handle.down_nodes),
             redisseminations=handle.redisseminations,
+            integrity=getattr(handle, "integrity_report", None),
         )
 
     def finalize_sql(self, plan: QueryPlan, include_explain: bool = True) -> "QueryResult":
@@ -261,6 +274,10 @@ class PIERNetwork:
         # turns it on, and query()/execute()/stream() accept per-query
         # overrides.
         self.default_resilience: Optional[ResiliencePolicy] = None
+        # Deployment-wide integrity default (None = off): spot-check
+        # verified aggregation and redundant sub-tree evaluation for every
+        # query, with per-query overrides on query()/execute()/stream().
+        self.default_integrity: Optional[IntegrityPolicy] = None
         # The deployment-owned multi-query sharing registry (created
         # lazily — see the ``sharing`` property): maps plan fingerprints
         # to shared standing-query installs with per-subscriber refcounts.
@@ -511,6 +528,39 @@ class PIERNetwork:
             policy = resolve_resilience(resilience)
         plan.metadata["resilience"] = policy.to_metadata()
 
+    def _apply_integrity(self, plan: QueryPlan, integrity: Any) -> None:
+        """Stamp the effective integrity policy and build the redundant
+        replica trees (see :func:`repro.qp.integrity.apply_integrity`).
+
+        Mirrors :meth:`_apply_resilience`: an inactive effective policy
+        leaves the plan untouched, so integrity-off execution is bit-for-bit
+        the pre-integrity hot path."""
+        if integrity is None:
+            if INTEGRITY_METADATA_KEY in plan.metadata:
+                return  # an earlier call already stamped a per-query policy
+            policy = self.default_integrity
+            if policy is None or not policy.active:
+                return
+        else:
+            policy = resolve_integrity(integrity, default=None)
+            if policy is None or not policy.active:
+                # Stamp the opt-out: a later submit() on the same plan must
+                # not re-resolve back to the deployment default.
+                plan.metadata[INTEGRITY_METADATA_KEY] = IntegrityPolicy().to_metadata()
+                return
+        apply_integrity(plan, policy)
+
+    def enable_rate_limiting(
+        self, window: float = 60.0, threshold: float = 100.0
+    ) -> None:
+        """Install per-client query admission control on every proxy.
+
+        Each submission charges one unit against the submitting client's
+        sliding window at its proxy node; clients over the threshold get
+        :class:`~repro.security.rate_limiter.QueryRejected`."""
+        for node in self.nodes:
+            node.proxy.enable_rate_limiting(window=window, threshold=threshold)
+
     def submit(
         self,
         plan: QueryPlan,
@@ -518,10 +568,15 @@ class PIERNetwork:
         result_callback: Optional[Callable[[Tuple], None]] = None,
         done_callback: Optional[Callable[[QueryHandle], None]] = None,
         resilience: Any = None,
+        integrity: Any = None,
+        client: Optional[str] = None,
     ) -> QueryHandle:
         """Submit a plan at the given proxy node without advancing time."""
         self._apply_resilience(plan, resilience)
-        return self.nodes[proxy].submit(plan, result_callback, done_callback)
+        self._apply_integrity(plan, integrity)
+        return self.nodes[proxy].submit(
+            plan, result_callback, done_callback, client=client
+        )
 
     def execute(
         self,
@@ -529,6 +584,8 @@ class PIERNetwork:
         proxy: int = 0,
         extra_time: float = 3.0,
         resilience: Any = None,
+        integrity: Any = None,
+        client: Optional[str] = None,
     ) -> QueryResult:
         """Submit a plan and run the simulation until it completes.
 
@@ -540,7 +597,9 @@ class PIERNetwork:
         stats = self.environment.stats
         messages_before = stats.messages_sent
         bytes_before = stats.bytes_sent
-        handle = self.submit(plan, proxy=proxy, resilience=resilience)
+        handle = self.submit(
+            plan, proxy=proxy, resilience=resilience, integrity=integrity, client=client
+        )
         self.environment.run(
             plan.timeout + extra_time, stop_condition=lambda: handle.finished
         )
@@ -553,6 +612,8 @@ class PIERNetwork:
         extra_time: float = 3.0,
         include_explain: bool = True,
         resilience: Any = None,
+        integrity: Any = None,
+        client: Optional[str] = None,
         analyze: bool = False,
         **planner_opts: Any,
     ) -> QueryResult:
@@ -577,7 +638,14 @@ class PIERNetwork:
         plan = self.plan_sql(sql, **planner_opts)
         if analyze:
             self.enable_tracing()
-        result = self.execute(plan, proxy=proxy, extra_time=extra_time, resilience=resilience)
+        result = self.execute(
+            plan,
+            proxy=proxy,
+            extra_time=extra_time,
+            resilience=resilience,
+            integrity=integrity,
+            client=client,
+        )
         result = result.finalize_sql(plan, include_explain=include_explain and not analyze)
         if analyze:
             result.explain = self.explain_analyze(result.query_id, plan=plan)
@@ -589,6 +657,8 @@ class PIERNetwork:
         proxy: int = 0,
         extra_time: float = 3.0,
         resilience: Any = None,
+        integrity: Any = None,
+        client: Optional[str] = None,
         **planner_opts: Any,
     ):
         """Submit a query and return a :class:`~repro.session.StreamingQuery`.
@@ -602,7 +672,10 @@ class PIERNetwork:
 
         plan = sql if isinstance(sql, QueryPlan) else self.plan_sql(sql, **planner_opts)
         self._apply_resilience(plan, resilience)
-        return StreamingQuery(self, plan, proxy=proxy, extra_time=extra_time)
+        self._apply_integrity(plan, integrity)
+        return StreamingQuery(
+            self, plan, proxy=proxy, extra_time=extra_time, client=client
+        )
 
     def subscribe(
         self,

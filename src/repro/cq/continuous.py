@@ -231,6 +231,19 @@ class ContinuousQuery:
         return self.stream.down_nodes
 
     @property
+    def integrity(self):
+        """The standing query's integrity report, when one exists.
+
+        Continuous queries currently run unverified —
+        :func:`~repro.qp.integrity.apply_integrity` rejects windowed plans,
+        since per-epoch claims would need epoch-scoped commitments — so
+        this is None today; the property exists so the session surface is
+        uniform with :class:`~repro.session.StreamingQuery`."""
+        if self.shared is not None:
+            return self.shared.stream.integrity
+        return self.stream.integrity
+
+    @property
     def epochs_delivered(self) -> List[WindowEpoch]:
         return list(self._delivered)
 

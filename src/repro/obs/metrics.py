@@ -207,6 +207,33 @@ def collect_deployment_metrics(network: Any) -> Dict[str, Any]:
         if sent is not None:
             out[_metric_key("net.bytes_sent", labels)] = sent
 
+    # Security: byzantine fault injection (ground truth) and the defenses'
+    # accounting — spot-check verifications at the proxies and admission
+    # throttling at the rate limiters.
+    adversary = getattr(environment, "adversary", None)
+    if adversary is not None:
+        out["security.byzantine_nodes"] = len(adversary.attacker_addresses)
+        out["security.attack_events"] = len(adversary.history)
+        for attack, count in sorted(adversary.attack_counts().items()):
+            out[_metric_key("security.attacks", {"attack": attack})] = count
+    verifications = failures = repairs = throttled = 0
+    limited = False
+    for node in network.nodes:
+        proxy = node.proxy
+        verifications += getattr(proxy, "integrity_verifications", 0)
+        failures += getattr(proxy, "integrity_failures", 0)
+        repairs += getattr(proxy, "integrity_repairs", 0)
+        limiter = getattr(proxy, "rate_limiter", None)
+        if limiter is not None:
+            limited = True
+            throttled += limiter.throttled_requests
+    if verifications or failures or repairs:
+        out["security.spot_check.verifications"] = verifications
+        out["security.spot_check.failures"] = failures
+        out["security.spot_check.repairs"] = repairs
+    if limited:
+        out["security.rate_limiter.throttled"] = throttled
+
     # Multi-tenant sharing refcounts (only if the registry was created).
     sharing = getattr(network, "_sharing", None)
     if sharing is not None:

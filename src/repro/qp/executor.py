@@ -141,6 +141,12 @@ class QueryExecutor:
         trace = (metadata or {}).get("trace")
         if trace is not None:
             extras["trace"] = dict(trace)
+        # So does the integrity policy (repro.qp.integrity): spot-check
+        # commitments and replica accounting need identical settings at
+        # every origin and root.
+        integrity = (metadata or {}).get("integrity")
+        if integrity is not None:
+            extras["integrity"] = dict(integrity)
         context = ExecutionContext(
             overlay=self.overlay,
             query_id=query_id,

@@ -22,9 +22,12 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple as PyTuple
 from repro.cq.windows import LATE_EPOCH_SETTLE, epoch_stamp
 from repro.overlay.identifiers import object_identifier
 from repro.overlay.naming import random_suffix
+from repro.qp.integrity import INTEGRITY_NAMESPACE, replica_sampled
 from repro.qp.operators.base import PhysicalOperator, register_operator
 from repro.qp.operators.groupby import _BaseGroupBy
 from repro.qp.tuples import Tuple
+from repro.runtime.churn import corrupt_states, suppression_victim
+from repro.security.spot_check import commit_to_states
 
 
 @register_operator
@@ -77,7 +80,15 @@ class HierarchicalAggregate(_BaseGroupBy):
         super().__init__(spec, context)
         self.local_wait = float(self.param("local_wait", 2.0))
         self.hold = float(self.param("hold", 1.0))
-        self.namespace = context.scoped_namespace("__hierarchical_aggregate__")
+        # Redundant sub-tree evaluation (repro.qp.integrity): replica r > 0
+        # salts the namespace, giving each replica tree an independently
+        # placed root identifier — k independently-rooted aggregations of
+        # the same scan, reconciled at the proxy.
+        self.replica = int(self.param("replica", 0))
+        replica_salt = f"r{self.replica}" if self.replica else ""
+        self.namespace = context.scoped_namespace(
+            f"__hierarchical_aggregate__{replica_salt}"
+        )
         self.root_identifier = object_identifier(self.namespace, "root")
         # Root ownership is captured once at start (and updated only by the
         # ownership monitor, when enabled): evaluating is_responsible() per
@@ -101,6 +112,27 @@ class HierarchicalAggregate(_BaseGroupBy):
             else 0.0
         )
         self.monitor_interval = float(self.param("root_monitor_interval", default_monitor))
+        # Integrity accounting (spot-check commitments + proxy-side
+        # reconciliation).  Riding the origin-accounted wire format is a
+        # requirement, not a choice: commitments and claims describe
+        # per-origin batches, so an active policy forces the monitor on.
+        integrity = context.extras.get("integrity") or {}
+        self._integrity_active = bool(
+            integrity.get("spot_check") or int(integrity.get("redundancy") or 1) > 1
+        )
+        self._spot_sample = (
+            float(integrity.get("spot_check_sample", 1.0))
+            if integrity.get("spot_check")
+            else 0.0
+        )
+        if self._integrity_active and self.monitor_interval <= 0:
+            self.monitor_interval = 1.0
+        # Byzantine role (repro.runtime.churn.ByzantineProcess): honest
+        # deployments resolve None here and every attack branch is one
+        # attribute check.
+        adversary = getattr(context.overlay.runtime, "adversary", None)
+        self._adversary = adversary
+        self._attacker = adversary.role(context.overlay.address) if adversary else None
         self._root_owner_address: Any = None
         self._origin_id = str(context.overlay.identifier)
         self._incarnation = random_suffix()
@@ -138,6 +170,15 @@ class HierarchicalAggregate(_BaseGroupBy):
         if self._monitoring:
             self.context.overlay.lookup(self.root_identifier, self._on_owner_resolved)
             self.arm_timer(self.monitor_interval, self._monitor_root)
+        if (
+            self._attacker is not None
+            and self._attacker.attack == "forge_origin"
+            and self._monitoring
+            and self.window_spec is None
+        ):
+            # Forgers wait until genuine traffic is underway so the forged
+            # incarnation supersedes the victims' real batches at the root.
+            self.arm_timer(self.local_wait + self.hold, self._forge_origins)
 
     @property
     def _monitoring(self) -> bool:
@@ -458,6 +499,13 @@ class HierarchicalAggregate(_BaseGroupBy):
             self._origin_folds[origin] = entry
         elif batch["inc"] != entry["inc"]:
             return  # stale incarnation: superseded by a re-install
+        # Custody trail: every node that re-packed this origin's batches.
+        # Reported alongside the root's claims so a verification failure
+        # can name the nodes that handled the corrupted data.
+        entry.setdefault("relays", set()).update(
+            tuple(relay) if isinstance(relay, list) else relay
+            for relay in batch.get("relays", [])
+        )
         seq = int(batch["seq"])
         partials = {
             tuple(item["key"]): list(item["states"]) for item in batch.get("partials", [])
@@ -511,6 +559,121 @@ class HierarchicalAggregate(_BaseGroupBy):
                 reforward=True,
             )
 
+    # -- byzantine behaviors (adversarial aggregator role) ---------------------- #
+    # Attackers misbehave only while *aggregating* — their own scan data is
+    # shipped honestly, matching the SIA threat model the paper cites (a
+    # node lying about its own readings is a bounded-influence residual no
+    # aggregation protocol can detect).  Every observable act is recorded
+    # into the adversary's ledger so benchmarks can compute detection rates
+    # against ground truth.
+    def _record_attack(self, origin: Any = None) -> None:
+        if self._adversary is not None and self._attacker is not None:
+            self._adversary.record(
+                self._attacker.address,
+                self._attacker.attack,
+                origin=origin,
+                replica=self.replica,
+            )
+
+    def _forge_origins(self, _data: object) -> None:
+        """The ``forge_origin`` attack: inject cumulative batches spoofing
+        other origins under a fresher incarnation, zeroing their folds.
+
+        ``~forged`` sorts above every ``random_suffix`` incarnation and the
+        current time wins the ``inc_ts`` tie-break, so the forged (empty)
+        batch replaces the victim's genuine contribution wholesale — the
+        same replacement machinery an honest rejoin uses, turned hostile.
+        """
+        if self._stopped or self._attacker is None:
+            return
+        candidates = [
+            str(contact.identifier)
+            for contact in self.context.overlay.directory.members()
+            if str(contact.identifier) != self._origin_id
+        ]
+        for victim in self._adversary.forge_victims(self._attacker.address, candidates):
+            forged = {
+                "origin": victim,
+                "inc": "~forged",
+                "inc_ts": self.context.now,
+                "seq": 1,
+                "cumulative": True,
+                "partials": [],
+                "relays": [self.context.overlay.address],
+            }
+            self._record_attack(origin=victim)
+            if self._is_root_owner:
+                self._fold_batch(forged)
+            else:
+                self._pack_batch(forged)
+
+    def _attack_passing_batches(self, batches: List[Dict[str, Any]]) -> bool:
+        """An attacker on the forwarding path violates routing custody.
+
+        Honest intermediates leave origin-accounted batches in the routing
+        layer's custody (upcall returns True).  An attacker absorbs them
+        (returns False, so the routing layer considers them delivered) and
+        then discards, censors, or re-packs corrupted copies stamped with
+        its own relay mark — exactly the misbehavior the spot-check
+        commitments are designed to surface.  Attacks are recorded only
+        when the batch carried data: tampering with an empty batch is
+        unobservable and must not count against the detector.
+        """
+        attack = self._attacker.attack
+        if attack == "forge_origin":
+            return True  # forgers relay honestly; their damage is injected
+        my_address = self.context.overlay.address
+        for batch in batches:
+            partials = batch.get("partials", [])
+            origin = batch.get("origin")
+            if attack == "drop_partials":
+                if partials:
+                    self._record_attack(origin=origin)
+                continue  # absorbed and discarded
+            if attack == "suppress_sources" and suppression_victim(origin):
+                if partials:
+                    self._record_attack(origin=origin)
+                continue  # censored source
+            relays = list(batch.get("relays", [])) + [my_address]
+            if attack == "inflate_partials" and partials:
+                partials = [
+                    {
+                        "key": item["key"],
+                        "states": corrupt_states(
+                            item["states"], self._attacker.inflation_factor
+                        ),
+                    }
+                    for item in partials
+                ]
+                self._record_attack(origin=origin)
+            self._pack_batch(
+                {**batch, "partials": partials, "relays": relays}, reforward=True
+            )
+        return False
+
+    def _attack_legacy_partials(
+        self, entries: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Attack hook for the paper-pure combining path, where partials
+        carry no origin accounting: drops and censorship discard the
+        shipment outright, inflation corrupts it in place (on a copy —
+        the wire value itself is never mutated)."""
+        attack = self._attacker.attack
+        if attack == "forge_origin" or not entries:
+            return entries
+        self._record_attack()
+        if attack in ("drop_partials", "suppress_sources"):
+            return []
+        return [
+            {
+                "key": entry["key"],
+                "states": corrupt_states(
+                    entry["states"], self._attacker.inflation_factor
+                ),
+            }
+            for entry in entries
+        ]
+
     # -- upcall (intermediate hop) ------------------------------------------- #
     def _on_upcall(self, _namespace: str, _key: object, value: object) -> bool:
         if self._stopped:
@@ -522,6 +685,8 @@ class HierarchicalAggregate(_BaseGroupBy):
             return True
         if "batches" in value:
             if not self._is_root_owner:
+                if self._attacker is not None:
+                    return self._attack_passing_batches(value["batches"])
                 # Origin-accounted batches stay in the routing layer's
                 # custody end to end: it reroutes around dead hops with
                 # delivery acks, while an intermediate that absorbed the
@@ -537,7 +702,10 @@ class HierarchicalAggregate(_BaseGroupBy):
         if "partials" not in value:
             return True
         self.partials_intercepted += 1
-        for entry in value["partials"]:
+        entries = value["partials"]
+        if self._attacker is not None:
+            entries = self._attack_legacy_partials(entries)
+        for entry in entries:
             self._enqueue_partial(tuple(entry["key"]), entry["states"])
             self._note_partial_keys([entry["key"]])
         return False  # hold; a combined partial will be forwarded later
@@ -598,8 +766,16 @@ class HierarchicalAggregate(_BaseGroupBy):
                 if not self._is_root_owner:
                     # Stored here by stale routing: keep a folded copy (in
                     # case ownership lands on this node) and re-forward a
-                    # bounded number of times toward the believed root.
-                    self._pack_batch(batch, reforward=True)
+                    # bounded number of times toward the believed root,
+                    # stamping this hop into the custody trail.
+                    self._pack_batch(
+                        {
+                            **batch,
+                            "relays": list(batch.get("relays", []))
+                            + [self.context.overlay.address],
+                        },
+                        reforward=True,
+                    )
             return
         if "partials" not in value:
             return
@@ -622,6 +798,7 @@ class HierarchicalAggregate(_BaseGroupBy):
                     self._enqueue_partial(key, states)
         if self._held or self._held_batches:
             self._forward_held(None)
+        self._send_integrity_report()
         # The captured/monitored owner emits; with the monitor off, a node
         # that *became* responsible after the captured root failed (routing
         # re-delivered partials here) also emits what it accumulated, so
@@ -629,13 +806,21 @@ class HierarchicalAggregate(_BaseGroupBy):
         salvage_root = not self._monitoring and not self._is_root_owner and self._is_root()
         if not (self._is_root_owner or salvage_root):
             return
+        if self._integrity_active:
+            # Verified mode: the root ships per-origin claims to the proxy
+            # instead of emitting merged rows.  The proxy checks each claim
+            # against the origin's own commitment, repairs what fails, and
+            # recomputes the totals itself — so a corrupted fold can change
+            # a claim but not the verified result.
+            self._send_root_claims()
+            return
         final: Dict[PyTuple[Any, ...], List[Any]] = {}
         for key, states in self._root_states.items():
             self._merge_into(final, key, states)
         for origin, entry in self._origin_folds.items():
             if origin == self._origin_id:
                 continue  # own contribution is merged from _local_cum below
-            for key, states in self._fold_states(entry).items():
+            for key, states in self._root_fold_states(origin, entry).items():
                 self._merge_into(final, key, states)
         if self._is_root_owner:
             # A salvage root already shipped its local data down the delta
@@ -651,6 +836,108 @@ class HierarchicalAggregate(_BaseGroupBy):
                 )
             }
             self.emit(self._group_tuple(key, payload))
+
+    # -- integrity (spot-check commitments and proxy-side reconciliation) ------- #
+    def _root_fold_states(
+        self, origin: str, entry: Dict[str, Any]
+    ) -> Dict[PyTuple[Any, ...], List[Any]]:
+        """One origin's folded states as *this root reports them*.
+
+        An honest root returns the fold verbatim.  A root-owner attacker
+        corrupts the foreign folds it passes on — consistently for the
+        final merge and the integrity claims, since both call through here
+        — which is the strongest position in the tree: without the
+        integrity layer every origin's contribution is in its hands.
+        """
+        states = self._fold_states(entry)
+        if self._attacker is None or origin == self._origin_id or not states:
+            return states
+        attack = self._attacker.attack
+        if attack == "drop_partials":
+            self._record_attack(origin=origin)
+            return {}
+        if attack == "suppress_sources":
+            if not suppression_victim(origin):
+                return states
+            self._record_attack(origin=origin)
+            return {}
+        if attack == "inflate_partials":
+            self._record_attack(origin=origin)
+            return {
+                key: corrupt_states(st, self._attacker.inflation_factor)
+                for key, st in states.items()
+            }
+        return states
+
+    def _send_integrity_report(self) -> None:
+        """Every origin pushes a self-report straight to the proxy: a
+        commitment over its cumulative local contribution, plus the full
+        states when this (query, replica, origin) falls in the spot-check
+        sample.  Direct messaging bypasses the aggregation tree entirely,
+        so no attacker on the tree can tamper with the reference."""
+        if not self._integrity_active or self._stopped or not self._local_cum:
+            return
+        payload: Dict[str, Any] = {
+            "kind": "origin",
+            "replica": self.replica,
+            "origin": self._origin_id,
+            "node": self.context.overlay.address,
+            "inc_ts": self._incarnation_ts,
+            "commitment": commit_to_states(self._origin_id, self._local_cum),
+        }
+        if replica_sampled(
+            self.context.query_id, self.replica, self._origin_id, self._spot_sample
+        ):
+            payload["partials"] = [
+                {"key": list(key), "states": states}
+                for key, states in self._local_cum.items()
+            ]
+        self.context.overlay.direct_message(
+            self.context.proxy_address,
+            INTEGRITY_NAMESPACE,
+            self.context.query_id,
+            payload,
+        )
+
+    def _send_root_claims(self) -> None:
+        """The root's side of verified aggregation: per-origin claims (the
+        folded states plus the custody trail) instead of merged rows."""
+        origins: Dict[str, Dict[str, Any]] = {}
+        for origin, entry in self._origin_folds.items():
+            if origin == self._origin_id:
+                continue
+            states = self._root_fold_states(origin, entry)
+            origins[origin] = {
+                "partials": [
+                    {"key": list(key), "states": st} for key, st in states.items()
+                ],
+                "relays": sorted(entry.get("relays", ()), key=repr),
+            }
+        # The root's own contribution (and any pre-monitor legacy partials)
+        # travels as its self-claim, verified like everyone else's.
+        own: Dict[PyTuple[Any, ...], List[Any]] = {}
+        for key, states in self._root_states.items():
+            self._merge_into(own, key, states)
+        for key, states in self._local_cum.items():
+            self._merge_into(own, key, states)
+        if own:
+            origins[self._origin_id] = {
+                "partials": [
+                    {"key": list(key), "states": st} for key, st in own.items()
+                ],
+                "relays": [],
+            }
+        self.context.overlay.direct_message(
+            self.context.proxy_address,
+            INTEGRITY_NAMESPACE,
+            self.context.query_id,
+            {
+                "kind": "root",
+                "replica": self.replica,
+                "node": self.context.overlay.address,
+                "origins": origins,
+            },
+        )
 
     def _flush_windowed(self) -> None:
         """Lifetime expiry for a standing query: the in-progress partial

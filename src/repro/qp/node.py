@@ -126,8 +126,9 @@ class PIERNode:
         plan: QueryPlan,
         result_callback: Optional[Callable[[Tuple], None]] = None,
         done_callback: Optional[Callable[[QueryHandle], None]] = None,
+        client: Optional[str] = None,
     ) -> QueryHandle:
-        return self.proxy.submit(plan, result_callback, done_callback)
+        return self.proxy.submit(plan, result_callback, done_callback, client=client)
 
     def cancel(self, query_id: str) -> bool:
         """Cancel a query this node proxies and abort its local opgraphs."""

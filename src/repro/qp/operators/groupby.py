@@ -325,18 +325,51 @@ class PartialAggregate(_BaseGroupBy):
 
     op_type = "partial_aggregate"
 
+    def __init__(self, spec, context) -> None:  # noqa: ANN001
+        super().__init__(spec, context)
+        # Byzantine role (repro.runtime.churn.ByzantineProcess).  NOTE the
+        # threat-model caveat: corrupting one's *own* partial output is the
+        # node lying about its local data — a bounded-influence residual no
+        # aggregation protocol can detect (SIA's explicit non-goal).  The
+        # hook exists so fault-injection experiments can measure exactly
+        # that bound; the detectable attacks live on the aggregator paths
+        # in repro.qp.hierarchical.
+        adversary = getattr(context.overlay.runtime, "adversary", None)
+        self._adversary = adversary
+        self._attacker = adversary.role(context.overlay.address) if adversary else None
+
+    def _attacked_states(
+        self, states: Dict[PyTuple[Any, ...], List[Any]]
+    ) -> Dict[PyTuple[Any, ...], List[Any]]:
+        if self._attacker is None or not states:
+            return states
+        from repro.runtime.churn import corrupt_states
+
+        attack = self._attacker.attack
+        if attack == "drop_partials":
+            self._adversary.record(self._attacker.address, attack)
+            return {}
+        if attack == "inflate_partials":
+            self._adversary.record(self._attacker.address, attack)
+            return {
+                key: corrupt_states(st, self._attacker.inflation_factor)
+                for key, st in states.items()
+            }
+        return states
+
     def _emit_window(
         self, epoch: int, states: Dict[PyTuple[Any, ...], List[Any]]
     ) -> None:
-        self._emit_window_states(epoch, states)
+        self._emit_window_states(epoch, self._attacked_states(states))
 
     def flush(self) -> None:
-        for key, state in self._groups.items():
+        groups = {key: list(state.states) for key, state in self._groups.items()}
+        for key, states in self._attacked_states(groups).items():
             self.emit(
                 self._group_tuple(
                     key,
                     {
-                        "__partial_states__": list(state.states),
+                        "__partial_states__": states,
                         "__group_key__": tuple(key),
                     },
                 )

@@ -32,10 +32,17 @@ from repro.qp.dissemination import (
     query_envelope,
 )
 from repro.qp.executor import QueryExecutor
+from repro.qp.integrity import (
+    INTEGRITY_NAMESPACE,
+    IntegrityCollector,
+    IntegrityPolicy,
+    IntegrityReport,
+)
 from repro.qp.opgraph import OpGraph, QueryPlan
 from repro.qp.operators.exchange import RESULT_NAMESPACE
 from repro.qp.resilience import ResiliencePolicy
 from repro.qp.tuples import MalformedTupleError, Tuple
+from repro.security.rate_limiter import ClientRateLimiter, QueryRejected
 
 ResultCallback = Callable[[Tuple], None]
 DoneCallback = Callable[["QueryHandle"], None]
@@ -64,6 +71,13 @@ class QueryHandle:
     confirmed_down: Set[Any] = field(default_factory=set)
     ever_down: Set[Any] = field(default_factory=set)
     redisseminations: int = 0
+    # Integrity-verified execution (repro.qp.integrity): the collector
+    # accumulates origin self-reports and root claims while the query runs;
+    # the report is produced at completion.
+    integrity: Optional[IntegrityCollector] = None
+    integrity_report: Optional[IntegrityReport] = None
+    # Rate-limitation identity: which client submitted this query.
+    client: Optional[str] = None
 
     @property
     def query_id(self) -> str:
@@ -104,12 +118,41 @@ class ProxyService:
         self.disseminator = disseminator
         self._queries: Dict[str, QueryHandle] = {}
         self._started = False
+        # Client rate limitation (repro.security.rate_limiter): installed
+        # by ``enable_rate_limiting``; None means every submission admits.
+        self.rate_limiter: Optional[ClientRateLimiter] = None
+        # Integrity accounting, summed into the deployment metrics.
+        self.integrity_verifications = 0
+        self.integrity_failures = 0
+        self.integrity_repairs = 0
 
     def start(self) -> None:
         if self._started:
             return
         self._started = True
         self.overlay.new_data(RESULT_NAMESPACE, self._on_result_message)
+        self.overlay.new_data(INTEGRITY_NAMESPACE, self._on_integrity_message)
+
+    def enable_rate_limiting(
+        self, window: float = 60.0, threshold: float = 100.0
+    ) -> ClientRateLimiter:
+        """Install (or re-tune) per-client admission control on this proxy.
+
+        Each query submission charges one unit against the submitting
+        client's sliding window; a client over the threshold gets
+        :class:`QueryRejected` instead of a handle (Section 4.1.2's client
+        rate limitation, enforced at the proxy — the node the client's
+        connection terminates at)."""
+        if self.rate_limiter is None:
+            self.rate_limiter = ClientRateLimiter(
+                clock=self.overlay.runtime.get_current_time,
+                window=window,
+                threshold=threshold,
+            )
+        else:
+            self.rate_limiter.window = float(window)
+            self.rate_limiter.threshold = float(threshold)
+        return self.rate_limiter
 
     # -- client API ----------------------------------------------------------- #
     def submit(
@@ -117,8 +160,17 @@ class ProxyService:
         plan: QueryPlan,
         result_callback: Optional[ResultCallback] = None,
         done_callback: Optional[DoneCallback] = None,
+        client: Optional[str] = None,
     ) -> QueryHandle:
-        """Parse-time validation, dissemination, and result registration."""
+        """Parse-time validation, admission, dissemination, and result
+        registration."""
+        identity = client or "anonymous"
+        if self.rate_limiter is not None and not self.rate_limiter.admit(identity):
+            raise QueryRejected(
+                identity,
+                self.rate_limiter.consumption(identity),
+                self.rate_limiter.threshold,
+            )
         plan.validate()
         handle = QueryHandle(
             plan=plan,
@@ -126,7 +178,11 @@ class ProxyService:
             result_callback=result_callback,
             done_callback=done_callback,
             resilience=ResiliencePolicy.from_metadata(plan.metadata),
+            client=client,
         )
+        integrity_policy = IntegrityPolicy.from_metadata(plan.metadata)
+        if integrity_policy.active:
+            handle.integrity = IntegrityCollector(plan, integrity_policy)
         # Capture the query's participants from the router's membership
         # view; peers this node already suspects dead start out uncovered.
         members = self.overlay.directory.members()
@@ -358,6 +414,54 @@ class ProxyService:
         if handle.result_callback is not None:
             handle.result_callback(tup)
 
+    # -- integrity (spot-check verification and replica reconciliation) --------- #
+    def _on_integrity_message(self, _namespace: str, key: object, value: object) -> None:
+        """Origin self-reports and root claims, pushed straight to the
+        proxy by the hierarchical operators at flush."""
+        handle = self._queries.get(str(key))
+        if handle is None or handle.finished or handle.integrity is None:
+            return
+        if isinstance(value, dict):
+            handle.integrity.receive(value)
+
+    def _finalize_integrity(self, handle: QueryHandle) -> None:
+        """Verify, repair, reconcile — then emit the verified rows.
+
+        Under an active integrity policy the aggregation roots never emit
+        result rows themselves; the verified rows materialise here, so the
+        client-visible result path is the defended one."""
+        if handle.integrity is None:
+            return
+        rows, report = handle.integrity.finalize()
+        handle.integrity_report = report
+        self.integrity_verifications += report.origins_verified
+        self.integrity_failures += len(report.verification_failures)
+        self.integrity_repairs += report.repaired_origins
+        for tup in rows:
+            if handle.first_result_at is None:
+                handle.first_result_at = self.overlay.runtime.get_current_time()
+            handle.results.append(tup)
+            if handle.result_callback is not None:
+                handle.result_callback(tup)
+        tracer = getattr(self.overlay.runtime, "tracer", None)
+        trace_meta = handle.plan.metadata.get("trace")
+        if tracer is not None and trace_meta and tracer.sampled(trace_meta["trace_id"]):
+            span = tracer.begin(
+                "security.spot_check",
+                trace_meta["trace_id"],
+                parent_id=trace_meta["span"],
+                node=self.overlay.address,
+                replicas=report.replicas,
+            )
+            tracer.end(
+                span,
+                origins_verified=report.origins_verified,
+                failures=len(report.verification_failures),
+                repaired=report.repaired_origins,
+                suspected=len(report.suspected_nodes),
+                disagreement=report.replica_disagreement,
+            )
+
     def _on_query_timeout(self, query_id: str) -> None:
         handle = self._queries.get(query_id)
         if handle is None or handle.finished:
@@ -367,6 +471,7 @@ class ProxyService:
             return  # lifetime was renewed; renew() armed a later timer
         handle.finished = True
         handle.finished_at = self.overlay.runtime.get_current_time()
+        self._finalize_integrity(handle)
         self._trace_finish(handle)
         if handle.done_callback is not None:
             handle.done_callback(handle)

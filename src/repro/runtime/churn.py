@@ -1,16 +1,26 @@
-"""Churn generation: node failures, departures, and arrivals.
+"""Churn and adversary generation: failures, rejoins, and byzantine roles.
 
 The paper stresses that DHTs (and therefore PIER) must operate under churn
 — the steady arrival and departure of participating machines.  The
-simulator supports complete node failures; this module drives them on a
-schedule so experiments (soft-state availability, routing resilience) can
-sweep churn rates.
+simulator supports complete node failures; :class:`ChurnProcess` drives
+them on a schedule so experiments (soft-state availability, routing
+resilience) can sweep churn rates.
+
+Section 4.1.2 goes further: an Internet-scale query processor must also
+survive *malicious* participants.  :class:`ByzantineProcess` flips a seeded
+fraction of nodes into attacker roles; the aggregation operators
+(:mod:`repro.qp.hierarchical`, ``PartialAggregate``) consult the installed
+adversary on their send/intercept paths and misbehave accordingly — so
+attacks ride the real wire format in both the simulated and the physical
+runtime, and the defenses in :mod:`repro.qp.integrity` are exercised
+against genuine protocol traffic rather than synthetic inputs.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.runtime.rand import derive_rng
 from repro.runtime.simulation import SimulationEnvironment
@@ -137,3 +147,195 @@ class ChurnProcess:
     @property
     def failed_nodes(self) -> List[int]:
         return list(self._failed)
+
+
+# --------------------------------------------------------------------------- #
+# Byzantine fault injection
+# --------------------------------------------------------------------------- #
+
+#: The attack repertoire.  Each attacker is assigned exactly one of these
+#: (chosen by seeded rng from the enabled set) so experiments can attribute
+#: every result deviation to a known behavior.
+BYZANTINE_ATTACKS: Tuple[str, ...] = (
+    "drop_partials",
+    "inflate_partials",
+    "forge_origin",
+    "suppress_sources",
+)
+
+
+def corrupt_states(states: Sequence[Any], factor: float) -> List[Any]:
+    """Multiply every numeric component of a list of aggregate states.
+
+    Aggregate states are ints (Count), floats (Sum) or tuples like
+    (sum, count) for Average; the corruption recurses through containers,
+    keeps ints int so the wire codec round-trips, and leaves bools and
+    non-numerics alone.
+    """
+
+    def corrupt(value: Any) -> Any:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return int(value * factor)
+        if isinstance(value, float):
+            return value * factor
+        if isinstance(value, (list, tuple)):
+            corrupted = [corrupt(item) for item in value]
+            return type(value)(corrupted) if isinstance(value, tuple) else corrupted
+        return value
+
+    return [corrupt(state) for state in states]
+
+
+def suppression_victim(origin: Any) -> bool:
+    """Deterministic victim predicate for the ``suppress_sources`` attack.
+
+    Every suppressing attacker censors the same half of the origin space
+    (even crc32), so the attack is reproducible across replicas and runs
+    without any shared rng state.
+    """
+    return zlib.crc32(repr(origin).encode()) % 2 == 0
+
+
+@dataclass(frozen=True)
+class AttackerRole:
+    """The behavior assignment for one adversarial node."""
+
+    address: int
+    attack: str
+    inflation_factor: float = 10.0
+    forge_count: int = 2
+
+
+@dataclass
+class AttackEvent:
+    """One recorded act of misbehavior, for ground-truth evaluation."""
+
+    time: float
+    attacker: int
+    attack: str
+    replica: int = 0
+    origin: Optional[Any] = None
+
+
+class ByzantineProcess:
+    """Flip a seeded fraction of nodes into adversarial aggregator roles.
+
+    Mirrors :class:`ChurnProcess` in spirit — an environment-level process
+    that perturbs the deployment — but byzantine roles are assigned once,
+    up front, rather than scheduled over time: a node is either honest or
+    an attacker for the whole experiment, matching the paper's threat
+    discussion (malicious *participants*, not transient faults).
+
+    Installing the process publishes it as ``environment.adversary``; the
+    aggregation operators look the adversary up through their runtime (the
+    same delegation path as the tracer) and consult :meth:`role` on their
+    send/intercept paths.  Attackers misbehave only in their *aggregator*
+    role — they ship their own scan data honestly, consistent with the SIA
+    model the paper cites (a node lying about its own local readings is a
+    bounded-influence residual no aggregation protocol can detect).
+
+    Every act of misbehavior is recorded through :meth:`record`, giving
+    benchmarks a ground-truth ledger to compute detection rates against.
+    """
+
+    def __init__(
+        self,
+        environment: Any,
+        fraction: float,
+        attacks: Sequence[str] = BYZANTINE_ATTACKS,
+        seed: int = 0,
+        inflation_factor: float = 10.0,
+        forge_count: int = 2,
+        protected: Optional[Iterable[int]] = None,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        unknown = set(attacks) - set(BYZANTINE_ATTACKS)
+        if unknown:
+            raise ValueError(f"unknown attacks: {sorted(unknown)}")
+        if fraction > 0 and not attacks:
+            raise ValueError("at least one attack must be enabled")
+        self.environment = environment
+        self.fraction = fraction
+        self.attacks = tuple(attacks)
+        self.seed = seed
+        self.inflation_factor = inflation_factor
+        self.forge_count = forge_count
+        self.protected = set(protected or [])
+        self.history: List[AttackEvent] = []
+        self._roles: Dict[int, AttackerRole] = {}
+        self._forge_victims: Dict[int, List[Any]] = {}
+        self._attacked: Set[Tuple[int, Any]] = set()
+        rng = derive_rng(seed, "byzantine")
+        candidates = [
+            address
+            for address in range(environment.node_count)
+            if address not in self.protected
+        ]
+        count = min(len(candidates), round(fraction * environment.node_count))
+        for address in sorted(rng.sample(candidates, count)):
+            self._roles[address] = AttackerRole(
+                address=address,
+                attack=rng.choice(list(self.attacks)),
+                inflation_factor=inflation_factor,
+                forge_count=forge_count,
+            )
+        environment.adversary = self
+
+    @property
+    def attacker_addresses(self) -> List[int]:
+        return sorted(self._roles)
+
+    def role(self, address: int) -> Optional[AttackerRole]:
+        """The attacker role for ``address``, or None for honest nodes."""
+        return self._roles.get(address)
+
+    def forge_victims(self, attacker: int, candidates: Sequence[Any]) -> List[Any]:
+        """The origins whose contributions ``attacker`` forges.
+
+        Memoised per attacker on first call so the same victims are hit in
+        every redundant replica tree — forged entries that disagreed across
+        replicas would be out-voted trivially and understate the attack.
+        """
+        cached = self._forge_victims.get(attacker)
+        if cached is not None:
+            return list(cached)
+        role = self._roles.get(attacker)
+        pool = sorted((c for c in candidates), key=repr)
+        if role is None or not pool:
+            return []
+        rng = derive_rng(self.seed, f"forge:{attacker}")
+        victims = rng.sample(pool, min(role.forge_count, len(pool)))
+        self._forge_victims[attacker] = list(victims)
+        return list(victims)
+
+    def record(
+        self,
+        attacker: int,
+        attack: str,
+        origin: Optional[Any] = None,
+        replica: int = 0,
+    ) -> None:
+        """Log one act of misbehavior into the ground-truth ledger."""
+        now = getattr(self.environment, "now", 0.0)
+        self.history.append(
+            AttackEvent(
+                time=now, attacker=attacker, attack=attack, replica=replica, origin=origin
+            )
+        )
+        if origin is not None:
+            self._attacked.add((replica, origin))
+
+    def attacked_pairs(self) -> Set[Tuple[int, Any]]:
+        """The ground truth: every (replica, origin) whose contribution some
+        attacker observably tampered with."""
+        return set(self._attacked)
+
+    def attack_counts(self) -> Dict[str, int]:
+        """Events per attack type, for the metrics snapshot."""
+        counts: Dict[str, int] = {}
+        for event in self.history:
+            counts[event.attack] = counts.get(event.attack, 0) + 1
+        return counts

@@ -45,6 +45,10 @@ class NetworkEndpoint(abc.ABC):
     # deployment that never traces pays one attribute slot and nothing else.
     tracer: Optional[Any] = None
     _metrics_registry: Optional[Any] = None
+    # Adversary (repro.runtime.churn.ByzantineProcess): installed by fault
+    # injection experiments; honest deployments keep the attribute None and
+    # every hook site reverts to one getattr check.
+    adversary: Optional[Any] = None
 
     # -- observability ----------------------------------------------------- #
     def enable_tracing(self, sample_rate: float = 1.0) -> Any:

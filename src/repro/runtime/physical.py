@@ -127,6 +127,7 @@ class PhysicalEnvironment(NetworkEndpoint):
         self.stats = NetworkStats()
         self.sanitizer = None
         self.tracer = None
+        self.adversary = None
         self.seed = seed
         self.host = host
         self.node_count = 0
@@ -371,6 +372,12 @@ class PhysicalNodeRuntime(VirtualRuntime):
     def tracer(self) -> Optional[Any]:
         """The environment's causal tracer, or ``None`` when not tracing."""
         return self._environment.tracer
+
+    # -- adversary -------------------------------------------------------------#
+    @property
+    def adversary(self) -> Optional[Any]:
+        """The environment's byzantine adversary, or ``None`` when honest."""
+        return self._environment.adversary
 
     # -- identity ------------------------------------------------------------#
     @property

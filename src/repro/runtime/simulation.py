@@ -95,6 +95,12 @@ class SimulatedNodeRuntime(VirtualRuntime):
         """The environment's causal tracer, or ``None`` when not tracing."""
         return self._environment.tracer
 
+    # -- adversary -------------------------------------------------------- #
+    @property
+    def adversary(self) -> Optional[Any]:
+        """The environment's byzantine adversary, or ``None`` when honest."""
+        return self._environment.adversary
+
     # -- UDP -------------------------------------------------------------#
     def listen(self, port: int, callback_client: UDPListener) -> None:
         self._ports.bind_udp(port, callback_client)

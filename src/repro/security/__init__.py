@@ -7,13 +7,20 @@ computations.  These modules implement working versions of those mechanisms
 so the ablation benchmarks can quantify their effect.
 """
 
-from repro.security.rate_limiter import ClientRateLimiter, ReciprocationLedger
+from repro.security.rate_limiter import (
+    ClientRateLimiter,
+    QueryRejected,
+    ReciprocationLedger,
+)
 from repro.security.redundancy import RedundantAggregation
-from repro.security.spot_check import SpotChecker
+from repro.security.spot_check import SpotChecker, commit_to_inputs, commit_to_states
 
 __all__ = [
     "ClientRateLimiter",
+    "QueryRejected",
     "ReciprocationLedger",
     "RedundantAggregation",
     "SpotChecker",
+    "commit_to_inputs",
+    "commit_to_states",
 ]

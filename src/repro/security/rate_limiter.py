@@ -20,6 +20,21 @@ from dataclasses import dataclass
 from typing import Callable, DefaultDict, Deque, Dict, Tuple
 
 
+class QueryRejected(RuntimeError):
+    """A proxy refused a query submission because the client exceeded its
+    sliding-window consumption threshold (see :class:`ClientRateLimiter`
+    and ``PIERNetwork.enable_rate_limiting``)."""
+
+    def __init__(self, client: str, consumption: float, threshold: float) -> None:
+        super().__init__(
+            f"client {client!r} throttled: {consumption:g} units consumed in "
+            f"the current window exceeds the threshold of {threshold:g}"
+        )
+        self.client = client
+        self.consumption = consumption
+        self.threshold = threshold
+
+
 @dataclass
 class ConsumptionRecord:
     timestamp: float

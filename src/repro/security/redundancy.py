@@ -19,13 +19,22 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class RedundancyReport:
-    """Outcome of combining k redundant aggregate computations."""
+    """Outcome of combining k redundant aggregate computations.
+
+    ``agreeing_replicas`` counts the replicas within the outlier threshold
+    of the combiner's center; ``inconclusive`` is set when that count is
+    not a strict majority of k — e.g. an even k split 50/50 between honest
+    and corrupted replicas, where the median silently lands between the
+    two camps and must not be trusted.
+    """
 
     combined_value: float
     reference_value: Optional[float]
     replica_values: List[float]
     relative_error: Optional[float]
     suspected_outliers: List[int]
+    agreeing_replicas: int = 0
+    inconclusive: bool = False
 
 
 class RedundantAggregation:
@@ -60,19 +69,24 @@ class RedundantAggregation:
         if reference_value not in (None, 0):
             relative_error = abs(combined - reference_value) / abs(reference_value)
         outliers = self._outliers(values)
+        agreeing = len(values) - len(self._deviants(values))
         return RedundancyReport(
             combined_value=combined,
             reference_value=reference_value,
             replica_values=values,
             relative_error=relative_error,
             suspected_outliers=outliers,
+            agreeing_replicas=agreeing,
+            # A combined value is only trustworthy when a *strict* majority
+            # of replicas agrees with it: with k even and a 50/50 split the
+            # median falls between the camps and nothing out-votes anything.
+            inconclusive=agreeing * 2 <= len(values),
         )
 
-    def _outliers(self, values: List[float]) -> List[int]:
-        """Replica indices that deviate from the median by more than the
-        configured relative threshold."""
-        if len(values) < 3:
-            return []
+    def _deviants(self, values: List[float]) -> List[int]:
+        """Replica indices outside the relative threshold around the median
+        (computed for any k — agreement accounting needs it even when the
+        k < 3 outlier report stays empty)."""
         center = statistics.median(values)
         if center == 0:
             return [index for index, value in enumerate(values) if value != 0]
@@ -81,6 +95,13 @@ class RedundantAggregation:
             for index, value in enumerate(values)
             if abs(value - center) / abs(center) > self.outlier_threshold
         ]
+
+    def _outliers(self, values: List[float]) -> List[int]:
+        """Replica indices that deviate from the median by more than the
+        configured relative threshold."""
+        if len(values) < 3:
+            return []
+        return self._deviants(values)
 
     @staticmethod
     def suppression_fraction(total_sources: int, included_sources: int) -> float:

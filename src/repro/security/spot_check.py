@@ -13,27 +13,92 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runtime.rand import derive_rng
 
 
-def commit_to_inputs(values: Sequence[float]) -> str:
-    """A deterministic commitment to the multiset of input values."""
+def commit_to_inputs(
+    values: Sequence[float], origins: Optional[Sequence[Any]] = None
+) -> str:
+    """A deterministic commitment to the aggregator's inputs.
+
+    With ``origins`` (one per value) the commitment binds each value to the
+    source that produced it: committing to the bare multiset let a cheating
+    aggregator reorder or reassign values across origins undetected — any
+    permutation hashed identically.  The origin-free form is kept for
+    callers that have no source identities, with that weakness documented.
+    """
     digest = hashlib.sha256()
-    for value in sorted(values):
+    if origins is None:
+        for value in sorted(values):
+            digest.update(repr(round(float(value), 9)).encode())
+            digest.update(b"|")
+        return digest.hexdigest()
+    if len(origins) != len(values):
+        raise ValueError("origins must parallel values, one per input")
+    pairs = sorted(
+        zip(origins, values), key=lambda pair: (repr(pair[0]), float(pair[1]))
+    )
+    for origin, value in pairs:
+        digest.update(repr(origin).encode())
+        digest.update(b"=")
         digest.update(repr(round(float(value), 9)).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def _canonical_state(value: Any) -> str:
+    """A wire-stable rendering of one aggregate state: floats rounded so a
+    codec round-trip hashes identically, tuples and lists unified."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(round(value, 9))
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical_state(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical_state(item) for item in value)) + "}"
+    if isinstance(value, Mapping):
+        items = sorted(
+            (_canonical_state(key), _canonical_state(item)) for key, item in value.items()
+        )
+        return "{" + ",".join(f"{key}:{item}" for key, item in items) + "}"
+    return repr(value)
+
+
+def commit_to_states(origin: Any, states_by_key: Mapping[Any, Sequence[Any]]) -> str:
+    """Commitment over one origin's cumulative per-group aggregate states.
+
+    This is the query-path form of :func:`commit_to_inputs`: the origin
+    identity is folded into the digest (so claims cannot be reassigned
+    across origins) and the committed payload is the full mergeable state
+    per group key, canonicalised to survive the binary wire codec.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(origin).encode())
+    digest.update(b"#")
+    for key in sorted(states_by_key, key=repr):
+        digest.update(_canonical_state(list(key)).encode())
+        digest.update(b"=")
+        digest.update(_canonical_state(list(states_by_key[key])).encode())
         digest.update(b"|")
     return digest.hexdigest()
 
 
 @dataclass
 class AggregatorClaim:
-    """What an (possibly dishonest) aggregator reports to the client."""
+    """What an (possibly dishonest) aggregator reports to the client.
+
+    ``claimed_origins`` (optional, parallel to ``claimed_inputs``) names
+    the source each input supposedly came from, enabling the per-origin
+    commitment form.
+    """
 
     commitment: str
     claimed_result: float
     claimed_inputs: List[float]
+    claimed_origins: Optional[List[Any]] = None
 
 
 @dataclass
@@ -73,17 +138,33 @@ class SpotChecker:
         would report if the client asked them directly (the spot check).
         """
         self.checks_run += 1
-        consistent_commitment = commit_to_inputs(claim.claimed_inputs) == claim.commitment
+        consistent_commitment = (
+            commit_to_inputs(claim.claimed_inputs, claim.claimed_origins)
+            == claim.commitment
+        )
         recomputed = self.aggregate(claim.claimed_inputs) if claim.claimed_inputs else 0.0
         consistent_result = abs(recomputed - claim.claimed_result) <= self.tolerance
         source_ids = sorted(true_source_values)
         sample = self._rng.sample(source_ids, k=min(self.sample_size, len(source_ids)))
-        claimed_multiset = list(claim.claimed_inputs)
         mismatched: List[int] = []
-        for source_id in sample:
-            expected = true_source_values[source_id]
-            if not self._remove_close(claimed_multiset, expected):
-                mismatched.append(source_id)
+        if claim.claimed_origins is not None:
+            # Origin-bound claims: the sampled source's value must appear
+            # *at that origin* — a reassigned (but multiset-preserving)
+            # claim no longer passes.
+            claimed_by_origin: Dict[Any, List[float]] = {}
+            for origin, value in zip(claim.claimed_origins, claim.claimed_inputs):
+                claimed_by_origin.setdefault(origin, []).append(value)
+            for source_id in sample:
+                expected = true_source_values[source_id]
+                values = claimed_by_origin.get(source_id, [])
+                if not self._remove_close(values, expected):
+                    mismatched.append(source_id)
+        else:
+            claimed_multiset = list(claim.claimed_inputs)
+            for source_id in sample:
+                expected = true_source_values[source_id]
+                if not self._remove_close(claimed_multiset, expected):
+                    mismatched.append(source_id)
         result = SpotCheckResult(
             consistent_commitment=consistent_commitment,
             consistent_result=consistent_result,

@@ -44,6 +44,7 @@ class StreamingQuery:
         proxy: int = 0,
         extra_time: float = 3.0,
         step: float = DEFAULT_STEP,
+        client: Optional[str] = None,
     ) -> None:
         self.network = network
         self.plan = plan
@@ -67,6 +68,7 @@ class StreamingQuery:
             proxy=proxy,
             result_callback=self._dispatch_result,
             done_callback=self._dispatch_done,
+            client=client,
         )
 
     # -- subscription ------------------------------------------------------- #
@@ -144,6 +146,12 @@ class StreamingQuery:
     def down_nodes(self) -> List:
         """Participants currently believed down, sorted for stable output."""
         return sorted(self.handle.down_nodes)
+
+    @property
+    def integrity(self):
+        """The query's integrity report (populated at completion when an
+        :class:`~repro.qp.integrity.IntegrityPolicy` is active, else None)."""
+        return self.handle.integrity_report
 
     @property
     def _deadline(self) -> float:

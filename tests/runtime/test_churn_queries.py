@@ -343,6 +343,56 @@ def test_rejoining_node_reinstalls_standing_query_with_remaining_lifetime():
         assert victim_rows > 0, "the victim's data is back in the window"
 
 
+def test_byzantine_attacker_killed_and_rejoined_does_not_double_count():
+    """Byzantine × churn composition: an adversarial node that dies and
+    rejoins mid-query ships a fresh incarnation of its (honest) local
+    data.  The integrity layer must count that origin exactly once — the
+    newest-incarnation rule holds in the root ledger *and* in the proxy's
+    self-report collection — while still catching the attackers that
+    stayed up."""
+    from repro.qp.integrity import IntegrityPolicy
+    from repro.runtime.churn import ByzantineProcess
+
+    network = PIERNetwork(20, seed=52)
+    adversary = ByzantineProcess(network.environment, 0.2, seed=3, protected=[0])
+    for address in range(20):
+        network.register_local_table(
+            address, "events", [Tuple.make("events", src="a"), Tuple.make("events", src="b")]
+        )
+    plan = hierarchical_aggregation_plan(
+        "events", ["src"], [("count", None, "n")], timeout=16, local_wait=1.0, hold=0.5
+    )
+    # Pin the query id so root placement (and therefore which batches cross
+    # attacker custody) doesn't depend on the process-global query counter.
+    plan.query_id = "q-byz-churn"
+    plan.opgraphs[0].graph_id = "q-byz-churn-g0"
+    policy = ResiliencePolicy.enabled(liveness_interval=1.0, root_monitor_interval=0.5)
+    handle = network.submit(
+        plan, proxy=0, resilience=policy, integrity=IntegrityPolicy.enabled()
+    )
+
+    network.run(4.0)  # first incarnation's contribution has shipped
+    victim = adversary.attacker_addresses[0]
+    network.fail_node(victim)
+    network.run(3.0)
+    network.recover_node(victim)  # rejoin re-dissemination reinstalls all replicas
+    network.run(plan.timeout)
+
+    assert handle.finished
+    assert handle.redisseminations >= 1
+    assert _totals(handle.results) == {"a": 20, "b": 20}, (
+        "the rejoined attacker's origin must be counted exactly once"
+    )
+    assert handle.coverage == 1.0
+    report = handle.integrity_report
+    assert report is not None
+    # The adversaries that stayed up kept attacking — and kept being caught.
+    attacked = adversary.attacked_pairs()
+    assert attacked
+    flagged = set(report.failed_pairs)
+    assert len(flagged & attacked) / len(attacked) >= 0.9
+
+
 def _assert_trace_integrity(tracer, trace_id):
     """The churn-safety contract for a trace: one root, unique span ids,
     every parent link resolving inside the trace (no orphans), and no

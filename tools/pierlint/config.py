@@ -7,10 +7,15 @@ holds in part of the tree:
 * P01 applies everywhere except ``qp/tuples.py`` — the one module allowed
   to construct ``Schema`` (inside ``Schema.intern``).
 * P02 applies to code that receives wire objects: operators, the proxy,
-  the hierarchical aggregation layer, and the overlay.
+  the hierarchical aggregation layer, the integrity collector (which
+  decodes claim and report payloads), and the overlay.
 * P03 applies to every simulator-driven module.  ``runtime/rand.py`` is
   the sanctioned ``random.Random`` construction site, and
   ``runtime/physical.py`` is *defined* by its use of the wall clock.
+  ``security/`` is deliberately covered by the catch-all include:
+  attacker selection, forge-victim choice, and spot-check sampling must
+  go through ``derive_rng`` / deterministic hashing, or byzantine
+  experiments would not replay.
 * P04 applies to the query-processor and overlay hot path; ``qp/tuples.py``
   itself defines the dict round-trip helpers it guards against.
 * P05 applies to operator implementations, which must arm timers through
@@ -43,7 +48,13 @@ _Scope = Tuple[List[str], List[str]]
 RULE_SCOPES: Dict[str, _Scope] = {
     "P01": ([""], ["qp/tuples.py"]),
     "P02": (
-        ["qp/operators/", "qp/proxy.py", "qp/hierarchical.py", "overlay/"],
+        [
+            "qp/operators/",
+            "qp/proxy.py",
+            "qp/hierarchical.py",
+            "qp/integrity.py",
+            "overlay/",
+        ],
         [],
     ),
     "P03": ([""], ["runtime/rand.py", "runtime/physical.py"]),
